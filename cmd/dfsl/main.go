@@ -1,0 +1,73 @@
+// Command dfsl regenerates the paper's Case Study II results
+// (Figures 17-19): work-tile granularity sweeps and dynamic
+// fragment-shading load balancing on the standalone GPU.
+//
+// Usage:
+//
+//	dfsl -fig 17               # one figure (17, 18, 19)
+//	dfsl -fig all
+//	dfsl -fig 19 -scale paper -workloads 1,5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"emerald/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 17|18|19|all")
+	scale := flag.String("scale", "quick", "experiment scale: quick|paper")
+	workloads := flag.String("workloads", "", "comma-separated workload ids 1..6 (default all)")
+	flag.Parse()
+
+	opt := exp.Quick()
+	if *scale == "paper" {
+		opt = exp.Paper()
+	}
+	var ws []int
+	if *workloads != "" {
+		for _, part := range strings.Split(*workloads, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 1 || v > 6 {
+				fatal(fmt.Errorf("bad workload id %q", part))
+			}
+			ws = append(ws, v)
+		}
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if want("17") {
+		tab, err := exp.Fig17(opt, ws)
+		check(err)
+		tab.Write(os.Stdout)
+		fmt.Println()
+	}
+	if want("18") {
+		tab, err := exp.Fig18(opt)
+		check(err)
+		tab.Write(os.Stdout)
+		fmt.Println()
+	}
+	if want("19") {
+		tab, _, err := exp.Fig19(opt, ws)
+		check(err)
+		tab.Write(os.Stdout)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfsl:", err)
+	os.Exit(1)
+}

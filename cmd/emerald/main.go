@@ -1,0 +1,139 @@
+// Command emerald is the standalone-mode driver: it renders frames of a
+// built-in workload on the Table 7 GPU, reports per-frame timing and
+// pipeline statistics, and can dump the framebuffer as a PPM image.
+//
+// Usage:
+//
+//	emerald -workload 6 -frames 3 -w 256 -h 192
+//	emerald -workload 1 -wt 4 -dump frame.ppm
+//	emerald -stats gpu            # dump matching counters afterwards
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emerald/internal/geom"
+	"emerald/internal/gl"
+	"emerald/internal/gpu"
+	"emerald/internal/mathx"
+	"emerald/internal/shader"
+	"emerald/internal/stats"
+)
+
+func main() {
+	workload := flag.Int("workload", 3, "workload id 1..6 (Table 8)")
+	frames := flag.Int("frames", 2, "frames to render")
+	width := flag.Int("w", 192, "viewport width")
+	height := flag.Int("h", 144, "viewport height")
+	wt := flag.Int("wt", 1, "work-tile granularity (1..10)")
+	dump := flag.String("dump", "", "write the final framebuffer to this PPM file")
+	dumpStats := flag.String("stats", "", "print counters whose name contains this substring")
+	disasm := flag.String("disasm", "", "disassemble a built-in shader by name (e.g. vs_transform) and exit")
+	flag.Parse()
+
+	if *disasm != "" {
+		p := shader.ByName(*disasm)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "emerald: unknown shader %q (try vs_transform, fs_textured_earlyz, fs_textured_blend, fs_flat, saxpy)\n", *disasm)
+			os.Exit(1)
+		}
+		fmt.Print(shader.Disassemble(p))
+		return
+	}
+
+	if err := run(*workload, *frames, *width, *height, *wt, *dump, *dumpStats); err != nil {
+		fmt.Fprintln(os.Stderr, "emerald:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, frames, w, h, wt int, dump, dumpStats string) error {
+	scene, err := geom.DFSLWorkload(workload)
+	if err != nil {
+		return err
+	}
+	reg := stats.NewRegistry()
+	s := gpu.DefaultStandalone(reg)
+	s.GPU.SetWT(wt)
+	ctx := gl.NewContext(s.Mem(), 0x1000_0000, 256<<20)
+	ctx.Submit = func(call *gpu.DrawCall) error { return s.GPU.SubmitDraw(call, nil) }
+	ctx.OnClearDepth = s.GPU.ClearHiZ
+
+	ctx.Viewport(w, h)
+	fs := shader.FSTexturedEarlyZ
+	if scene.Translucent {
+		fs = shader.FSTexturedBlend
+		ctx.Enable(gl.Blend)
+		ctx.DepthMask(false)
+		ctx.SetAlpha(0.6)
+	}
+	if err := ctx.UseProgram(shader.VSTransform, fs); err != nil {
+		return err
+	}
+	ctx.SetLight(mathx.V3(0.4, 0.5, 0.8).Normalize())
+	tex, err := ctx.UploadTexture(scene.Texture)
+	if err != nil {
+		return err
+	}
+	if err := ctx.BindTexture(0, tex); err != nil {
+		return err
+	}
+	mesh, err := ctx.UploadMesh(scene.Mesh)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on the Table 7 GPU (%dx%d, WT=%d)\n", scene.Name, w, h, wt)
+	aspect := float32(w) / float32(h)
+	for f := 0; f < frames; f++ {
+		start := s.Cycle()
+		frags0 := s.GPU.FragsShaded()
+		ctx.Clear(0xFF101020, true)
+		ctx.SetMVP(scene.MVP(f, aspect))
+		if err := ctx.DrawMesh(mesh); err != nil {
+			return err
+		}
+		if _, err := s.RunUntilIdle(4_000_000_000); err != nil {
+			return err
+		}
+		fmt.Printf("frame %d: %8d cycles, %7d fragments\n",
+			f, s.Cycle()-start, s.GPU.FragsShaded()-frags0)
+	}
+
+	if dump != "" {
+		if err := writePPM(dump, s, ctx, w, h); err != nil {
+			return err
+		}
+		fmt.Println("wrote", dump)
+	}
+	if dumpStats != "" {
+		reg.Dump(os.Stdout, dumpStats)
+	}
+	return nil
+}
+
+// writePPM dumps the color surface as a binary PPM.
+func writePPM(path string, s *gpu.Standalone, ctx *gl.Context, w, h int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "P6\n%d %d\n255\n", w, h)
+	fb := ctx.ColorSurface()
+	row := make([]byte, w*3)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			px := fb.ReadPixel(s.Mem(), x, y)
+			row[x*3] = byte(px)
+			row[x*3+1] = byte(px >> 8)
+			row[x*3+2] = byte(px >> 16)
+		}
+		if _, err := f.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

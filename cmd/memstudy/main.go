@@ -1,0 +1,95 @@
+// Command memstudy regenerates the paper's Case Study I results
+// (Figures 9-14): memory organization and scheduling on the full SoC.
+//
+// Usage:
+//
+//	memstudy -fig 9            # one figure (9, 10, 11, 12, 13, 14)
+//	memstudy -fig all          # everything
+//	memstudy -fig 9 -scale paper -models 1,3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"emerald/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 9|10|11|12|13|14|all")
+	scale := flag.String("scale", "quick", "experiment scale: quick|paper")
+	models := flag.String("models", "", "comma-separated model ids (1=chair 2=cube 3=mask 4=triangles; default all)")
+	flag.Parse()
+
+	opt := exp.Quick()
+	if *scale == "paper" {
+		opt = exp.Paper()
+	}
+	var ms []int
+	if *models != "" {
+		for _, part := range strings.Split(*models, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 1 || v > 4 {
+				fatal(fmt.Errorf("bad model id %q", part))
+			}
+			ms = append(ms, v)
+		}
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if want("9") {
+		tab, err := exp.Fig09(opt, ms)
+		check(err)
+		tab.Write(os.Stdout)
+		fmt.Println()
+	}
+	if want("10") {
+		tl, err := exp.Fig10(opt)
+		check(err)
+		fmt.Println("== Figure 10: M3-HMC DRAM bandwidth by source (bytes/cycle) ==")
+		tl.Dump(os.Stdout, 0)
+		fmt.Println()
+	}
+	if want("11") {
+		tab, err := exp.Fig11(opt, ms)
+		check(err)
+		tab.Write(os.Stdout)
+		fmt.Println()
+	}
+	if want("12") {
+		tab, err := exp.Fig12(opt, ms)
+		check(err)
+		tab.Write(os.Stdout)
+		fmt.Println()
+	}
+	if want("13") {
+		tab, err := exp.Fig13(opt, ms)
+		check(err)
+		tab.Write(os.Stdout)
+		fmt.Println()
+	}
+	if want("14") {
+		bas, dtb, err := exp.Fig14(opt)
+		check(err)
+		fmt.Println("== Figure 14a: M1 under BAS, DRAM bandwidth by source (bytes/cycle) ==")
+		bas.Dump(os.Stdout, 0)
+		fmt.Println()
+		fmt.Println("== Figure 14b: M1 under DASH-DTB, DRAM bandwidth by source (bytes/cycle) ==")
+		dtb.Dump(os.Stdout, 0)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memstudy:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,171 @@
+// Command tracetool records, inspects and replays GL API traces — the
+// APITrace workflow of the paper's standalone mode (Figure 8a).
+//
+// Usage:
+//
+//	tracetool -record trace.bin -workload 3 -frames 4   # record W3
+//	tracetool -info trace.bin                           # op/draw counts
+//	tracetool -replay trace.bin                         # re-render, print cycles
+//	tracetool -replay trace.bin -first 2 -last 3        # region of interest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emerald/internal/geom"
+	"emerald/internal/gl"
+	"emerald/internal/gpu"
+	"emerald/internal/shader"
+	"emerald/internal/trace"
+)
+
+func main() {
+	record := flag.String("record", "", "record a workload trace to this file")
+	workload := flag.Int("workload", 3, "workload id 1..6 for -record")
+	frames := flag.Int("frames", 2, "frames to record")
+	info := flag.String("info", "", "print summary of a trace file")
+	replay := flag.String("replay", "", "replay a trace file on a fresh GPU")
+	first := flag.Int("first", 0, "first draw to execute on replay")
+	last := flag.Int("last", -1, "last draw to execute on replay (-1 = end)")
+	width := flag.Int("w", 192, "viewport width for -record")
+	height := flag.Int("h", 144, "viewport height for -record")
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		check(doRecord(*record, *workload, *frames, *width, *height))
+	case *info != "":
+		check(doInfo(*info))
+	case *replay != "":
+		check(doReplay(*replay, *first, *last))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func newSystem(rec gl.Recorder) (*gpu.Standalone, *gl.Context) {
+	s := gpu.DefaultStandalone(nil)
+	ctx := gl.NewContext(s.Mem(), 0x1000_0000, 256<<20)
+	ctx.Submit = func(call *gpu.DrawCall) error { return s.GPU.SubmitDraw(call, nil) }
+	ctx.OnClearDepth = s.GPU.ClearHiZ
+	ctx.Recorder = rec
+	return s, ctx
+}
+
+func doRecord(path string, workload, frames, w, h int) error {
+	scene, err := geom.DFSLWorkload(workload)
+	if err != nil {
+		return err
+	}
+	tr := &trace.Trace{}
+	s, ctx := newSystem(tr)
+	r, err := setupScene(s, ctx, scene, w, h)
+	if err != nil {
+		return err
+	}
+	for f := 0; f < frames; f++ {
+		if err := r(f); err != nil {
+			return err
+		}
+		if _, err := s.RunUntilIdle(2_000_000_000); err != nil {
+			return err
+		}
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := tr.Save(out); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d ops (%d draws) over %d frames to %s\n",
+		tr.Len(), tr.DrawCount(), frames, path)
+	return nil
+}
+
+// setupScene binds assets and returns a per-frame render closure.
+func setupScene(s *gpu.Standalone, ctx *gl.Context, scene *geom.Scene, w, h int) (func(frame int) error, error) {
+	ctx.Viewport(w, h)
+	fsProg := shader.FSTexturedEarlyZ
+	if scene.Translucent {
+		fsProg = shader.FSTexturedBlend
+		ctx.Enable(gl.Blend)
+		ctx.DepthMask(false)
+		ctx.SetAlpha(0.6)
+	}
+	if err := ctx.UseProgram(shader.VSTransform, fsProg); err != nil {
+		return nil, err
+	}
+	tex, err := ctx.UploadTexture(scene.Texture)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.BindTexture(0, tex); err != nil {
+		return nil, err
+	}
+	hMesh, err := ctx.UploadMesh(scene.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	aspect := float32(w) / float32(h)
+	return func(frame int) error {
+		ctx.Clear(0xFF101020, true)
+		ctx.SetMVP(scene.MVP(frame, aspect))
+		return ctx.DrawMesh(hMesh)
+	}, nil
+}
+
+func doInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Load(f)
+	if err != nil {
+		return err
+	}
+	counts := map[string]int{}
+	for _, op := range tr.Ops {
+		counts[op.Name]++
+	}
+	fmt.Printf("%s: %d ops, %d draws\n", path, tr.Len(), tr.DrawCount())
+	for name, n := range counts {
+		fmt.Printf("  %-18s %d\n", name, n)
+	}
+	return nil
+}
+
+func doReplay(path string, first, last int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Load(f)
+	if err != nil {
+		return err
+	}
+	s, ctx := newSystem(nil)
+	if err := trace.Replay(tr, ctx, trace.ReplayOptions{FirstDraw: first, LastDraw: last}); err != nil {
+		return err
+	}
+	cycles, err := s.RunUntilIdle(4_000_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed draws %d..%d in %d GPU cycles (%d fragments shaded)\n",
+		first, last, cycles, s.GPU.FragsShaded())
+	return nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module emerald
+
+go 1.22

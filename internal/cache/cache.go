@@ -1,0 +1,387 @@
+// Package cache implements the set-associative caches used across the
+// SoC model: the GPU's per-core L1I/L1D/L1T/L1Z/L1C caches, the GPU L2,
+// and the CPU L1/L2 caches (paper Table 2).
+//
+// Timing and function are decoupled, the usual simulator arrangement:
+// data always lives in the functional mem.Memory; the cache tracks only
+// tags, state and in-flight misses, and produces the fill/writeback
+// traffic that the interconnect and DRAM models time.
+package cache
+
+import (
+	"emerald/internal/mem"
+	"emerald/internal/stats"
+)
+
+// Config describes one cache.
+type Config struct {
+	Name         string
+	SizeBytes    int
+	LineBytes    int
+	Ways         int
+	HitLatency   uint64 // cycles, applied by the requester
+	MSHRs        int    // distinct outstanding miss lines
+	MSHRTargets  int    // merged waiters per miss line
+	WriteThrough bool   // stores propagate downstream immediately
+	WriteBack    bool   // dirty lines written back on eviction
+	Allocate     bool   // allocate a line on store miss
+	Client       mem.Client
+	ClientID     int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int {
+	s := c.SizeBytes / (c.LineBytes * c.Ways)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Result of a cache access attempt.
+type Result int
+
+// Access results.
+const (
+	// Hit: data available after HitLatency cycles.
+	Hit Result = iota
+	// Miss: an MSHR was allocated (or merged); the waiter will be
+	// handed back through the OnReady callback when the fill returns.
+	Miss
+	// Blocked: no MSHR/queue space; the requester must retry.
+	Blocked
+)
+
+func (r Result) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	}
+	return "blocked"
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-use cycle
+}
+
+type mshr struct {
+	lineAddr uint64
+	waiters  []any
+	isWrite  bool // at least one merged store (line fills dirty)
+}
+
+// Cache is a single cache instance. Not safe for concurrent use.
+type Cache struct {
+	cfg  Config
+	sets [][]line
+
+	mshrs map[uint64]*mshr
+
+	// Out carries fill reads and writebacks toward the next level.
+	Out *mem.Queue
+	// inflight are fill requests awaiting completion by downstream.
+	inflight []*mem.Request
+	// pendingWB buffers writebacks when Out is full.
+	pendingWB []*mem.Request
+
+	// OnReady is invoked once per waiter when its miss data returns.
+	OnReady func(waiter any, cycle uint64)
+
+	accesses, hits, misses, evictions, writebacks *stats.Counter
+	readHits, readMisses                          *stats.Counter
+}
+
+// New creates a cache. reg may be nil (stats are then kept on a private
+// registry).
+func New(cfg Config, reg *stats.Registry) *Cache {
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = 128
+	}
+	if cfg.Ways == 0 {
+		cfg.Ways = 4
+	}
+	if cfg.MSHRs == 0 {
+		cfg.MSHRs = 32
+	}
+	if cfg.MSHRTargets == 0 {
+		cfg.MSHRTargets = 8
+	}
+	s := reg.Scope(cfg.Name)
+	c := &Cache{
+		cfg:        cfg,
+		mshrs:      make(map[uint64]*mshr),
+		Out:        mem.NewQueue(64),
+		accesses:   s.Counter("accesses"),
+		hits:       s.Counter("hits"),
+		misses:     s.Counter("misses"),
+		evictions:  s.Counter("evictions"),
+		writebacks: s.Counter("writebacks"),
+		readHits:   s.Counter("read_hits"),
+		readMisses: s.Counter("read_misses"),
+	}
+	sets := cfg.Sets()
+	c.sets = make([][]line, sets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr masks addr down to its line address.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.cfg.LineBytes-1)
+}
+
+func (c *Cache) setIndex(lineAddr uint64) int {
+	return int((lineAddr / uint64(c.cfg.LineBytes)) % uint64(len(c.sets)))
+}
+
+// Access attempts a read or write of addr at the given cycle. waiter is
+// requester-private state returned through OnReady when a miss completes;
+// it may be nil for fire-and-forget stores.
+func (c *Cache) Access(cycle uint64, addr uint64, kind mem.Kind, waiter any) Result {
+	c.accesses.Inc()
+	la := c.LineAddr(addr)
+	set := c.sets[c.setIndex(la)]
+
+	// Tag lookup.
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			set[i].lru = cycle
+			if kind == mem.Write {
+				if c.cfg.WriteThrough {
+					if !c.enqueueWrite(cycle, la) {
+						return Blocked
+					}
+				} else {
+					set[i].dirty = true
+				}
+			}
+			c.hits.Inc()
+			if kind == mem.Read {
+				c.readHits.Inc()
+			}
+			return Hit
+		}
+	}
+
+	// Write-no-allocate stores bypass the cache entirely.
+	if kind == mem.Write && !c.cfg.Allocate {
+		if !c.enqueueWrite(cycle, la) {
+			return Blocked
+		}
+		c.misses.Inc()
+		return Hit // store retires immediately from the core's view
+	}
+
+	// Merge into an existing MSHR if the line is already in flight.
+	if m, ok := c.mshrs[la]; ok {
+		if len(m.waiters) >= c.cfg.MSHRTargets {
+			return Blocked
+		}
+		if waiter != nil {
+			m.waiters = append(m.waiters, waiter)
+		}
+		if kind == mem.Write {
+			m.isWrite = true
+		}
+		c.misses.Inc()
+		if kind == mem.Read {
+			c.readMisses.Inc()
+		}
+		return Miss
+	}
+
+	// New miss: need an MSHR and room for the fill request.
+	if len(c.mshrs) >= c.cfg.MSHRs || c.Out.Full() {
+		return Blocked
+	}
+	req := &mem.Request{
+		Addr:     la,
+		Size:     uint32(c.cfg.LineBytes),
+		Kind:     mem.Read,
+		Client:   c.cfg.Client,
+		ClientID: c.cfg.ClientID,
+		IssuedAt: cycle,
+		Tag:      c,
+	}
+	c.Out.Push(req)
+	c.inflight = append(c.inflight, req)
+	m := &mshr{lineAddr: la, isWrite: kind == mem.Write}
+	if waiter != nil {
+		m.waiters = append(m.waiters, waiter)
+	}
+	c.mshrs[la] = m
+	c.misses.Inc()
+	if kind == mem.Read {
+		c.readMisses.Inc()
+	}
+	return Miss
+}
+
+func (c *Cache) enqueueWrite(cycle uint64, la uint64) bool {
+	if c.Out.Full() {
+		return false
+	}
+	c.Out.Push(&mem.Request{
+		Addr:     la,
+		Size:     uint32(c.cfg.LineBytes),
+		Kind:     mem.Write,
+		Client:   c.cfg.Client,
+		ClientID: c.cfg.ClientID,
+		IssuedAt: cycle,
+	})
+	return true
+}
+
+// Tick retires completed fills, installs their lines (possibly evicting
+// and writing back victims), releases MSHRs and notifies waiters. It also
+// drains any writebacks buffered while Out was full.
+func (c *Cache) Tick(cycle uint64) {
+	// Drain buffered writebacks first so evictions below have room.
+	for len(c.pendingWB) > 0 && !c.Out.Full() {
+		c.Out.Push(c.pendingWB[0])
+		c.pendingWB = c.pendingWB[1:]
+	}
+
+	kept := c.inflight[:0]
+	for _, req := range c.inflight {
+		if !req.Done {
+			kept = append(kept, req)
+			continue
+		}
+		c.install(cycle, req.Addr)
+		if m, ok := c.mshrs[req.Addr]; ok {
+			delete(c.mshrs, req.Addr)
+			if c.OnReady != nil {
+				for _, w := range m.waiters {
+					c.OnReady(w, cycle)
+				}
+			}
+			if m.isWrite {
+				c.markDirty(req.Addr)
+			}
+		}
+	}
+	c.inflight = kept
+}
+
+func (c *Cache) markDirty(la uint64) {
+	set := c.sets[c.setIndex(la)]
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			if c.cfg.WriteThrough {
+				// write-through caches hold no dirty state; the
+				// store traffic already went downstream.
+				return
+			}
+			set[i].dirty = true
+			return
+		}
+	}
+}
+
+// install places lineAddr into its set, evicting the LRU way.
+func (c *Cache) install(cycle uint64, la uint64) {
+	set := c.sets[c.setIndex(la)]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			set[i].lru = cycle
+			return // already present (e.g. refetched)
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid {
+		c.evictions.Inc()
+		if v.dirty && c.cfg.WriteBack {
+			c.writebacks.Inc()
+			wb := &mem.Request{
+				Addr:     v.tag,
+				Size:     uint32(c.cfg.LineBytes),
+				Kind:     mem.Write,
+				Client:   c.cfg.Client,
+				ClientID: c.cfg.ClientID,
+				IssuedAt: cycle,
+			}
+			if !c.Out.Push(wb) {
+				c.pendingWB = append(c.pendingWB, wb)
+			}
+		}
+	}
+	*v = line{tag: la, valid: true, dirty: false, lru: cycle}
+}
+
+// Contains reports whether the line holding addr is resident (test hook).
+func (c *Cache) Contains(addr uint64) bool {
+	la := c.LineAddr(addr)
+	for _, l := range c.sets[c.setIndex(la)] {
+		if l.valid && l.tag == la {
+			return true
+		}
+	}
+	return false
+}
+
+// PendingMisses reports the number of live MSHRs.
+func (c *Cache) PendingMisses() int { return len(c.mshrs) }
+
+// Stats snapshot.
+func (c *Cache) Accesses() int64   { return c.accesses.Value() }
+func (c *Cache) Hits() int64       { return c.hits.Value() }
+func (c *Cache) Misses() int64     { return c.misses.Value() }
+func (c *Cache) Evictions() int64  { return c.evictions.Value() }
+func (c *Cache) Writebacks() int64 { return c.writebacks.Value() }
+
+// MissRate returns misses/accesses (0 when idle).
+func (c *Cache) MissRate() float64 {
+	a := c.accesses.Value()
+	if a == 0 {
+		return 0
+	}
+	return float64(c.misses.Value()) / float64(a)
+}
+
+// Flush marks every line invalid, emitting writebacks for dirty lines
+// (used at frame boundaries and by checkpointing).
+func (c *Cache) Flush(cycle uint64) {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.valid && l.dirty && c.cfg.WriteBack {
+				c.writebacks.Inc()
+				wb := &mem.Request{
+					Addr:     l.tag,
+					Size:     uint32(c.cfg.LineBytes),
+					Kind:     mem.Write,
+					Client:   c.cfg.Client,
+					ClientID: c.cfg.ClientID,
+					IssuedAt: cycle,
+				}
+				if !c.Out.Push(wb) {
+					c.pendingWB = append(c.pendingWB, wb)
+				}
+			}
+			l.valid = false
+			l.dirty = false
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"emerald/internal/mem"
+	"emerald/internal/stats"
+)
+
+func testConfig() Config {
+	return Config{
+		Name:      "l1",
+		SizeBytes: 1024,
+		LineBytes: 64,
+		Ways:      2,
+		MSHRs:     4,
+		WriteBack: true,
+		Allocate:  true,
+	}
+}
+
+// drain completes every outstanding downstream request immediately and
+// ticks the cache, simulating an ideal next level.
+func drain(c *Cache, cycle uint64) []*mem.Request {
+	var served []*mem.Request
+	for i := 0; i < 8; i++ { // a few rounds: Tick can emit writebacks
+		for {
+			r := c.Out.Pop()
+			if r == nil {
+				break
+			}
+			r.Complete(cycle)
+			served = append(served, r)
+		}
+		c.Tick(cycle)
+		if c.Out.Len() == 0 && c.PendingMisses() == 0 {
+			break
+		}
+	}
+	return served
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(testConfig(), nil)
+	var ready []any
+	c.OnReady = func(w any, _ uint64) { ready = append(ready, w) }
+
+	if res := c.Access(0, 0x100, mem.Read, "w1"); res != Miss {
+		t.Fatalf("first access = %v, want miss", res)
+	}
+	drain(c, 10)
+	if len(ready) != 1 || ready[0] != "w1" {
+		t.Fatalf("waiters = %v, want [w1]", ready)
+	}
+	if res := c.Access(11, 0x100, mem.Read, nil); res != Hit {
+		t.Fatalf("second access = %v, want hit", res)
+	}
+	if res := c.Access(11, 0x13C, mem.Read, nil); res != Hit {
+		t.Fatalf("same-line access = %v, want hit", res)
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	c := New(testConfig(), nil)
+	var ready []any
+	c.OnReady = func(w any, _ uint64) { ready = append(ready, w) }
+
+	c.Access(0, 0x200, mem.Read, "a")
+	if res := c.Access(1, 0x210, mem.Read, "b"); res != Miss {
+		t.Fatalf("merge access = %v, want miss", res)
+	}
+	if c.Out.Len() != 1 {
+		t.Fatalf("merged miss must not issue a second fill, out=%d", c.Out.Len())
+	}
+	drain(c, 5)
+	if len(ready) != 2 {
+		t.Fatalf("both waiters must wake, got %v", ready)
+	}
+}
+
+func TestMSHRExhaustionBlocks(t *testing.T) {
+	cfg := testConfig()
+	cfg.MSHRs = 2
+	c := New(cfg, nil)
+	c.Access(0, 0x000, mem.Read, nil)
+	c.Access(0, 0x040, mem.Read, nil)
+	if res := c.Access(0, 0x080, mem.Read, nil); res != Blocked {
+		t.Fatalf("third distinct miss = %v, want blocked", res)
+	}
+}
+
+func TestMSHRTargetLimit(t *testing.T) {
+	cfg := testConfig()
+	cfg.MSHRTargets = 2
+	c := New(cfg, nil)
+	c.Access(0, 0x0, mem.Read, "a")
+	c.Access(0, 0x4, mem.Read, "b")
+	if res := c.Access(0, 0x8, mem.Read, "c"); res != Blocked {
+		t.Fatalf("over-merged access = %v, want blocked", res)
+	}
+}
+
+func TestEvictionWritesBackDirty(t *testing.T) {
+	cfg := testConfig()
+	cfg.SizeBytes = 128 // 1 set, 2 ways of 64B
+	c := New(cfg, nil)
+
+	// Fill both ways, dirty one of them.
+	c.Access(0, 0x000, mem.Write, nil)
+	c.Access(0, 0x040, mem.Read, nil)
+	drain(c, 1)
+	if c.Accesses() != 2 {
+		t.Fatalf("accesses = %d", c.Accesses())
+	}
+	// Both lines resident; a third line evicts the LRU (0x000, dirty).
+	c.Access(2, 0x040, mem.Read, nil) // touch 0x40 so 0x0 is LRU
+	c.Access(3, 0x080, mem.Read, nil)
+	served := drain(c, 9)
+	var sawWB bool
+	for _, r := range served {
+		if r.Kind == mem.Write && r.Addr == 0x000 {
+			sawWB = true
+		}
+	}
+	if !sawWB {
+		t.Fatal("dirty eviction must produce a writeback of the victim line")
+	}
+	if c.Contains(0x000) {
+		t.Fatal("victim still resident")
+	}
+	if !c.Contains(0x080) || !c.Contains(0x040) {
+		t.Fatal("expected lines not resident")
+	}
+}
+
+func TestWriteThroughSendsStores(t *testing.T) {
+	cfg := testConfig()
+	cfg.WriteThrough = true
+	cfg.WriteBack = false
+	c := New(cfg, nil)
+	c.Access(0, 0x100, mem.Read, nil)
+	drain(c, 1)
+	if res := c.Access(2, 0x100, mem.Write, nil); res != Hit {
+		t.Fatalf("write hit = %v", res)
+	}
+	if c.Out.Len() != 1 || c.Out.Peek().Kind != mem.Write {
+		t.Fatal("write-through hit must forward the store downstream")
+	}
+}
+
+func TestWriteNoAllocateBypass(t *testing.T) {
+	cfg := testConfig()
+	cfg.Allocate = false
+	cfg.WriteThrough = true
+	cfg.WriteBack = false
+	c := New(cfg, nil)
+	if res := c.Access(0, 0x300, mem.Write, nil); res != Hit {
+		t.Fatalf("store miss with no-allocate = %v, want immediate retire", res)
+	}
+	if c.Contains(0x300) {
+		t.Fatal("no-allocate store must not install a line")
+	}
+	if c.Out.Len() != 1 {
+		t.Fatal("store must be forwarded")
+	}
+}
+
+func TestFlushWritesBackAllDirty(t *testing.T) {
+	c := New(testConfig(), nil)
+	c.Access(0, 0x000, mem.Write, nil)
+	c.Access(0, 0x400, mem.Write, nil)
+	drain(c, 1)
+	c.Flush(2)
+	wbs := 0
+	for {
+		r := c.Out.Pop()
+		if r == nil {
+			break
+		}
+		if r.Kind == mem.Write {
+			wbs++
+		}
+	}
+	if wbs != 2 {
+		t.Fatalf("flush writebacks = %d, want 2", wbs)
+	}
+	if c.Contains(0x000) || c.Contains(0x400) {
+		t.Fatal("flush must invalidate lines")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	cfg := testConfig()
+	cfg.SizeBytes = 128 // 1 set x 2 ways
+	c := New(cfg, nil)
+	c.Access(0, 0x000, mem.Read, nil)
+	c.Access(1, 0x040, mem.Read, nil)
+	drain(c, 2)
+	c.Access(3, 0x000, mem.Read, nil) // make 0x40 the LRU
+	c.Access(4, 0x080, mem.Read, nil)
+	drain(c, 5)
+	if !c.Contains(0x000) {
+		t.Fatal("MRU line was evicted")
+	}
+	if c.Contains(0x040) {
+		t.Fatal("LRU line was retained")
+	}
+}
+
+// Property: hit/miss classification matches a reference simulation of an
+// LRU set-associative cache over a random access stream.
+func TestAgainstReferenceModel(t *testing.T) {
+	cfg := testConfig()
+	cfg.SizeBytes = 512
+	cfg.MSHRs = 64
+	c := New(cfg, nil)
+
+	type refLine struct {
+		tag uint64
+		lru uint64
+	}
+	sets := cfg.Sets()
+	ref := make([][]refLine, sets)
+
+	rng := rand.New(rand.NewSource(42))
+	for cyc := uint64(0); cyc < 3000; cyc++ {
+		addr := uint64(rng.Intn(32)) * 64 // 32 distinct lines
+		la := addr &^ 63
+		si := int((la / 64) % uint64(sets))
+
+		// Reference lookup.
+		refHit := false
+		for i := range ref[si] {
+			if ref[si][i].tag == la {
+				refHit = true
+				ref[si][i].lru = cyc
+			}
+		}
+
+		res := c.Access(cyc, addr, mem.Read, nil)
+		if res == Blocked {
+			t.Fatalf("cycle %d: unexpected block", cyc)
+		}
+		got := res == Hit
+		if got != refHit {
+			t.Fatalf("cycle %d addr %#x: model %v, reference hit=%v", cyc, addr, res, refHit)
+		}
+		if !refHit {
+			// Install in reference (LRU victim), mirroring immediate fill.
+			if len(ref[si]) < cfg.Ways {
+				ref[si] = append(ref[si], refLine{tag: la, lru: cyc})
+			} else {
+				v := 0
+				for i := range ref[si] {
+					if ref[si][i].lru < ref[si][v].lru {
+						v = i
+					}
+				}
+				ref[si][v] = refLine{tag: la, lru: cyc}
+			}
+		}
+		drain(c, cyc) // ideal next level: fills complete same cycle
+	}
+}
+
+func TestStatsRegistry(t *testing.T) {
+	reg := stats.NewRegistry()
+	c := New(testConfig(), reg)
+	c.Access(0, 0, mem.Read, nil)
+	drain(c, 1)
+	c.Access(2, 0, mem.Read, nil)
+	if reg.Value("l1.hits") != 1 || reg.Value("l1.misses") != 1 {
+		t.Fatalf("registry hits=%d misses=%d", reg.Value("l1.hits"), reg.Value("l1.misses"))
+	}
+	if c.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", c.MissRate())
+	}
+}

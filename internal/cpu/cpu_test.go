@@ -1,0 +1,255 @@
+package cpu
+
+import (
+	"testing"
+
+	"emerald/internal/mem"
+)
+
+// run ticks the core with an ideal memory until halted.
+func run(t *testing.T, c *Core, budget uint64) uint64 {
+	t.Helper()
+	for cycle := uint64(0); cycle < budget; cycle++ {
+		c.Tick(cycle)
+		for {
+			r := c.Out.Pop()
+			if r == nil {
+				break
+			}
+			r.Complete(cycle)
+		}
+		if c.Halted() {
+			return cycle
+		}
+	}
+	t.Fatalf("core did not halt in %d cycles (pc=%d)", budget, c.PC)
+	return budget
+}
+
+func mk(t *testing.T, src string) (*Core, *mem.Memory) {
+	t.Helper()
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	return NewCore(DefaultConfig(0), p, m, nil), m
+}
+
+func TestALUAndControlFlow(t *testing.T) {
+	c, _ := mk(t, `
+		movi r2, 10
+		movi r3, 0
+		movi r0, 0
+	loop:
+		add  r3, r3, r2
+		addi r2, r2, -1
+		blt  r0, r2, loop
+		halt
+	`)
+	run(t, c, 100000)
+	if c.Regs[3] != 55 {
+		t.Fatalf("sum = %d, want 55", c.Regs[3])
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	c, m := mk(t, `
+		movi r2, 0x1000
+		movi r3, 42
+		st   [r2], r3
+		ld   r4, [r2]
+		st   [r2+4], r4
+		halt
+	`)
+	run(t, c, 100000)
+	if c.Regs[4] != 42 || m.ReadU32(0x1004) != 42 {
+		t.Fatalf("r4=%d mem=%d", c.Regs[4], m.ReadU32(0x1004))
+	}
+}
+
+func TestMemoryLatencyMatters(t *testing.T) {
+	// A pointer-chase over many lines must take far longer than a
+	// register loop of the same instruction count.
+	loadSrc := `
+		movi r2, 0
+		movi r3, 64
+		movi r0, 0
+	loop:
+		ld   r4, [r2]
+		addi r2, r2, 4096
+		addi r3, r3, -1
+		blt  r0, r3, loop
+		halt
+	`
+	aluSrc := `
+		movi r2, 0
+		movi r3, 64
+		movi r0, 0
+	loop:
+		add  r4, r2, r2
+		addi r2, r2, 4096
+		addi r3, r3, -1
+		blt  r0, r3, loop
+		halt
+	`
+	cl, _ := mk(t, loadSrc)
+	ca, _ := mk(t, aluSrc)
+	tl := run(t, cl, 1_000_000)
+	ta := run(t, ca, 1_000_000)
+	if tl <= ta {
+		t.Fatalf("load loop (%d) should be slower than ALU loop (%d)", tl, ta)
+	}
+}
+
+func TestSysHandler(t *testing.T) {
+	c, _ := mk(t, `
+		movi r2, 7
+		sys  1
+		mov  r5, r1
+		halt
+	`)
+	calls := 0
+	c.Sys = func(core *Core, code int32) (uint32, bool) {
+		calls++
+		if calls < 3 {
+			return 0, false // block twice
+		}
+		return core.Regs[2] * 2, true
+	}
+	run(t, c, 100000)
+	if c.Regs[5] != 14 {
+		t.Fatalf("sys result = %d, want 14", c.Regs[5])
+	}
+	if calls != 3 {
+		t.Fatalf("handler calls = %d, want 3 (two blocked retries)", calls)
+	}
+}
+
+func TestSysWithoutHandlerHalts(t *testing.T) {
+	c, _ := mk(t, "sys 1\nhalt")
+	run(t, c, 1000)
+	if !c.Halted() {
+		t.Fatal("core should halt on unhandled syscall")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, src := range []string{
+		"bogus r1, r2",
+		"jmp nowhere",
+		"movi r99, 1",
+		"ld r1, r2",
+		"",
+		"x: x: halt",
+	} {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestCacheHierarchyCounts(t *testing.T) {
+	// Two passes over a small array: second pass hits in L1D.
+	c, _ := mk(t, `
+		movi r5, 2
+		movi r0, 0
+	pass:
+		movi r2, 0
+		movi r3, 16
+	loop:
+		ld   r4, [r2]
+		addi r2, r2, 64
+		addi r3, r3, -1
+		blt  r0, r3, loop
+		addi r5, r5, -1
+		blt  r0, r5, pass
+		halt
+	`)
+	run(t, c, 1_000_000)
+	if c.L1D.Misses() != 16 {
+		t.Fatalf("L1D misses = %d, want 16 (second pass should hit)", c.L1D.Misses())
+	}
+	if c.L1D.Hits() < 16 {
+		t.Fatalf("L1D hits = %d, want >= 16", c.L1D.Hits())
+	}
+}
+
+func TestResetRestartsProgram(t *testing.T) {
+	c, _ := mk(t, "movi r2, 5\nhalt")
+	run(t, c, 1000)
+	c.Reset()
+	c.Regs[2] = 0
+	run(t, c, 1000)
+	if c.Regs[2] != 5 {
+		t.Fatal("program did not re-execute after reset")
+	}
+}
+
+func TestBuiltinProgramsAssemble(t *testing.T) {
+	for _, p := range []*Program{AppFrameLoop, BackgroundTask, IdleTask} {
+		if p == nil || len(p.Code) == 0 {
+			t.Fatal("builtin program empty")
+		}
+	}
+}
+
+func TestAppFrameLoopRunsOneFrame(t *testing.T) {
+	m := mem.NewMemory()
+	c := NewCore(DefaultConfig(0), AppFrameLoop, m, nil)
+	c.Regs[10] = 0x10000 // working set base
+	c.Regs[11] = 4096    // 4KB working set
+	c.Regs[12] = 0x20000 // command buffer
+	c.Regs[13] = 256
+	c.Regs[14] = 1 // one pass
+
+	var submits, fencePolls, vsyncs int
+	c.Sys = func(core *Core, code int32) (uint32, bool) {
+		switch code {
+		case SysFrameSubmit:
+			submits++
+			return 99, true
+		case SysFenceDone:
+			fencePolls++
+			if fence := core.Regs[2]; fence != 0 && fence != 99 {
+				t.Fatalf("fence id = %d, want 0 or 99", fence)
+			}
+			return uint32(boolTo(fencePolls%3 == 0 || core.Regs[2] == 0)), true
+		case SysWaitVsync:
+			vsyncs++
+			if vsyncs >= 2 {
+				core.Regs[15] = 1 // let the test stop us
+			}
+			return 0, true
+		}
+		return 0, true
+	}
+	// Run until two vsyncs (two frames submitted).
+	for cycle := uint64(0); cycle < 3_000_000; cycle++ {
+		c.Tick(cycle)
+		for {
+			r := c.Out.Pop()
+			if r == nil {
+				break
+			}
+			r.Complete(cycle)
+		}
+		if vsyncs >= 2 {
+			break
+		}
+	}
+	if submits < 2 || fencePolls < 2 {
+		t.Fatalf("submits=%d fencePolls=%d (want >=2, >=2)", submits, fencePolls)
+	}
+	// The working set was actually touched.
+	if m.ReadU32(0x10000) == 0 {
+		t.Fatal("scene update did not write the working set")
+	}
+}
+
+func boolTo(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,318 @@
+package dram
+
+import (
+	"emerald/internal/mem"
+	"emerald/internal/stats"
+)
+
+// Timing holds DRAM timing parameters, expressed in *controller clock*
+// cycles (the simulator runs the memory controller in the GPU/SoC core
+// clock domain; constructors below do the conversion).
+type Timing struct {
+	TRCD uint64 // activate -> column command
+	TRP  uint64 // precharge
+	TCL  uint64 // column command -> first data
+	// BytesPerCycle is the per-channel data-bus throughput.
+	BytesPerCycle float64
+}
+
+// Config describes a DRAM subsystem.
+type Config struct {
+	Name       string
+	Geometry   Geometry
+	Timing     Timing
+	QueueDepth int // per-channel request queue entries
+	// Mappings gives the address mapping per channel. Channel selection
+	// itself uses Assign if non-nil, otherwise mapping[0]'s channel field.
+	Mappings []Mapping
+	// Assign optionally routes a request to a channel by traffic source
+	// (the HMC organization); nil uses address-based channel selection.
+	Assign func(*mem.Request) int
+	// Scheduler picks the next request per channel; nil = FR-FCFS.
+	Scheduler Scheduler
+}
+
+// LPDDR3Geometry is the geometry used across the paper's configurations:
+// 1 rank, 8 banks, 2 KB rows, 128 B columns (channel-interleave
+// granularity matches the largest request size, the GPU's 128 B line, so
+// both channels see every traffic stream).
+func LPDDR3Geometry(channels int) Geometry {
+	return Geometry{Channels: channels, Ranks: 1, Banks: 8, Columns: 16, ColumnBytes: 128}
+}
+
+// LPDDR3Timing converts an LPDDR3 data rate (Mb/s/pin, 32-bit channel) to
+// controller-clock timing, assuming a 1 GHz controller clock. The paper's
+// regular-load config is 1333 Mb/s, the high-load config 133 Mb/s, and
+// Case Study II uses 1600 Mb/s.
+func LPDDR3Timing(dataRateMbps int) Timing {
+	// 32-bit bus, DDR: bytes/s = rate(Mb/s) * 1e6 / 8 bits * 32 pins.
+	bytesPerSec := float64(dataRateMbps) * 1e6 * 4
+	const clockHz = 1e9
+	return Timing{
+		// ~18ns tRCD/tRP/tCL at any speed grade; in 1GHz cycles.
+		TRCD:          18,
+		TRP:           18,
+		TCL:           15,
+		BytesPerCycle: bytesPerSec / clockHz,
+	}
+}
+
+type bank struct {
+	openRow   int64 // -1 = closed
+	readyAt   uint64
+	rowOpened uint64 // activation count bookkeeping hook
+}
+
+// Channel is one DRAM channel: a request queue, banks and a data bus.
+type Channel struct {
+	ID      int
+	Queue   []*mem.Request
+	banks   [][]bank // [rank][bank]
+	busFree uint64
+	mapping Mapping
+
+	inService []*mem.Request
+
+	rowHits, rowMisses, rowConflicts *stats.Counter
+	activations                      *stats.Counter
+	bytes                            *stats.Counter
+	served                           map[mem.Client]*stats.Counter
+}
+
+// OpenRow reports the open row in (rank,bank), or -1.
+func (ch *Channel) OpenRow(rank, b int) int64 { return ch.banks[rank][b].openRow }
+
+// Mapping returns the channel's address mapping.
+func (ch *Channel) Mapping() Mapping { return ch.mapping }
+
+// IsRowHit reports whether the request would hit the open row.
+func (ch *Channel) IsRowHit(r *mem.Request) bool {
+	loc := ch.mapping.Decode(r.Addr)
+	return ch.banks[loc.Rank][loc.Bank].openRow == int64(loc.Row)
+}
+
+// BankReady reports whether the request's bank can accept a command at
+// the given cycle.
+func (ch *Channel) BankReady(r *mem.Request, cycle uint64) bool {
+	loc := ch.mapping.Decode(r.Addr)
+	return ch.banks[loc.Rank][loc.Bank].readyAt <= cycle
+}
+
+// Controller is the top-level DRAM subsystem.
+type Controller struct {
+	cfg      Config
+	Channels []*Channel
+	sched    Scheduler
+
+	// Timeline, when non-nil, records per-source serviced bytes.
+	Timeline *stats.Timeline
+
+	reg       *stats.Registry
+	rejected  *stats.Counter
+	totalBusy uint64
+}
+
+// NewController builds a DRAM controller. reg may be nil.
+func NewController(cfg Config, reg *stats.Registry) *Controller {
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = NewFRFCFS()
+	}
+	if len(cfg.Mappings) == 0 {
+		cfg.Mappings = []Mapping{MappingPageStriped(cfg.Geometry)}
+	}
+	// Replicate a single mapping across channels.
+	for len(cfg.Mappings) < cfg.Geometry.Channels {
+		cfg.Mappings = append(cfg.Mappings, cfg.Mappings[0])
+	}
+	s := reg.Scope(cfg.Name)
+	c := &Controller{cfg: cfg, sched: cfg.Scheduler, reg: reg, rejected: s.Counter("rejected")}
+	for i := 0; i < cfg.Geometry.Channels; i++ {
+		chScope := s.Scope("ch" + string(rune('0'+i)))
+		ch := &Channel{
+			ID:           i,
+			mapping:      cfg.Mappings[i],
+			rowHits:      chScope.Counter("row_hits"),
+			rowMisses:    chScope.Counter("row_misses"),
+			rowConflicts: chScope.Counter("row_conflicts"),
+			activations:  chScope.Counter("activations"),
+			bytes:        chScope.Counter("bytes"),
+			served:       make(map[mem.Client]*stats.Counter),
+		}
+		for _, cl := range []mem.Client{mem.ClientCPU, mem.ClientGPU, mem.ClientDisplay, mem.ClientDMA} {
+			ch.served[cl] = chScope.Counter("served_" + cl.String())
+		}
+		ch.banks = make([][]bank, cfg.Geometry.Ranks)
+		for r := range ch.banks {
+			ch.banks[r] = make([]bank, cfg.Geometry.Banks)
+			for b := range ch.banks[r] {
+				ch.banks[r][b].openRow = -1
+			}
+		}
+		c.Channels = append(c.Channels, ch)
+	}
+	return c
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// channelFor routes a request.
+func (c *Controller) channelFor(r *mem.Request) int {
+	if c.cfg.Assign != nil {
+		ch := c.cfg.Assign(r)
+		if ch >= 0 && ch < len(c.Channels) {
+			return ch
+		}
+	}
+	return c.cfg.Mappings[0].Decode(r.Addr).Channel
+}
+
+// Push enqueues a request; it reports false when the target channel's
+// queue is full (backpressure to the NoC).
+func (c *Controller) Push(r *mem.Request) bool {
+	ch := c.Channels[c.channelFor(r)]
+	if len(ch.Queue) >= c.cfg.QueueDepth {
+		c.rejected.Inc()
+		return false
+	}
+	ch.Queue = append(ch.Queue, r)
+	return true
+}
+
+// QueuedRequests reports the total number of waiting requests.
+func (c *Controller) QueuedRequests() int {
+	n := 0
+	for _, ch := range c.Channels {
+		n += len(ch.Queue) + len(ch.inService)
+	}
+	return n
+}
+
+// Tick advances the DRAM by one controller cycle: completes in-flight
+// transfers and issues at most one new transaction per channel.
+func (c *Controller) Tick(cycle uint64) {
+	c.sched.Tick(cycle)
+	for _, ch := range c.Channels {
+		c.tickChannel(ch, cycle)
+	}
+}
+
+func (c *Controller) tickChannel(ch *Channel, cycle uint64) {
+	// Retire finished transfers.
+	kept := ch.inService[:0]
+	for _, r := range ch.inService {
+		if r.DoneAt <= cycle {
+			r.Done = true
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	ch.inService = kept
+
+	if len(ch.Queue) == 0 || ch.busFree > cycle {
+		return
+	}
+	idx := c.sched.Pick(ch, cycle)
+	if idx < 0 || idx >= len(ch.Queue) {
+		return
+	}
+	r := ch.Queue[idx]
+	ch.Queue = append(ch.Queue[:idx], ch.Queue[idx+1:]...)
+
+	loc := ch.mapping.Decode(r.Addr)
+	bk := &ch.banks[loc.Rank][loc.Bank]
+	t := c.cfg.Timing
+
+	start := cycle
+	if bk.readyAt > start {
+		start = bk.readyAt
+	}
+	var cmdLatency uint64
+	switch {
+	case bk.openRow == int64(loc.Row):
+		cmdLatency = t.TCL
+		ch.rowHits.Inc()
+	case bk.openRow < 0:
+		cmdLatency = t.TRCD + t.TCL
+		ch.rowMisses.Inc()
+		ch.activations.Inc()
+	default:
+		cmdLatency = t.TRP + t.TRCD + t.TCL
+		ch.rowConflicts.Inc()
+		ch.activations.Inc()
+	}
+	bk.openRow = int64(loc.Row)
+
+	burst := uint64(float64(r.Size)/t.BytesPerCycle + 0.999)
+	if burst == 0 {
+		burst = 1
+	}
+	dataStart := start + cmdLatency
+	finish := dataStart + burst
+
+	bk.readyAt = finish
+	ch.busFree = dataStart + burst // bus serializes data transfers
+
+	r.DoneAt = finish // Done flag set when cycle reaches finish
+	ch.inService = append(ch.inService, r)
+
+	ch.bytes.Add(int64(r.Size))
+	ch.served[r.Client].Inc()
+	if c.Timeline != nil {
+		c.Timeline.Record(cycle, r.Client.String(), uint64(r.Size))
+	}
+}
+
+// Drained reports whether no requests are queued or in flight.
+func (c *Controller) Drained() bool { return c.QueuedRequests() == 0 }
+
+// RowHitRate returns rowHits / (all row outcomes) across channels.
+func (c *Controller) RowHitRate() float64 {
+	var hits, total int64
+	for _, ch := range c.Channels {
+		hits += ch.rowHits.Value()
+		total += ch.rowHits.Value() + ch.rowMisses.Value() + ch.rowConflicts.Value()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// BytesPerActivation returns total bytes transferred per row activation.
+func (c *Controller) BytesPerActivation() float64 {
+	var bytes, acts int64
+	for _, ch := range c.Channels {
+		bytes += ch.bytes.Value()
+		acts += ch.activations.Value()
+	}
+	if acts == 0 {
+		return 0
+	}
+	return float64(bytes) / float64(acts)
+}
+
+// ServedBy returns how many requests of the given client class were
+// serviced across channels.
+func (c *Controller) ServedBy(cl mem.Client) int64 {
+	var n int64
+	for _, ch := range c.Channels {
+		n += ch.served[cl].Value()
+	}
+	return n
+}
+
+// TotalBytes returns total bytes transferred.
+func (c *Controller) TotalBytes() int64 {
+	var n int64
+	for _, ch := range c.Channels {
+		n += ch.bytes.Value()
+	}
+	return n
+}

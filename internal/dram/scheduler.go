@@ -1,0 +1,42 @@
+package dram
+
+// Scheduler selects the next request a channel should service. Pick
+// returns an index into ch.Queue, or -1 to idle this cycle. Schedulers
+// may keep cross-channel state; Tick is called once per controller cycle
+// before any Pick.
+type Scheduler interface {
+	Pick(ch *Channel, cycle uint64) int
+	Tick(cycle uint64)
+	Name() string
+}
+
+// FRFCFS is first-ready, first-come-first-served: among queued requests
+// whose bank can accept a command, row-buffer hits win; ties break by
+// arrival order (queue position). This is the paper's baseline (Table 4).
+type FRFCFS struct{}
+
+// NewFRFCFS returns the baseline scheduler.
+func NewFRFCFS() *FRFCFS { return &FRFCFS{} }
+
+// Name implements Scheduler.
+func (f *FRFCFS) Name() string { return "FR-FCFS" }
+
+// Tick implements Scheduler.
+func (f *FRFCFS) Tick(uint64) {}
+
+// Pick implements Scheduler.
+func (f *FRFCFS) Pick(ch *Channel, cycle uint64) int {
+	firstReady := -1
+	for i, r := range ch.Queue {
+		if !ch.BankReady(r, cycle) {
+			continue
+		}
+		if ch.IsRowHit(r) {
+			return i // first row hit in arrival order
+		}
+		if firstReady < 0 {
+			firstReady = i
+		}
+	}
+	return firstReady
+}

@@ -1,0 +1,332 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"emerald/internal/dram"
+	"emerald/internal/geom"
+	"emerald/internal/gl"
+	"emerald/internal/gpu"
+	"emerald/internal/mathx"
+	"emerald/internal/shader"
+	"emerald/internal/stats"
+)
+
+// CS2Renderer drives Case Study II: frames of one workload on the
+// standalone Table 7 GPU, with the work-tile granularity adjustable
+// between frames.
+type CS2Renderer struct {
+	S     *gpu.Standalone
+	Ctx   *gl.Context
+	Scene *geom.Scene
+	Reg   *stats.Registry
+
+	mesh   gl.MeshHandle
+	frame  int
+	aspect float32
+	budget uint64
+}
+
+// NewCS2Renderer builds the standalone system for one workload.
+func NewCS2Renderer(scene *geom.Scene, opt Options) (*CS2Renderer, error) {
+	reg := stats.NewRegistry()
+	s := gpu.NewStandalone(gpu.CaseStudyIIConfig(), dram.Config{
+		Geometry: dram.LPDDR3Geometry(4),
+		Timing:   dram.LPDDR3Timing(1600),
+	}, reg)
+	ctx := gl.NewContext(s.Mem(), 0x1000_0000, 256<<20)
+	ctx.Submit = func(call *gpu.DrawCall) error { return s.GPU.SubmitDraw(call, nil) }
+	ctx.OnClearDepth = s.GPU.ClearHiZ
+
+	r := &CS2Renderer{
+		S: s, Ctx: ctx, Scene: scene, Reg: reg,
+		aspect: float32(opt.CS2Width) / float32(opt.CS2Height),
+		budget: opt.BudgetCycles,
+	}
+	ctx.Viewport(opt.CS2Width, opt.CS2Height)
+	var err error
+	if r.mesh, err = ctx.UploadMesh(scene.Mesh); err != nil {
+		return nil, err
+	}
+	tex, err := ctx.UploadTexture(scene.Texture)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.BindTexture(0, tex); err != nil {
+		return nil, err
+	}
+	fs := shader.FSTexturedEarlyZ
+	if scene.Translucent {
+		fs = shader.FSTexturedBlend
+		ctx.Enable(gl.Blend)
+		ctx.DepthMask(false)
+		ctx.SetAlpha(0.6)
+	}
+	if err := ctx.UseProgram(shader.VSTransform, fs); err != nil {
+		return nil, err
+	}
+	ctx.SetLight(mathx.V3(0.4, 0.5, 0.8).Normalize())
+	return r, nil
+}
+
+// RenderFrame renders the next frame at the given WT size and returns
+// its execution cycles. advance controls whether the camera moves
+// (temporal coherence) or the same frame is re-rendered (WT sweeps).
+func (r *CS2Renderer) RenderFrame(wt int, advance bool) (uint64, error) {
+	r.S.GPU.SetWT(wt)
+	r.Ctx.Clear(0xFF101020, true)
+	r.Ctx.SetMVP(r.Scene.MVP(r.frame, r.aspect))
+	start := r.S.Cycle()
+	if err := r.Ctx.DrawMesh(r.mesh); err != nil {
+		return 0, err
+	}
+	if _, err := r.S.RunUntilIdle(r.budget); err != nil {
+		return 0, err
+	}
+	if advance {
+		r.frame++
+	}
+	return r.S.Cycle() - start, nil
+}
+
+// missSum sums a per-core L1 miss counter across every GPU core.
+func (r *CS2Renderer) missSum(cacheName string) int64 {
+	var sum int64
+	for _, n := range r.Reg.Names() {
+		if strings.Contains(n, "."+cacheName+".misses") {
+			sum += r.Reg.Value(strings.TrimPrefix(n, ""))
+		}
+	}
+	return sum
+}
+
+// WTSweep renders the same frame once per WT size in [1, maxWT] and
+// returns per-WT execution cycles (after one warmup render).
+func (r *CS2Renderer) WTSweep(maxWT int) ([]uint64, error) {
+	if _, err := r.RenderFrame(1, false); err != nil { // warmup
+		return nil, err
+	}
+	out := make([]uint64, maxWT)
+	for wt := 1; wt <= maxWT; wt++ {
+		c, err := r.RenderFrame(wt, false)
+		if err != nil {
+			return nil, err
+		}
+		out[wt-1] = c
+	}
+	return out, nil
+}
+
+// Fig17 reproduces Figure 17: frame execution time for WT sizes 1..MaxWT
+// per workload, normalized to WT=1.
+func Fig17(opt Options, workloads []int) (*stats.Table, error) {
+	if len(workloads) == 0 {
+		workloads = allWorkloads()
+	}
+	headers := []string{"workload"}
+	for wt := 1; wt <= opt.MaxWT; wt++ {
+		headers = append(headers, fmt.Sprintf("WT%d", wt))
+	}
+	t := stats.NewTable("Figure 17: frame time vs WT size (normalized to WT=1)", headers...)
+	for _, w := range workloads {
+		scene, err := geom.DFSLWorkload(w)
+		if err != nil {
+			return nil, err
+		}
+		r, err := NewCS2Renderer(scene, opt)
+		if err != nil {
+			return nil, err
+		}
+		times, err := r.WTSweep(opt.MaxWT)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", scene.Name, err)
+		}
+		row := []any{scene.Name}
+		for _, c := range times {
+			row = append(row, float64(c)/float64(times[0]))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig18 reproduces Figure 18: W1 execution time and L1 cache misses
+// (color=L1D, texture=L1T, depth=L1Z) versus WT size, normalized to
+// WT=1.
+func Fig18(opt Options) (*stats.Table, error) {
+	scene, err := geom.DFSLWorkload(geom.W1Sibenik)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 18: W1 execution time and L1 misses vs WT (normalized to WT=1)",
+		"WT", "exec_time", "color_misses", "texture_misses", "depth_misses")
+
+	var base [4]float64
+	for wt := 1; wt <= opt.MaxWT; wt++ {
+		// Fresh system per WT so cache-miss counters are isolated.
+		r, err := NewCS2Renderer(scene, opt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.RenderFrame(wt, false); err != nil { // warmup
+			return nil, err
+		}
+		d0 := [3]int64{r.missSum("l1d"), r.missSum("l1t"), r.missSum("l1z")}
+		cycles, err := r.RenderFrame(wt, false)
+		if err != nil {
+			return nil, err
+		}
+		vals := [4]float64{
+			float64(cycles),
+			float64(r.missSum("l1d") - d0[0]),
+			float64(r.missSum("l1t") - d0[1]),
+			float64(r.missSum("l1z") - d0[2]),
+		}
+		if wt == 1 {
+			base = vals
+		}
+		norm := func(i int) float64 {
+			if base[i] == 0 {
+				return 0
+			}
+			return vals[i] / base[i]
+		}
+		t.AddRow(wt, norm(0), norm(1), norm(2), norm(3))
+	}
+	return t, nil
+}
+
+// DFSLPolicy identifies a Figure 19 configuration.
+type DFSLPolicy int
+
+// Figure 19 policies.
+const (
+	MLB  DFSLPolicy = iota // maximum load balance: WT=1
+	MLC                    // maximum locality: WT=MaxWT
+	SOPT                   // static best-average WT across workloads
+	DFSL                   // the dynamic controller (Algorithm 1)
+)
+
+func (p DFSLPolicy) String() string {
+	return [...]string{"MLB", "MLC", "SOPT", "DFSL"}[p]
+}
+
+// Fig19 reproduces Figure 19: average frame time under MLB / MLC / SOPT
+// / DFSL per workload, reported as speedup normalized to MLB (paper:
+// DFSL ~+19% over MLB, ~+7.3% over SOPT).
+func Fig19(opt Options, workloads []int) (*stats.Table, map[int]map[DFSLPolicy]float64, error) {
+	if len(workloads) == 0 {
+		workloads = allWorkloads()
+	}
+	// Pass 1: per-workload WT sweeps to determine SOPT.
+	sweeps := make(map[int][]uint64)
+	for _, w := range workloads {
+		scene, err := geom.DFSLWorkload(w)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := NewCS2Renderer(scene, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		times, err := r.WTSweep(opt.MaxWT)
+		if err != nil {
+			return nil, nil, err
+		}
+		sweeps[w] = times
+	}
+	sopt := 1
+	best := 0.0
+	for wt := 1; wt <= opt.MaxWT; wt++ {
+		sum := 0.0
+		for _, times := range sweeps {
+			sum += float64(times[wt-1]) / float64(times[0])
+		}
+		if sopt == 1 && wt == 1 || sum < best {
+			best = sum
+			sopt = wt
+		}
+	}
+
+	// Pass 2: run each policy over an identical frame sequence.
+	evalFrames := opt.MaxWT // DFSL evaluation phase length
+	totalFrames := evalFrames + opt.DFSLRunFrames
+
+	run := func(w int, policy DFSLPolicy) (float64, error) {
+		scene, err := geom.DFSLWorkload(w)
+		if err != nil {
+			return 0, err
+		}
+		r, err := NewCS2Renderer(scene, opt)
+		if err != nil {
+			return 0, err
+		}
+		ctrl := gpu.NewDFSL(1, opt.MaxWT, opt.DFSLRunFrames)
+		// One untimed warmup frame so cold caches do not contaminate the
+		// first evaluation phase (all policies get the same treatment).
+		if _, err := r.RenderFrame(1, true); err != nil {
+			return 0, err
+		}
+		var sum float64
+		for f := 0; f < totalFrames; f++ {
+			wt := 1
+			switch policy {
+			case MLB:
+				wt = 1
+			case MLC:
+				wt = opt.MaxWT
+			case SOPT:
+				wt = sopt
+			case DFSL:
+				wt = ctrl.NextWT()
+			}
+			cycles, err := r.RenderFrame(wt, true)
+			if err != nil {
+				return 0, err
+			}
+			if policy == DFSL {
+				ctrl.ObserveFrame(cycles)
+			}
+			sum += float64(cycles)
+		}
+		return sum / float64(totalFrames), nil
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 19: frame speedup vs MLB (SOPT=WT%d, eval %d + run %d frames)",
+			sopt, evalFrames, opt.DFSLRunFrames),
+		"workload", "MLB", "MLC", "SOPT", "DFSL")
+	raw := make(map[int]map[DFSLPolicy]float64)
+	for _, w := range workloads {
+		raw[w] = make(map[DFSLPolicy]float64)
+		var mlb float64
+		row := []any{workloadName(w)}
+		for _, p := range []DFSLPolicy{MLB, MLC, SOPT, DFSL} {
+			avg, err := run(w, p)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s/%s: %w", workloadName(w), p, err)
+			}
+			raw[w][p] = avg
+			if p == MLB {
+				mlb = avg
+			}
+			row = append(row, mlb/avg) // speedup vs MLB
+		}
+		t.AddRow(row...)
+	}
+	return t, raw, nil
+}
+
+func allWorkloads() []int {
+	return []int{geom.W1Sibenik, geom.W2Spot, geom.W3Cube,
+		geom.W4Suzanne, geom.W5SuzanneT, geom.W6Teapot}
+}
+
+func workloadName(w int) string {
+	s, err := geom.DFSLWorkload(w)
+	if err != nil {
+		return fmt.Sprintf("W%d", w)
+	}
+	return s.Name
+}

@@ -1,0 +1,223 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"emerald/internal/mathx"
+)
+
+// Scene bundles one renderable workload: geometry, texture, render state
+// and a camera path. Frame-to-frame the camera moves slightly — the
+// temporal coherence (Scherzer et al.) that DFSL exploits.
+type Scene struct {
+	Name        string
+	Mesh        *Mesh
+	Texture     *Texture
+	Translucent bool // enable blending (disables early-Z benefits)
+	// Eye/Center/Up at frame 0; the path orbits slowly.
+	Eye, Center, Up mathx.Vec3
+	FovY            float32
+	Near, Far       float32
+	// OrbitPerFrame is the camera orbit step in radians per frame.
+	OrbitPerFrame float32
+}
+
+// ViewProj returns the view and projection matrices for a frame index
+// at the given aspect ratio.
+func (s *Scene) ViewProj(frame int, aspect float32) (view, proj mathx.Mat4) {
+	angle := s.OrbitPerFrame * float32(frame)
+	rot := mathx.RotateY(angle)
+	eye4 := rot.MulVec(mathx.V4(s.Eye.X, s.Eye.Y, s.Eye.Z, 1))
+	view = mathx.LookAt(eye4.XYZ(), s.Center, s.Up)
+	proj = mathx.Perspective(s.FovY, aspect, s.Near, s.Far)
+	return view, proj
+}
+
+// MVP returns proj*view for a frame (the scenes use identity model
+// transforms; meshes are pre-placed in world space).
+func (s *Scene) MVP(frame int, aspect float32) mathx.Mat4 {
+	v, p := s.ViewProj(frame, aspect)
+	return p.Mul(v)
+}
+
+// DFSL workload identifiers (paper Table 8).
+const (
+	W1Sibenik  = iota + 1 // textured hall, high depth complexity
+	W2Spot                // textured organic model
+	W3Cube                // textured cube
+	W4Suzanne             // textured organic model
+	W5SuzanneT            // translucent Suzanne (blending on)
+	W6Teapot              // textured teapot
+)
+
+// DFSLWorkload builds one of the paper's Case Study II workloads W1-W6.
+func DFSLWorkload(id int) (*Scene, error) {
+	switch id {
+	case W1Sibenik:
+		return &Scene{
+			Name:          "W1-sibenik",
+			Mesh:          Hall(6),
+			Texture:       Checker(256, 256, 8, [4]byte{200, 180, 150, 255}, [4]byte{90, 80, 70, 255}),
+			Eye:           mathx.V3(0, 2, 13),
+			Center:        mathx.V3(0, 1.8, 0),
+			Up:            mathx.V3(0, 1, 0),
+			FovY:          1.1,
+			Near:          0.3,
+			Far:           80,
+			OrbitPerFrame: 0.012,
+		}, nil
+	case W2Spot:
+		return &Scene{
+			Name:          "W2-spot",
+			Mesh:          Blob(28, 36, 11),
+			Texture:       Checker(256, 256, 16, [4]byte{240, 240, 240, 255}, [4]byte{30, 30, 30, 255}),
+			Eye:           mathx.V3(0.6, 0.8, 3.0),
+			Center:        mathx.V3(0, 0, 0),
+			Up:            mathx.V3(0, 1, 0),
+			FovY:          0.9,
+			Near:          0.3,
+			Far:           30,
+			OrbitPerFrame: 0.02,
+		}, nil
+	case W3Cube:
+		return &Scene{
+			Name:          "W3-cube",
+			Mesh:          Cube(),
+			Texture:       Noise(256, 256, 99),
+			Eye:           mathx.V3(1.2, 1.0, 1.6),
+			Center:        mathx.V3(0, 0, 0),
+			Up:            mathx.V3(0, 1, 0),
+			FovY:          0.8,
+			Near:          0.3,
+			Far:           20,
+			OrbitPerFrame: 0.02,
+		}, nil
+	case W4Suzanne:
+		return &Scene{
+			Name:          "W4-suzanne",
+			Mesh:          Blob(32, 44, 3),
+			Texture:       Gradient(256, 256, [4]byte{220, 120, 60, 255}, [4]byte{60, 80, 200, 255}),
+			Eye:           mathx.V3(-0.8, 0.4, 3.2),
+			Center:        mathx.V3(0, 0, 0),
+			Up:            mathx.V3(0, 1, 0),
+			FovY:          0.9,
+			Near:          0.3,
+			Far:           30,
+			OrbitPerFrame: 0.018,
+		}, nil
+	case W5SuzanneT:
+		s, _ := DFSLWorkload(W4Suzanne)
+		s.Name = "W5-suzanne-transparent"
+		s.Translucent = true
+		return s, nil
+	case W6Teapot:
+		return &Scene{
+			Name:          "W6-teapot",
+			Mesh:          Teapot(),
+			Texture:       Checker(256, 256, 12, [4]byte{255, 255, 255, 255}, [4]byte{180, 40, 40, 255}),
+			Eye:           mathx.V3(1.6, 1.3, 2.2),
+			Center:        mathx.V3(0, 0.5, 0),
+			Up:            mathx.V3(0, 1, 0),
+			FovY:          0.9,
+			Near:          0.3,
+			Far:           30,
+			OrbitPerFrame: 0.02,
+		}, nil
+	}
+	return nil, fmt.Errorf("geom: unknown DFSL workload %d", id)
+}
+
+// AllDFSLWorkloads returns W1..W6 in order.
+func AllDFSLWorkloads() []*Scene {
+	out := make([]*Scene, 0, 6)
+	for id := W1Sibenik; id <= W6Teapot; id++ {
+		s, err := DFSLWorkload(id)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SoC model identifiers (paper Table 6, Case Study I).
+const (
+	M1Chair = iota + 1
+	M2Cube
+	M3Mask
+	M4Triangles
+)
+
+// SoCModel builds one of the Case Study I Android-app models M1-M4.
+func SoCModel(id int) (*Scene, error) {
+	switch id {
+	case M1Chair:
+		return &Scene{
+			Name:          "M1-chair",
+			Mesh:          Chair(),
+			Texture:       Checker(128, 128, 8, [4]byte{160, 110, 60, 255}, [4]byte{120, 80, 40, 255}),
+			Eye:           mathx.V3(2.2, 2.0, 2.8),
+			Center:        mathx.V3(0, 0.6, 0),
+			Up:            mathx.V3(0, 1, 0),
+			FovY:          0.9,
+			Near:          0.3,
+			Far:           30,
+			OrbitPerFrame: 0.03,
+		}, nil
+	case M2Cube:
+		s, err := DFSLWorkload(W3Cube)
+		if err != nil {
+			return nil, err
+		}
+		s.Name = "M2-cube"
+		s.OrbitPerFrame = 0.03
+		return s, nil
+	case M3Mask:
+		return &Scene{
+			Name:          "M3-mask",
+			Mesh:          Mask(),
+			Texture:       Noise(256, 256, 7),
+			Eye:           mathx.V3(0, 0.3, 2.6),
+			Center:        mathx.V3(0, 0, 0),
+			Up:            mathx.V3(0, 1, 0),
+			FovY:          1.0,
+			Near:          0.3,
+			Far:           30,
+			OrbitPerFrame: 0.03,
+		}, nil
+	case M4Triangles:
+		return &Scene{
+			Name:          "M4-triangles",
+			Mesh:          TriangleFan(12),
+			Texture:       Gradient(64, 64, [4]byte{255, 0, 0, 255}, [4]byte{0, 0, 255, 255}),
+			Eye:           mathx.V3(0, 0, 2.4),
+			Center:        mathx.V3(0, 0, 0),
+			Up:            mathx.V3(0, 1, 0),
+			FovY:          0.9,
+			Near:          0.3,
+			Far:           20,
+			OrbitPerFrame: 0.03,
+		}, nil
+	}
+	return nil, fmt.Errorf("geom: unknown SoC model %d", id)
+}
+
+// AllSoCModels returns M1..M4 in order.
+func AllSoCModels() []*Scene {
+	out := make([]*Scene, 0, 4)
+	for id := M1Chair; id <= M4Triangles; id++ {
+		s, err := SoCModel(id)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// OrbitEye is a helper for examples: a camera orbiting at radius r,
+// height h, angle a.
+func OrbitEye(r, h float32, a float32) mathx.Vec3 {
+	return mathx.V3(r*float32(math.Cos(float64(a))), h, r*float32(math.Sin(float64(a))))
+}

@@ -1,0 +1,282 @@
+package geom
+
+import (
+	"math"
+
+	"emerald/internal/mathx"
+)
+
+// Cube returns a unit cube centered at the origin with per-face UVs.
+func Cube() *Mesh {
+	m := &Mesh{}
+	// Each face: 4 vertices, 2 triangles. n = outward normal,
+	// u/v = in-plane tangents.
+	faces := []struct{ n, u, v mathx.Vec3 }{
+		{mathx.V3(0, 0, 1), mathx.V3(1, 0, 0), mathx.V3(0, 1, 0)},
+		{mathx.V3(0, 0, -1), mathx.V3(-1, 0, 0), mathx.V3(0, 1, 0)},
+		{mathx.V3(1, 0, 0), mathx.V3(0, 0, -1), mathx.V3(0, 1, 0)},
+		{mathx.V3(-1, 0, 0), mathx.V3(0, 0, 1), mathx.V3(0, 1, 0)},
+		{mathx.V3(0, 1, 0), mathx.V3(1, 0, 0), mathx.V3(0, 0, -1)},
+		{mathx.V3(0, -1, 0), mathx.V3(1, 0, 0), mathx.V3(0, 0, 1)},
+	}
+	for _, f := range faces {
+		base := uint32(len(m.Positions))
+		for i := 0; i < 4; i++ {
+			su := float32(i&1)*2 - 1
+			sv := float32(i>>1)*2 - 1
+			p := f.n.Add(f.u.Scale(su)).Add(f.v.Scale(sv)).Scale(0.5)
+			m.Positions = append(m.Positions, p)
+			m.Normals = append(m.Normals, f.n)
+			m.UVs = append(m.UVs, mathx.V2(float32(i&1), float32(i>>1)))
+		}
+		m.Indices = append(m.Indices, base, base+1, base+2, base+1, base+3, base+2)
+	}
+	return m
+}
+
+// Plane returns a unit XZ plane at y=0 subdivided n x n.
+func Plane(n int) *Mesh {
+	if n < 1 {
+		n = 1
+	}
+	m := &Mesh{}
+	for j := 0; j <= n; j++ {
+		for i := 0; i <= n; i++ {
+			u := float32(i) / float32(n)
+			v := float32(j) / float32(n)
+			m.Positions = append(m.Positions, mathx.V3(u-0.5, 0, v-0.5))
+			m.Normals = append(m.Normals, mathx.V3(0, 1, 0))
+			m.UVs = append(m.UVs, mathx.V2(u, v))
+		}
+	}
+	stride := uint32(n + 1)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			a := uint32(j)*stride + uint32(i)
+			m.Indices = append(m.Indices,
+				a, a+1, a+stride,
+				a+1, a+stride+1, a+stride)
+		}
+	}
+	return m
+}
+
+// UVSphere returns a unit-radius sphere with the given rings and
+// segments.
+func UVSphere(rings, segs int) *Mesh {
+	if rings < 2 {
+		rings = 2
+	}
+	if segs < 3 {
+		segs = 3
+	}
+	m := &Mesh{}
+	for r := 0; r <= rings; r++ {
+		phi := math.Pi * float64(r) / float64(rings)
+		for s := 0; s <= segs; s++ {
+			theta := 2 * math.Pi * float64(s) / float64(segs)
+			p := mathx.V3(
+				float32(math.Sin(phi)*math.Cos(theta)),
+				float32(math.Cos(phi)),
+				float32(math.Sin(phi)*math.Sin(theta)))
+			m.Positions = append(m.Positions, p)
+			m.Normals = append(m.Normals, p)
+			m.UVs = append(m.UVs, mathx.V2(float32(s)/float32(segs), float32(r)/float32(rings)))
+		}
+	}
+	stride := uint32(segs + 1)
+	for r := 0; r < rings; r++ {
+		for s := 0; s < segs; s++ {
+			a := uint32(r)*stride + uint32(s)
+			m.Indices = append(m.Indices,
+				a, a+stride, a+1,
+				a+1, a+stride, a+stride+1)
+		}
+	}
+	return m
+}
+
+// Torus returns a torus with major radius R, minor radius r.
+func Torus(R, r float32, majorSegs, minorSegs int) *Mesh {
+	m := &Mesh{}
+	for i := 0; i <= majorSegs; i++ {
+		a := 2 * math.Pi * float64(i) / float64(majorSegs)
+		ca, sa := float32(math.Cos(a)), float32(math.Sin(a))
+		for j := 0; j <= minorSegs; j++ {
+			b := 2 * math.Pi * float64(j) / float64(minorSegs)
+			cb, sb := float32(math.Cos(b)), float32(math.Sin(b))
+			p := mathx.V3((R+r*cb)*ca, r*sb, (R+r*cb)*sa)
+			n := mathx.V3(cb*ca, sb, cb*sa)
+			m.Positions = append(m.Positions, p)
+			m.Normals = append(m.Normals, n)
+			m.UVs = append(m.UVs, mathx.V2(float32(i)/float32(majorSegs), float32(j)/float32(minorSegs)))
+		}
+	}
+	stride := uint32(minorSegs + 1)
+	for i := 0; i < majorSegs; i++ {
+		for j := 0; j < minorSegs; j++ {
+			a := uint32(i)*stride + uint32(j)
+			m.Indices = append(m.Indices,
+				a, a+stride, a+1,
+				a+1, a+stride, a+stride+1)
+		}
+	}
+	return m
+}
+
+// Lathe revolves a 2D profile (x = radius, y = height) around the Y axis.
+func Lathe(profile []mathx.Vec2, segs int) *Mesh {
+	if segs < 3 {
+		segs = 3
+	}
+	m := &Mesh{}
+	n := len(profile)
+	for i := 0; i < n; i++ {
+		for s := 0; s <= segs; s++ {
+			theta := 2 * math.Pi * float64(s) / float64(segs)
+			c, sn := float32(math.Cos(theta)), float32(math.Sin(theta))
+			m.Positions = append(m.Positions, mathx.V3(profile[i].X*c, profile[i].Y, profile[i].X*sn))
+			m.UVs = append(m.UVs, mathx.V2(float32(s)/float32(segs), float32(i)/float32(n-1)))
+		}
+	}
+	stride := uint32(segs + 1)
+	for i := 0; i < n-1; i++ {
+		for s := 0; s < segs; s++ {
+			a := uint32(i)*stride + uint32(s)
+			m.Indices = append(m.Indices,
+				a, a+stride, a+1,
+				a+1, a+stride, a+stride+1)
+		}
+	}
+	m.ComputeNormals()
+	return m
+}
+
+// Teapot returns a teapot-like lathe body with a handle torus and spout
+// cone — a procedural stand-in for the Utah teapot with comparable
+// triangle count and silhouette (curved body, protrusions).
+func Teapot() *Mesh {
+	profile := []mathx.Vec2{
+		{X: 0.01, Y: 0.0},
+		{X: 0.55, Y: 0.02},
+		{X: 0.72, Y: 0.18},
+		{X: 0.80, Y: 0.42},
+		{X: 0.74, Y: 0.65},
+		{X: 0.55, Y: 0.82},
+		{X: 0.32, Y: 0.90},
+		{X: 0.18, Y: 0.92},
+		{X: 0.10, Y: 1.00},
+		{X: 0.16, Y: 1.08},
+		{X: 0.01, Y: 1.12},
+	}
+	body := Lathe(profile, 24)
+	// Handle: half torus on the side.
+	handle := Torus(0.28, 0.05, 16, 8)
+	handle.Transform(mathx.Translate(-0.85, 0.5, 0).Mul(mathx.RotateY(math.Pi / 2)))
+	body.Append(handle)
+	// Spout: small lathed cone, tilted.
+	spout := Lathe([]mathx.Vec2{{X: 0.12, Y: 0}, {X: 0.07, Y: 0.3}, {X: 0.05, Y: 0.55}}, 10)
+	spout.Transform(mathx.Translate(0.85, 0.45, 0).Mul(mathx.RotateZ(-0.9)))
+	body.Append(spout)
+	return body
+}
+
+// Blob returns a deformed sphere: the stand-in for organic models (Spot
+// the cow, Suzanne) — smooth curvature, uneven silhouette, dense
+// mid-screen fragment load.
+func Blob(rings, segs int, seed uint32) *Mesh {
+	m := UVSphere(rings, segs)
+	for i, p := range m.Positions {
+		// Deterministic lumpy displacement from low-frequency trig noise.
+		d := 1 +
+			0.22*float32(math.Sin(float64(p.X*3)+float64(seed))) +
+			0.18*float32(math.Sin(float64(p.Y*4)+2*float64(seed))) +
+			0.12*float32(math.Cos(float64(p.Z*5)))
+		m.Positions[i] = p.Scale(d)
+	}
+	m.ComputeNormals()
+	return m
+}
+
+// Hall returns an interior scene: a long hall with rows of columns — the
+// stand-in for the Sibenik cathedral. It produces high depth complexity
+// (columns occlude each other and the walls) and a very uneven
+// screen-space fragment distribution (perspective convergence).
+func Hall(columnsPerSide int) *Mesh {
+	m := &Mesh{}
+	// Floor, ceiling, two walls: scaled planes.
+	floor := Plane(8)
+	floor.Transform(mathx.ScaleM(8, 1, 30))
+	m.Append(floor)
+	ceil := Plane(8)
+	ceil.Transform(mathx.Translate(0, 4, 0).Mul(mathx.ScaleM(8, 1, 30)))
+	m.Append(ceil)
+	for side := -1; side <= 1; side += 2 {
+		wall := Plane(8)
+		wall.Transform(
+			mathx.Translate(float32(side)*4, 2, 0).
+				Mul(mathx.RotateZ(float32(side) * math.Pi / 2)).
+				Mul(mathx.ScaleM(4, 1, 30)))
+		m.Append(wall)
+		// Columns: lathed cylinders with capitals.
+		for i := 0; i < columnsPerSide; i++ {
+			col := Lathe([]mathx.Vec2{
+				{X: 0.35, Y: 0}, {X: 0.25, Y: 0.3}, {X: 0.22, Y: 3.2},
+				{X: 0.38, Y: 3.6}, {X: 0.42, Y: 4.0},
+			}, 10)
+			z := -12 + float32(i)*(24/float32(columnsPerSide-1))
+			col.Transform(mathx.Translate(float32(side)*2.6, 0, z))
+			m.Append(col)
+		}
+	}
+	return m
+}
+
+// TriangleFan returns n large screen-covering triangles — the stand-in
+// for the "Triangles" micro-model (M4): trivial geometry, high fill.
+func TriangleFan(n int) *Mesh {
+	m := &Mesh{}
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		b := 2 * math.Pi * float64(i+1) / float64(n)
+		base := uint32(len(m.Positions))
+		m.Positions = append(m.Positions,
+			mathx.V3(0, 0, float32(i)*0.01),
+			mathx.V3(float32(math.Cos(a)), float32(math.Sin(a)), float32(i)*0.01),
+			mathx.V3(float32(math.Cos(b)), float32(math.Sin(b)), float32(i)*0.01),
+		)
+		for k := 0; k < 3; k++ {
+			m.Normals = append(m.Normals, mathx.V3(0, 0, 1))
+		}
+		m.UVs = append(m.UVs, mathx.V2(0.5, 0.5), mathx.V2(1, 0), mathx.V2(0, 1))
+		m.Indices = append(m.Indices, base, base+1, base+2)
+	}
+	return m
+}
+
+// Chair returns a simple chair built from boxes — the stand-in for the
+// "Chair" SoC model (M1): moderate geometry, large screen coverage.
+func Chair() *Mesh {
+	m := &Mesh{}
+	box := func(sx, sy, sz, tx, ty, tz float32) {
+		b := Cube()
+		b.Transform(mathx.Translate(tx, ty, tz).Mul(mathx.ScaleM(sx, sy, sz)))
+		m.Append(b)
+	}
+	box(1.0, 0.1, 1.0, 0, 0.5, 0)     // seat
+	box(1.0, 1.0, 0.1, 0, 1.0, -0.45) // back
+	for _, dx := range []float32{-0.4, 0.4} {
+		for _, dz := range []float32{-0.4, 0.4} {
+			box(0.1, 0.5, 0.1, dx, 0.25, dz) // legs
+		}
+	}
+	return m
+}
+
+// Mask returns a face-like relief: a dense blob flattened in Z — the
+// stand-in for the "Mask" SoC model (M3): the heaviest of the four.
+func Mask() *Mesh {
+	m := Blob(48, 64, 5)
+	m.Transform(mathx.ScaleM(1.1, 1.3, 0.45))
+	return m
+}

@@ -1,0 +1,105 @@
+// Package gpu assembles the full Emerald GPU (paper Figures 4-7): SIMT
+// clusters built from simt.Cores, the shared L2 with its atomic unit,
+// the GPU interconnect, the graphics pipeline front end (vertex batch
+// distribution, primitive assembly, clipping, the VPO primitive
+// distribution with PMRB ordering), the per-cluster raster pipelines
+// (setup, coarse/fine raster, Hi-Z, tile coalescing), fragment-warp
+// launch with in-shader raster operations, GPGPU kernel dispatch on the
+// same cores (the "unified" model), and the DFSL controller of Case
+// Study II.
+package gpu
+
+import (
+	"emerald/internal/cache"
+	"emerald/internal/gfx"
+	"emerald/internal/simt"
+)
+
+// Config describes a GPU instance.
+type Config struct {
+	Clusters        int
+	CoresPerCluster int
+	Core            simt.CoreConfig
+	L2              cache.Config
+
+	// NoC between the clusters and the L2.
+	NoCLatency uint64
+	NoCWidth   int
+
+	TC gfx.TCConfig
+	// HiZ enables the Hierarchical-Z stage.
+	HiZ bool
+	// WT is the initial work-tile granularity (Case Study II's knob).
+	WT int
+
+	// RasterThroughput is raster tiles processed per cluster per cycle
+	// (Table 7: 1).
+	RasterThroughput int
+	// MaskLatency models VPO primitive-mask transport between clusters.
+	MaskLatency uint64
+	// VertexWindow bounds un-assembled vertex warps in flight (the
+	// PMRB-space deadlock-avoidance credit of §3.3.4).
+	VertexWindow int
+
+	// OVB (output vertex buffer) region for vertex shading results
+	// (Table 5: 36 KB).
+	OVBBase uint64
+	OVBSize uint64
+}
+
+// CaseStudyIConfig returns the SoC GPU of Table 5: 4 SIMT cores (one
+// cluster), 128 KB shared L2.
+func CaseStudyIConfig() Config {
+	core := simt.DefaultCoreConfig()
+	core.L1D.SizeBytes = 16 * 1024
+	core.L1T.SizeBytes = 64 * 1024
+	core.L1Z.SizeBytes = 32 * 1024
+	return Config{
+		Clusters:        1,
+		CoresPerCluster: 4,
+		Core:            core,
+		L2: cache.Config{
+			SizeBytes: 128 * 1024, LineBytes: 128, Ways: 8,
+			HitLatency: 60, MSHRs: 64, WriteBack: true, Allocate: true,
+		},
+		NoCLatency:       4,
+		NoCWidth:         2,
+		TC:               gfx.DefaultTCConfig(),
+		HiZ:              true,
+		WT:               1,
+		RasterThroughput: 1,
+		MaskLatency:      6,
+		VertexWindow:     16,
+		OVBBase:          0x4000_0000,
+		OVBSize:          36 * 1024,
+	}
+}
+
+// CaseStudyIIConfig returns the standalone GPU of Table 7: 6 SIMT
+// clusters (192 lanes), 2 MB 32-way L2, 2 TC engines x 4 bins per
+// cluster.
+func CaseStudyIIConfig() Config {
+	core := simt.DefaultCoreConfig()
+	return Config{
+		Clusters:        6,
+		CoresPerCluster: 1,
+		Core:            core,
+		L2: cache.Config{
+			SizeBytes: 2 * 1024 * 1024, LineBytes: 128, Ways: 32,
+			HitLatency: 60, MSHRs: 128, WriteBack: true, Allocate: true,
+		},
+		NoCLatency:       4,
+		NoCWidth:         4,
+		TC:               gfx.DefaultTCConfig(),
+		HiZ:              true,
+		WT:               1,
+		RasterThroughput: 1,
+		MaskLatency:      6,
+		VertexWindow:     24,
+		OVBBase:          0x4000_0000,
+		OVBSize:          256 * 1024,
+	}
+}
+
+// TotalCores returns clusters x cores-per-cluster.
+func (c Config) TotalCores() int { return c.Clusters * c.CoresPerCluster }

@@ -1,0 +1,360 @@
+package gpu
+
+import (
+	"fmt"
+
+	"emerald/internal/gfx"
+	"emerald/internal/mem"
+	"emerald/internal/raster"
+	"emerald/internal/shader"
+	"emerald/internal/simt"
+)
+
+// TextureBinding points a texture unit at an RGBA8 image in simulated
+// memory.
+type TextureBinding struct {
+	Base          uint64
+	Width, Height int
+	// Bilinear enables 2x2 bilinear filtering (4 texel reads through
+	// L1T per sample) instead of nearest (1 read) — the detailed
+	// filtering model called out in paper §3.5.
+	Bilinear bool
+}
+
+// Addr returns the texel address for integer coordinates, wrapping
+// (GL_REPEAT).
+func (t TextureBinding) Addr(tx, ty int) uint64 {
+	tx = ((tx % t.Width) + t.Width) % t.Width
+	ty = ((ty % t.Height) + t.Height) % t.Height
+	return t.Base + uint64(ty*t.Width+tx)*4
+}
+
+// DrawCall is one fully bound draw: programs, geometry, state and render
+// targets. The GL layer builds these.
+type DrawCall struct {
+	VS, FS *shader.Program
+
+	VertexBase   uint64
+	VertexStride uint32
+	// AttrOffsets maps vertex input slot -> (byte offset, float count).
+	AttrOffsets [][2]uint32
+
+	Indices []uint32
+	Mode    raster.PrimMode
+
+	UniformBase uint64
+	Textures    []TextureBinding
+
+	Color, Depth gfx.Surface
+
+	DepthTest, DepthWrite, Blend, CullBack bool
+
+	Viewport raster.Viewport
+}
+
+// Validate checks the call is well formed.
+func (c *DrawCall) Validate() error {
+	switch {
+	case c.VS == nil || c.VS.Kind != shader.KindVertex:
+		return fmt.Errorf("gpu: draw needs a vertex shader")
+	case c.FS == nil || c.FS.Kind != shader.KindFragment:
+		return fmt.Errorf("gpu: draw needs a fragment shader")
+	case len(c.Indices) < 3:
+		return fmt.Errorf("gpu: draw needs at least 3 indices")
+	case c.Viewport.Width <= 0 || c.Viewport.Height <= 0:
+		return fmt.Errorf("gpu: empty viewport")
+	case c.VS.InSlots > len(c.AttrOffsets):
+		return fmt.Errorf("gpu: vertex shader reads %d attribute slots, %d bound",
+			c.VS.InSlots, len(c.AttrOffsets))
+	case c.FS.Units > len(c.Textures):
+		return fmt.Errorf("gpu: fragment shader samples %d units, %d bound",
+			c.FS.Units, len(c.Textures))
+	}
+	return nil
+}
+
+// vertexBatch is one vertex warp's worth of index-stream positions
+// (paper §3.3.3: overlapped vertex warps sized so primitives never span
+// warps).
+type vertexBatch struct {
+	positions []int // index-stream positions, one per lane
+	tris      []int // triangle ids (into drawState.tris) assembled here
+	results   [simt.WarpSize]raster.Vertex
+	completed bool
+	launched  bool
+}
+
+// batchStep is the number of fresh index positions per vertex warp; the
+// remaining lanes hold topology-dependent overlap.
+const batchStep = 30
+
+// buildBatches splits the draw's index stream into vertex warps and
+// assigns every assembled triangle to the single warp containing all
+// three of its vertices.
+func buildBatches(call *DrawCall) []*vertexBatch {
+	n := len(call.Indices)
+	var batches []*vertexBatch
+	addBatch := func(positions []int) *vertexBatch {
+		b := &vertexBatch{positions: positions}
+		batches = append(batches, b)
+		return b
+	}
+	switch call.Mode {
+	case raster.Triangles:
+		for s := 0; s < n; s += batchStep {
+			end := s + batchStep
+			if end > n {
+				end = n
+			}
+			pos := make([]int, 0, end-s)
+			for p := s; p < end; p++ {
+				pos = append(pos, p)
+			}
+			addBatch(pos)
+		}
+		for k := 0; k*3+2 < n; k++ {
+			b := (k * 3) / batchStep
+			batches[b].tris = append(batches[b].tris, k)
+		}
+	case raster.TriangleStrip:
+		for s := 0; s < n-2; s += batchStep {
+			end := s + batchStep + 2 // 2-vertex overlap
+			if end > n {
+				end = n
+			}
+			pos := make([]int, 0, end-s)
+			for p := s; p < end; p++ {
+				pos = append(pos, p)
+			}
+			addBatch(pos)
+		}
+		for k := 0; k+2 < n; k++ {
+			b := k / batchStep
+			batches[b].tris = append(batches[b].tris, k)
+		}
+	case raster.TriangleFan:
+		for s := 1; s < n-1; s += batchStep {
+			end := s + batchStep + 1 // +1 so triangle (0, s+29, s+30) fits
+			if end > n {
+				end = n
+			}
+			pos := make([]int, 0, end-s+1)
+			pos = append(pos, 0) // hub vertex replicated per warp
+			for p := s; p < end; p++ {
+				pos = append(pos, p)
+			}
+			addBatch(pos)
+		}
+		for k := 0; k+2 < n; k++ {
+			b := k / batchStep
+			batches[b].tris = append(batches[b].tris, k)
+		}
+	}
+	return batches
+}
+
+// laneOf returns the lane within batch b holding index-stream position
+// p, or -1.
+func (b *vertexBatch) laneOf(p int) int {
+	for i, q := range b.positions {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// triPositions returns the 3 index-stream positions of triangle k under
+// the draw's topology (winding corrected for strips).
+func triPositions(mode raster.PrimMode, k int) [3]int {
+	switch mode {
+	case raster.TriangleStrip:
+		if k%2 == 1 {
+			return [3]int{k + 1, k, k + 2}
+		}
+		return [3]int{k, k + 1, k + 2}
+	case raster.TriangleFan:
+		return [3]int{0, k + 1, k + 2}
+	}
+	return [3]int{k * 3, k*3 + 1, k*3 + 2}
+}
+
+// vsEnv is the warp environment for vertex shading: attribute fetch from
+// the vertex buffer (timed via L1C), outputs to the batch record and the
+// L2-backed output vertex buffer.
+type vsEnv struct {
+	g        *GPU
+	d        *drawState
+	b        *vertexBatch
+	batchIdx int
+}
+
+func (e *vsEnv) AttrIn(lane, slot int) ([4]float32, uint64) {
+	var out [4]float32
+	if lane >= len(e.b.positions) || slot >= len(e.d.call.AttrOffsets) {
+		return out, 0
+	}
+	idx := e.d.call.Indices[e.b.positions[lane]]
+	off := e.d.call.AttrOffsets[slot][0]
+	count := e.d.call.AttrOffsets[slot][1]
+	addr := e.d.call.VertexBase + uint64(idx)*uint64(e.d.call.VertexStride) + uint64(off)
+	for i := 0; i < int(count) && i < 4; i++ {
+		out[i] = e.g.Mem.ReadF32(addr + uint64(i)*4)
+	}
+	if slot == 0 && count < 4 {
+		out[3] = 1 // homogeneous position
+	}
+	return out, addr
+}
+
+// ovbRecordBytes is the per-vertex output record: clip position plus
+// MaxVaryings vec4s.
+const ovbRecordBytes = 16 * (1 + raster.MaxVaryings)
+
+// ovbAddr returns the output-vertex-buffer slot address of (batch, lane,
+// slot); the 36 KB buffer wraps (Table 5 sizes it for ~9K vertices).
+func (e *vsEnv) ovbAddr(lane, slot int) uint64 {
+	rec := uint64(e.batchIdx*simt.WarpSize+lane) * ovbRecordBytes
+	return e.g.Cfg.OVBBase + (rec+uint64(slot)*16)%e.g.Cfg.OVBSize
+}
+
+func (e *vsEnv) OutWrite(lane, slot int, val [4]float32) uint64 {
+	if lane >= len(e.b.positions) {
+		return 0
+	}
+	if slot == 0 {
+		e.b.results[lane].Clip.X = val[0]
+		e.b.results[lane].Clip.Y = val[1]
+		e.b.results[lane].Clip.Z = val[2]
+		e.b.results[lane].Clip.W = val[3]
+	} else if slot-1 < raster.MaxVaryings {
+		e.b.results[lane].Attrs[slot-1] = val
+	}
+	return e.ovbAddr(lane, slot)
+}
+
+func (e *vsEnv) Tex(lane, unit int, u, v float32) ([4]float32, [4]uint64) {
+	return e.g.sampleTexture(e.d.call, unit, u, v)
+}
+func (e *vsEnv) ZAddr(int) uint64    { return 0 }
+func (e *vsEnv) CAddr(int) uint64    { return 0 }
+func (e *vsEnv) ConstBase() uint64   { return e.d.call.UniformBase }
+func (e *vsEnv) SharedMem() []byte   { return nil }
+func (e *vsEnv) Memory() *mem.Memory { return e.g.Mem }
+func (e *vsEnv) Retired(w *simt.Warp) {
+	e.b.completed = true
+	e.d.vsOutstanding--
+}
+
+// fsEnv is the warp environment for fragment shading: varyings from the
+// attribute planes, textures via L1T, in-shader ROP addresses on the
+// bound surfaces.
+type fsEnv struct {
+	g     *GPU
+	d     *drawState
+	task  *tileTask
+	frags []raster.Fragment // one per lane
+}
+
+func (e *fsEnv) AttrIn(lane, slot int) ([4]float32, uint64) {
+	var out [4]float32
+	if lane >= len(e.frags) || slot < 1 || slot-1 >= raster.MaxVaryings {
+		return out, 0
+	}
+	f := e.frags[lane]
+	return f.Tri.AttrAt(slot-1, f.L0, f.L1, f.L2), 0
+}
+
+func (e *fsEnv) OutWrite(lane, slot int, val [4]float32) uint64 { return 0 }
+
+func (e *fsEnv) Tex(lane, unit int, u, v float32) ([4]float32, [4]uint64) {
+	return e.g.sampleTexture(e.d.call, unit, u, v)
+}
+
+func (e *fsEnv) ZAddr(lane int) uint64 {
+	if lane >= len(e.frags) {
+		return e.d.call.Depth.Base
+	}
+	f := e.frags[lane]
+	return e.d.call.Depth.Addr(f.X, f.Y)
+}
+
+func (e *fsEnv) CAddr(lane int) uint64 {
+	if lane >= len(e.frags) {
+		return e.d.call.Color.Base
+	}
+	f := e.frags[lane]
+	return e.d.call.Color.Addr(f.X, f.Y)
+}
+
+func (e *fsEnv) ConstBase() uint64   { return e.d.call.UniformBase }
+func (e *fsEnv) SharedMem() []byte   { return nil }
+func (e *fsEnv) Memory() *mem.Memory { return e.g.Mem }
+func (e *fsEnv) Retired(w *simt.Warp) {
+	e.task.warpRetired(len(e.frags))
+}
+
+// sampleTexture performs nearest or bilinear filtering with repeat
+// wrapping, returning the filtered color and the texel addresses read.
+func (g *GPU) sampleTexture(call *DrawCall, unit int, u, v float32) ([4]float32, [4]uint64) {
+	var out [4]float32
+	var addrs [4]uint64
+	if unit >= len(call.Textures) {
+		return out, addrs
+	}
+	t := call.Textures[unit]
+	uu := u - floor32(u) // repeat wrap
+	vv := v - floor32(v)
+
+	if !t.Bilinear {
+		tx := int(uu * float32(t.Width))
+		ty := int(vv * float32(t.Height))
+		if tx >= t.Width {
+			tx = t.Width - 1
+		}
+		if ty >= t.Height {
+			ty = t.Height - 1
+		}
+		addrs[0] = t.Addr(tx, ty)
+		r, gg, b, a := shader.UnpackRGBA8(g.Mem.ReadU32(addrs[0]))
+		return [4]float32{r, gg, b, a}, addrs
+	}
+
+	// Bilinear: sample the 2x2 footprint around the sample point.
+	fx := uu*float32(t.Width) - 0.5
+	fy := vv*float32(t.Height) - 0.5
+	x0 := int(floor32(fx))
+	y0 := int(floor32(fy))
+	wx := fx - float32(x0)
+	wy := fy - float32(y0)
+	n := 0
+	for dy := 0; dy < 2; dy++ {
+		for dx := 0; dx < 2; dx++ {
+			addr := t.Addr(x0+dx, y0+dy)
+			addrs[n] = addr
+			n++
+			r, gg, b, a := shader.UnpackRGBA8(g.Mem.ReadU32(addr))
+			wgt := (1 - absf(wx-float32(dx))) * (1 - absf(wy-float32(dy)))
+			out[0] += r * wgt
+			out[1] += gg * wgt
+			out[2] += b * wgt
+			out[3] += a * wgt
+		}
+	}
+	return out, addrs
+}
+
+func absf(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func floor32(x float32) float32 {
+	i := float32(int32(x))
+	if i > x {
+		return i - 1
+	}
+	return i
+}

@@ -1,0 +1,81 @@
+package gpu
+
+import "strings"
+
+// EnergyParams are per-event energy coefficients in picojoules — a
+// coarse, GPUWattch-inspired activity-counting model (the paper lists
+// "Emerald-compatible GPUWattch configurations" as future work; this
+// implements the activity-counter side so DFSL's energy motivation can
+// be quantified: shorter render time at equal work means less static
+// energy burned).
+type EnergyParams struct {
+	InstrPJ    float64 // per warp instruction issued
+	L1AccessPJ float64 // per L1 hit or miss (tag+data)
+	L2AccessPJ float64 // per L2 hit or miss
+	NoCFlitPJ  float64 // per flit transferred on the GPU NoC
+	DRAMBytePJ float64 // per byte moved at DRAM (owner adds this)
+	StaticPJ   float64 // per core per cycle (leakage + clock tree)
+}
+
+// DefaultEnergyParams returns coefficients in the ballpark of published
+// 28 nm mobile-GPU numbers; they are meant for *relative* comparisons
+// (configuration A vs B), not absolute watts.
+func DefaultEnergyParams() EnergyParams {
+	return EnergyParams{
+		InstrPJ:    25,
+		L1AccessPJ: 15,
+		L2AccessPJ: 60,
+		NoCFlitPJ:  10,
+		DRAMBytePJ: 20,
+		StaticPJ:   50,
+	}
+}
+
+// EnergyReport breaks GPU energy into components, in nanojoules.
+type EnergyReport struct {
+	CoresNJ  float64 // instruction issue
+	L1NJ     float64
+	L2NJ     float64
+	NoCNJ    float64
+	StaticNJ float64
+	TotalNJ  float64
+}
+
+// Energy computes the report from the GPU's activity counters. Cache
+// "accesses" counters include blocked retries, so hits+misses are used
+// as the true access counts.
+func (g *GPU) Energy(p EnergyParams) EnergyReport {
+	var r EnergyReport
+	var instrs, l1, l2, cycles, flits int64
+	g.Reg.Each(func(n string, v int64) {
+		switch {
+		case strings.HasSuffix(n, ".instructions"):
+			instrs += v
+		case strings.HasSuffix(n, ".l2.hits"), strings.HasSuffix(n, ".l2.misses"):
+			l2 += v
+		case strings.HasSuffix(n, ".hits"), strings.HasSuffix(n, ".misses"):
+			// per-core L1s (l1d/l1t/l1z/l1c)
+			if strings.Contains(n, ".l1") {
+				l1 += v
+			}
+		case strings.HasSuffix(n, ".cycles"):
+			cycles += v
+		case strings.HasSuffix(n, "gpu_noc.transferred"):
+			flits += v
+		}
+	})
+	r.CoresNJ = float64(instrs) * p.InstrPJ / 1000
+	r.L1NJ = float64(l1) * p.L1AccessPJ / 1000
+	r.L2NJ = float64(l2) * p.L2AccessPJ / 1000
+	r.NoCNJ = float64(flits) * p.NoCFlitPJ / 1000
+	r.StaticNJ = float64(cycles) * p.StaticPJ / 1000
+	r.TotalNJ = r.CoresNJ + r.L1NJ + r.L2NJ + r.NoCNJ + r.StaticNJ
+	return r
+}
+
+// EnergyNJ computes the standalone system's total energy: GPU activity
+// plus DRAM byte movement.
+func (s *Standalone) EnergyNJ(p EnergyParams) float64 {
+	r := s.GPU.Energy(p)
+	return r.TotalNJ + float64(s.DRAM.TotalBytes())*p.DRAMBytePJ/1000
+}

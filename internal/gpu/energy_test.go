@@ -1,0 +1,55 @@
+package gpu
+
+import (
+	"testing"
+
+	"emerald/internal/shader"
+)
+
+func TestEnergyAccountsActivity(t *testing.T) {
+	s := testStandalone()
+	const vp = 32
+	clearTargets(s, vp, 0)
+	uploadIdentityUniforms(s, [4]float32{1, 0, 0, 1}, 1)
+	idx := uploadQuad(s, 0)
+	if _, err := s.RenderDraw(quadCall(s, idx, shader.FSFlat, vp), 3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultEnergyParams()
+	r := s.GPU.Energy(p)
+	if r.TotalNJ <= 0 || r.CoresNJ <= 0 || r.StaticNJ <= 0 {
+		t.Fatalf("energy report degenerate: %+v", r)
+	}
+	if r.TotalNJ != r.CoresNJ+r.L1NJ+r.L2NJ+r.NoCNJ+r.StaticNJ {
+		t.Fatal("component sum mismatch")
+	}
+	if s.EnergyNJ(p) <= r.TotalNJ {
+		t.Fatal("system energy must add DRAM byte energy")
+	}
+}
+
+func TestEnergyScalesWithWork(t *testing.T) {
+	render := func(vp int) float64 {
+		s := testStandalone()
+		clearTargets(s, vp, 0)
+		uploadIdentityUniforms(s, [4]float32{1, 0, 0, 1}, 1)
+		idx := uploadQuad(s, 0)
+		if _, err := s.RenderDraw(quadCall(s, idx, shader.FSFlat, vp), 10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return s.EnergyNJ(DefaultEnergyParams())
+	}
+	small := render(16)
+	big := render(64) // 16x the pixels
+	if big <= small {
+		t.Fatalf("energy must grow with work: %v vs %v", small, big)
+	}
+}
+
+func TestEnergyZeroWhenIdle(t *testing.T) {
+	s := testStandalone()
+	r := s.GPU.Energy(DefaultEnergyParams())
+	if r.CoresNJ != 0 || r.L1NJ != 0 {
+		t.Fatalf("fresh GPU reports activity energy: %+v", r)
+	}
+}

@@ -1,0 +1,347 @@
+package gpu
+
+import (
+	"fmt"
+
+	"emerald/internal/cache"
+	"emerald/internal/gfx"
+	"emerald/internal/interconnect"
+	"emerald/internal/mem"
+	"emerald/internal/raster"
+	"emerald/internal/shader"
+	"emerald/internal/simt"
+	"emerald/internal/stats"
+)
+
+// cluster is one SIMT cluster (paper Figure 5): cores plus the fixed
+// raster pipeline stages and the TC unit.
+type cluster struct {
+	id    int
+	cores []*simt.Core
+	tc    *gfx.TCUnit
+	hiz   *raster.HiZ
+
+	// pmrb is the primitive-mask reorder buffer output: primitives this
+	// cluster must process, in draw order.
+	pmrb []*clusterPrim
+
+	setup setupState
+	rast  rasterState
+
+	pendingFS []*fsLaunch
+}
+
+// clusterPrim is one primitive delivered to a cluster by the VPO.
+type clusterPrim struct {
+	tri     *raster.SetupTri
+	readyAt uint64
+	fetch   [3]uint64 // OVB vertex record addresses (setup L2 fetch)
+}
+
+type setupState struct {
+	prim    *clusterPrim
+	toIssue []uint64
+	reqs    []*mem.Request
+}
+
+type rasterState struct {
+	tri   *raster.SetupTri
+	tiles [][2]int // owned raster-tile origins
+	next  int
+}
+
+type fsLaunch struct {
+	env      *fsEnv
+	mask     uint32
+	specials [simt.WarpSize]shader.Special
+	core     int
+}
+
+// GPU is the full Emerald GPU.
+type GPU struct {
+	Cfg Config
+	Mem *mem.Memory
+	Reg *stats.Registry
+
+	clusters []*cluster
+	L2       *cache.Cache
+	noc      *interconnect.Crossbar
+	// Out carries L2 misses/writebacks toward DRAM (standalone) or the
+	// system NoC (full-system mode).
+	Out *mem.Queue
+
+	screenMap gfx.ScreenMap
+
+	draw      *drawState
+	drawQueue []*drawEntry
+	kernels   []*kernelState
+
+	blockSeq int
+	cycle    uint64
+
+	l2Events []l2Event
+
+	drawsDone     *stats.Counter
+	fragsShadedC  *stats.Counter
+	primsAssembly *stats.Counter
+	primsCulledC  *stats.Counter
+	hizCulledC    *stats.Counter
+	vsWarpsC      *stats.Counter
+	fsWarpsC      *stats.Counter
+}
+
+type drawEntry struct {
+	call   *DrawCall
+	onDone func(cycles uint64)
+}
+
+type l2Event struct {
+	at  uint64
+	req *mem.Request
+}
+
+// drawState is the in-flight draw call's pipeline state.
+type drawState struct {
+	call    *DrawCall
+	batches []*vertexBatch
+
+	nextLaunch   int
+	nextAssemble int
+	launchCore   int
+
+	vsOutstanding    int
+	tasksOutstanding int
+
+	primSeq uint32
+
+	fragsLaunched int64
+	fragsShaded   int64
+
+	startCycle uint64
+	onDone     func(cycles uint64)
+}
+
+// New builds a GPU over the given functional memory. reg may be nil.
+func New(cfg Config, memory *mem.Memory, reg *stats.Registry) *GPU {
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	scope := reg.Scope("gpu")
+	g := &GPU{
+		Cfg:           cfg,
+		Mem:           memory,
+		Reg:           scope,
+		Out:           mem.NewQueue(0),
+		screenMap:     gfx.NewScreenMap(cfg.Clusters, cfg.CoresPerCluster, cfg.WT),
+		drawsDone:     scope.Counter("draws_done"),
+		fragsShadedC:  scope.Counter("fragments_shaded"),
+		primsAssembly: scope.Counter("prims_assembled"),
+		primsCulledC:  scope.Counter("prims_culled"),
+		hizCulledC:    scope.Counter("hiz_culled_tiles"),
+		vsWarpsC:      scope.Counter("vs_warps"),
+		fsWarpsC:      scope.Counter("fs_warps"),
+	}
+	l2cfg := cfg.L2
+	l2cfg.Name = "l2"
+	l2cfg.Client = mem.ClientGPU
+	g.L2 = cache.New(l2cfg, scope)
+	g.L2.OnReady = func(waiter any, cycle uint64) {
+		if r, ok := waiter.(*mem.Request); ok && r != nil {
+			r.Complete(cycle)
+		}
+	}
+	g.noc = interconnect.New(interconnect.Config{
+		Name: "gpu_noc", Ports: cfg.Clusters, Latency: cfg.NoCLatency,
+		Width: cfg.NoCWidth, Depth: 32,
+	}, g.l2Sink, scope)
+
+	for ci := 0; ci < cfg.Clusters; ci++ {
+		cl := &cluster{id: ci}
+		for k := 0; k < cfg.CoresPerCluster; k++ {
+			cc := cfg.Core
+			cc.ID = k
+			cc.ClusterID = ci
+			cl.cores = append(cl.cores, simt.NewCore(cc, scope))
+		}
+		cl.tc = gfx.NewTCUnit(cfg.TC, scope.Scope(fmt.Sprintf("cluster%d", ci)))
+		g.clusters = append(g.clusters, cl)
+	}
+	return g
+}
+
+// SetWT changes the work-tile granularity (between draws/frames only).
+func (g *GPU) SetWT(wt int) {
+	g.screenMap = gfx.NewScreenMap(g.Cfg.Clusters, g.Cfg.CoresPerCluster, wt)
+}
+
+// WT returns the current work-tile granularity.
+func (g *GPU) WT() int { return g.screenMap.WT }
+
+// SubmitDraw queues a draw call; onDone (optional) fires at retirement
+// with the number of cycles the draw spent in the GPU.
+func (g *GPU) SubmitDraw(call *DrawCall, onDone func(cycles uint64)) error {
+	if err := call.Validate(); err != nil {
+		return err
+	}
+	g.drawQueue = append(g.drawQueue, &drawEntry{call: call, onDone: onDone})
+	return nil
+}
+
+// Busy reports whether any draw or kernel work remains.
+func (g *GPU) Busy() bool {
+	return g.draw != nil || len(g.drawQueue) > 0 || len(g.kernels) > 0 ||
+		len(g.l2Events) > 0 || g.noc.Busy() || g.L2.PendingMisses() > 0 || !g.coresIdle()
+}
+
+func (g *GPU) coresIdle() bool {
+	for _, cl := range g.clusters {
+		for _, c := range cl.cores {
+			if !c.Idle() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FragsShaded returns total fragments shaded (for progress feedback).
+func (g *GPU) FragsShaded() int64 { return g.fragsShadedC.Value() }
+
+// DrawProgress estimates the active draw's completion fraction in
+// [0,1] — the feedback DASH consumes.
+func (g *GPU) DrawProgress() float64 {
+	d := g.draw
+	if d == nil {
+		if len(g.drawQueue) > 0 {
+			return 0
+		}
+		return 1
+	}
+	geom := float64(d.nextAssemble) / float64(len(d.batches)+1)
+	var frag float64
+	if d.fragsLaunched > 0 {
+		frag = float64(d.fragsShaded) / float64(d.fragsLaunched)
+	}
+	return 0.3*geom + 0.7*frag*geom
+}
+
+// ClearHiZ resets the Hierarchical-Z buffers (call when the depth buffer
+// is cleared).
+func (g *GPU) ClearHiZ() {
+	for _, cl := range g.clusters {
+		if cl.hiz != nil {
+			cl.hiz.Clear()
+		}
+	}
+}
+
+// l2Sink services requests arriving at the L2 from the cluster NoC.
+func (g *GPU) l2Sink(r *mem.Request) bool {
+	if r.Kind == mem.Write {
+		res := g.L2.Access(g.cycle, r.Addr, mem.Write, nil)
+		if res == cache.Blocked {
+			return false
+		}
+		r.Complete(g.cycle)
+		return true
+	}
+	switch g.L2.Access(g.cycle, r.Addr, mem.Read, r) {
+	case cache.Hit:
+		g.l2Events = append(g.l2Events, l2Event{at: g.cycle + g.Cfg.L2.HitLatency, req: r})
+		return true
+	case cache.Miss:
+		return true // completed via OnReady when the fill returns
+	default:
+		return false
+	}
+}
+
+// Tick advances the whole GPU one core cycle.
+func (g *GPU) Tick(cycle uint64) {
+	g.cycle = cycle
+
+	// L2 hit completions.
+	kept := g.l2Events[:0]
+	for _, e := range g.l2Events {
+		if e.at <= cycle {
+			e.req.Complete(cycle)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	g.l2Events = kept
+
+	g.L2.Tick(cycle)
+	// L2 miss/writeback traffic leaves the GPU.
+	for {
+		r := g.L2.Out.Peek()
+		if r == nil {
+			break
+		}
+		g.L2.Out.Pop()
+		g.Out.Push(r)
+	}
+
+	g.noc.Tick(cycle)
+
+	for _, cl := range g.clusters {
+		for _, core := range cl.cores {
+			core.Tick(cycle)
+			// Core L1 miss traffic into the cluster's NoC port.
+			port := g.noc.Port(cl.id)
+			for !port.Full() {
+				r := core.Out.Pop()
+				if r == nil {
+					break
+				}
+				port.Push(r)
+			}
+		}
+		g.tickClusterGraphics(cl, cycle)
+	}
+
+	g.tickDrawFrontEnd(cycle)
+	g.tickKernels(cycle)
+}
+
+// RunUntilIdle ticks the GPU with an ideal memory (completing Out
+// requests after a fixed latency) until all work retires. It returns the
+// cycles consumed. Used by unit tests; real setups attach DRAM.
+func (g *GPU) RunUntilIdle(start uint64, memLatency uint64, budget uint64) (uint64, error) {
+	type pendingReq struct {
+		at uint64
+		r  *mem.Request
+	}
+	var pend []pendingReq
+	cycle := start
+	for ; cycle < start+budget; cycle++ {
+		g.Tick(cycle)
+		for {
+			r := g.Out.Pop()
+			if r == nil {
+				break
+			}
+			pend = append(pend, pendingReq{at: cycle + memLatency, r: r})
+		}
+		keep := pend[:0]
+		for _, p := range pend {
+			if p.at <= cycle {
+				p.r.Complete(cycle)
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		pend = keep
+		if !g.Busy() && len(pend) == 0 {
+			return cycle - start, nil
+		}
+	}
+	return cycle - start, fmt.Errorf("gpu: not idle after %d cycles", budget)
+}
+
+// CoreActiveWarps reports resident warps on the i-th core (cluster-major
+// flat index) — an occupancy probe for tools and tests.
+func (g *GPU) CoreActiveWarps(i int) int {
+	cl := g.clusters[i%len(g.clusters)]
+	return cl.cores[i/len(g.clusters)%len(cl.cores)].ActiveWarps()
+}

@@ -1,0 +1,132 @@
+package gpu
+
+import (
+	"fmt"
+
+	"emerald/internal/mem"
+	"emerald/internal/shader"
+	"emerald/internal/simt"
+)
+
+// Kernel is a GPGPU launch: the unified model runs it on the same SIMT
+// cores as graphics work (the paper's core contribution).
+type Kernel struct {
+	Prog            *shader.Program
+	Blocks          int
+	ThreadsPerBlock int
+	// ParamBase is the constant-bank address of the kernel parameters
+	// (read via ldc).
+	ParamBase   uint64
+	SharedBytes int
+}
+
+type kernelState struct {
+	k           Kernel
+	nextBlock   int
+	outstanding int // warps in flight
+	onDone      func(cycles uint64)
+	startCycle  uint64
+	started     bool
+}
+
+// kernelEnv is one thread block's warp environment.
+type kernelEnv struct {
+	g      *GPU
+	ks     *kernelState
+	shared []byte
+}
+
+func (e *kernelEnv) AttrIn(lane, slot int) ([4]float32, uint64)     { return [4]float32{}, 0 }
+func (e *kernelEnv) OutWrite(lane, slot int, val [4]float32) uint64 { return 0 }
+func (e *kernelEnv) Tex(lane, unit int, u, v float32) ([4]float32, [4]uint64) {
+	return [4]float32{}, [4]uint64{}
+}
+func (e *kernelEnv) ZAddr(int) uint64     { return 0 }
+func (e *kernelEnv) CAddr(int) uint64     { return 0 }
+func (e *kernelEnv) ConstBase() uint64    { return e.ks.k.ParamBase }
+func (e *kernelEnv) SharedMem() []byte    { return e.shared }
+func (e *kernelEnv) Memory() *mem.Memory  { return e.g.Mem }
+func (e *kernelEnv) Retired(w *simt.Warp) { e.ks.outstanding-- }
+
+// LaunchKernel queues a compute kernel; onDone (optional) fires when the
+// grid completes, with the cycles it occupied the GPU.
+func (g *GPU) LaunchKernel(k Kernel, onDone func(cycles uint64)) error {
+	if k.Prog == nil || k.Prog.Kind != shader.KindCompute {
+		return fmt.Errorf("gpu: kernel needs a compute shader")
+	}
+	if k.Blocks <= 0 || k.ThreadsPerBlock <= 0 {
+		return fmt.Errorf("gpu: kernel needs positive grid/block sizes")
+	}
+	if k.ThreadsPerBlock > 1024 {
+		return fmt.Errorf("gpu: max 1024 threads per block")
+	}
+	g.kernels = append(g.kernels, &kernelState{k: k, onDone: onDone})
+	return nil
+}
+
+// tickKernels dispatches thread blocks of the oldest queued kernel
+// (kernels execute in submission order).
+func (g *GPU) tickKernels(cycle uint64) {
+	if len(g.kernels) == 0 {
+		return
+	}
+	ks := g.kernels[0]
+	if !ks.started {
+		ks.started = true
+		ks.startCycle = cycle
+	}
+	warpsPerBlock := (ks.k.ThreadsPerBlock + simt.WarpSize - 1) / simt.WarpSize
+
+	// Round-robin block dispatch: one block per core per cycle at most.
+	for ci := 0; ci < g.Cfg.Clusters && ks.nextBlock < ks.k.Blocks; ci++ {
+		for k := 0; k < g.Cfg.CoresPerCluster && ks.nextBlock < ks.k.Blocks; k++ {
+			core := g.clusters[ci].cores[k]
+			if core.ActiveWarps()+warpsPerBlock > core.Cfg.MaxWarps ||
+				!core.CanLaunch(ks.k.Prog) {
+				continue
+			}
+			g.dispatchBlock(core, ks, ks.nextBlock, warpsPerBlock)
+			ks.nextBlock++
+		}
+	}
+
+	if ks.nextBlock >= ks.k.Blocks && ks.outstanding == 0 {
+		g.kernels = g.kernels[1:]
+		if ks.onDone != nil {
+			ks.onDone(cycle - ks.startCycle)
+		}
+	}
+}
+
+func (g *GPU) dispatchBlock(core *simt.Core, ks *kernelState, blockIdx, warps int) {
+	env := &kernelEnv{g: g, ks: ks}
+	if ks.k.SharedBytes > 0 {
+		env.shared = make([]byte, ks.k.SharedBytes)
+	}
+	g.blockSeq++
+	blockID := g.blockSeq
+	for w := 0; w < warps; w++ {
+		base := w * simt.WarpSize
+		var mask uint32
+		var specials [simt.WarpSize]shader.Special
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			tid := base + lane
+			if tid >= ks.k.ThreadsPerBlock {
+				break
+			}
+			mask |= 1 << lane
+			specials[lane] = shader.Special{
+				TID:   uint32(tid),
+				CTAID: uint32(blockIdx),
+				NTID:  uint32(ks.k.ThreadsPerBlock),
+				WID:   uint32(w),
+			}
+		}
+		if mask == 0 {
+			continue
+		}
+		if _, err := core.Launch(ks.k.Prog, env, blockID, mask, specials, nil); err == nil {
+			ks.outstanding++
+		}
+	}
+}

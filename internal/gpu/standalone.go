@@ -1,0 +1,109 @@
+package gpu
+
+import (
+	"fmt"
+
+	"emerald/internal/dram"
+	"emerald/internal/interconnect"
+	"emerald/internal/mem"
+	"emerald/internal/stats"
+)
+
+// Standalone wires a GPU directly to a DRAM controller — the paper's
+// standalone mode (Figure 8a), used by Case Study II and the quickstart
+// examples.
+type Standalone struct {
+	GPU  *GPU
+	DRAM *dram.Controller
+	Reg  *stats.Registry
+
+	sysNoC *interconnect.Crossbar
+	cycle  uint64
+}
+
+// NewStandalone builds the standalone-mode system. dramCfg may omit
+// Name. reg may be nil.
+func NewStandalone(gpuCfg Config, dramCfg dram.Config, reg *stats.Registry) *Standalone {
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	memory := mem.NewMemory()
+	g := New(gpuCfg, memory, reg)
+	if dramCfg.Name == "" {
+		dramCfg.Name = "dram"
+	}
+	d := dram.NewController(dramCfg, reg)
+	s := &Standalone{GPU: g, DRAM: d, Reg: reg}
+	s.sysNoC = interconnect.New(interconnect.Config{
+		Name: "sys_noc", Ports: 1, Latency: 8, Width: 4, Depth: 64,
+	}, d.Push, reg)
+	return s
+}
+
+// DefaultStandalone builds the Case Study II configuration: the Table 7
+// GPU over 4-channel LPDDR3-1600.
+func DefaultStandalone(reg *stats.Registry) *Standalone {
+	return NewStandalone(
+		CaseStudyIIConfig(),
+		dram.Config{
+			Geometry: dram.LPDDR3Geometry(4),
+			Timing:   dram.LPDDR3Timing(1600),
+		}, reg)
+}
+
+// Mem exposes the functional memory for asset upload.
+func (s *Standalone) Mem() *mem.Memory { return s.GPU.Mem }
+
+// Cycle returns the current simulation cycle.
+func (s *Standalone) Cycle() uint64 { return s.cycle }
+
+// Tick advances GPU, system NoC and DRAM by one cycle.
+func (s *Standalone) Tick() {
+	c := s.cycle
+	s.GPU.Tick(c)
+	port := s.sysNoC.Port(0)
+	for !port.Full() {
+		r := s.GPU.Out.Pop()
+		if r == nil {
+			break
+		}
+		port.Push(r)
+	}
+	s.sysNoC.Tick(c)
+	s.DRAM.Tick(c)
+	s.cycle++
+}
+
+// Busy reports outstanding work anywhere in the system.
+func (s *Standalone) Busy() bool {
+	return s.GPU.Busy() || s.GPU.Out.Len() > 0 || s.sysNoC.Busy() || !s.DRAM.Drained()
+}
+
+// RunUntilIdle ticks until quiescent, returning elapsed cycles.
+func (s *Standalone) RunUntilIdle(budget uint64) (uint64, error) {
+	start := s.cycle
+	for s.cycle-start < budget {
+		s.Tick()
+		if !s.Busy() {
+			return s.cycle - start, nil
+		}
+	}
+	return s.cycle - start, fmt.Errorf("gpu: standalone system not idle after %d cycles", budget)
+}
+
+// RenderDraw submits one draw call and runs it to completion, returning
+// the cycles from submission to retirement of all its work.
+func (s *Standalone) RenderDraw(call *DrawCall, budget uint64) (uint64, error) {
+	if err := s.GPU.SubmitDraw(call, nil); err != nil {
+		return 0, err
+	}
+	return s.RunUntilIdle(budget)
+}
+
+// RunKernel launches one compute kernel to completion.
+func (s *Standalone) RunKernel(k Kernel, budget uint64) (uint64, error) {
+	if err := s.GPU.LaunchKernel(k, nil); err != nil {
+		return 0, err
+	}
+	return s.RunUntilIdle(budget)
+}

@@ -1,0 +1,169 @@
+package mathx
+
+import "math"
+
+// Mat4 is a 4x4 float32 matrix stored in column-major order, matching the
+// OpenGL convention: element (row r, col c) is at index c*4+r.
+type Mat4 [16]float32
+
+// Identity returns the identity matrix.
+func Identity() Mat4 {
+	return Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// At returns element (row, col).
+func (m Mat4) At(row, col int) float32 { return m[col*4+row] }
+
+// Set stores v at element (row, col) and returns the updated matrix.
+func (m Mat4) Set(row, col int, v float32) Mat4 {
+	m[col*4+row] = v
+	return m
+}
+
+// Mul returns m*n (column-vector convention: (m.Mul(n)).MulVec(v) ==
+// m.MulVec(n.MulVec(v))).
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var r Mat4
+	for c := 0; c < 4; c++ {
+		for row := 0; row < 4; row++ {
+			var s float32
+			for k := 0; k < 4; k++ {
+				s += m[k*4+row] * n[c*4+k]
+			}
+			r[c*4+row] = s
+		}
+	}
+	return r
+}
+
+// MulVec returns m*v.
+func (m Mat4) MulVec(v Vec4) Vec4 {
+	return Vec4{
+		m[0]*v.X + m[4]*v.Y + m[8]*v.Z + m[12]*v.W,
+		m[1]*v.X + m[5]*v.Y + m[9]*v.Z + m[13]*v.W,
+		m[2]*v.X + m[6]*v.Y + m[10]*v.Z + m[14]*v.W,
+		m[3]*v.X + m[7]*v.Y + m[11]*v.Z + m[15]*v.W,
+	}
+}
+
+// Transpose returns the transpose of m.
+func (m Mat4) Transpose() Mat4 {
+	var r Mat4
+	for c := 0; c < 4; c++ {
+		for row := 0; row < 4; row++ {
+			r[row*4+c] = m[c*4+row]
+		}
+	}
+	return r
+}
+
+// Translate returns a translation matrix.
+func Translate(x, y, z float32) Mat4 {
+	m := Identity()
+	m[12], m[13], m[14] = x, y, z
+	return m
+}
+
+// ScaleM returns a scaling matrix.
+func ScaleM(x, y, z float32) Mat4 {
+	m := Identity()
+	m[0], m[5], m[10] = x, y, z
+	return m
+}
+
+// RotateX returns a rotation matrix about the X axis (angle in radians).
+func RotateX(a float32) Mat4 {
+	s, c := sincos(a)
+	m := Identity()
+	m[5], m[9] = c, -s
+	m[6], m[10] = s, c
+	return m
+}
+
+// RotateY returns a rotation matrix about the Y axis (angle in radians).
+func RotateY(a float32) Mat4 {
+	s, c := sincos(a)
+	m := Identity()
+	m[0], m[8] = c, s
+	m[2], m[10] = -s, c
+	return m
+}
+
+// RotateZ returns a rotation matrix about the Z axis (angle in radians).
+func RotateZ(a float32) Mat4 {
+	s, c := sincos(a)
+	m := Identity()
+	m[0], m[4] = c, -s
+	m[1], m[5] = s, c
+	return m
+}
+
+func sincos(a float32) (sin, cos float32) {
+	s, c := math.Sincos(float64(a))
+	return float32(s), float32(c)
+}
+
+// Perspective returns an OpenGL-style perspective projection matrix.
+// fovy is the vertical field of view in radians; near/far are positive
+// distances to the clip planes.
+func Perspective(fovy, aspect, near, far float32) Mat4 {
+	f := float32(1 / math.Tan(float64(fovy)/2))
+	var m Mat4
+	m[0] = f / aspect
+	m[5] = f
+	m[10] = (far + near) / (near - far)
+	m[11] = -1
+	m[14] = 2 * far * near / (near - far)
+	return m
+}
+
+// LookAt returns a view matrix placing the camera at eye, looking at
+// center, with the given up vector.
+func LookAt(eye, center, up Vec3) Mat4 {
+	f := center.Sub(eye).Normalize()
+	s := f.Cross(up.Normalize()).Normalize()
+	u := s.Cross(f)
+	m := Identity()
+	m[0], m[4], m[8] = s.X, s.Y, s.Z
+	m[1], m[5], m[9] = u.X, u.Y, u.Z
+	m[2], m[6], m[10] = -f.X, -f.Y, -f.Z
+	return m.Mul(Translate(-eye.X, -eye.Y, -eye.Z))
+}
+
+// Invert returns the inverse of m and whether m was invertible. A general
+// cofactor expansion is used; graphics matrices are small enough that the
+// O(1) cost is irrelevant.
+func (m Mat4) Invert() (Mat4, bool) {
+	var inv Mat4
+	inv[0] = m[5]*m[10]*m[15] - m[5]*m[11]*m[14] - m[9]*m[6]*m[15] + m[9]*m[7]*m[14] + m[13]*m[6]*m[11] - m[13]*m[7]*m[10]
+	inv[4] = -m[4]*m[10]*m[15] + m[4]*m[11]*m[14] + m[8]*m[6]*m[15] - m[8]*m[7]*m[14] - m[12]*m[6]*m[11] + m[12]*m[7]*m[10]
+	inv[8] = m[4]*m[9]*m[15] - m[4]*m[11]*m[13] - m[8]*m[5]*m[15] + m[8]*m[7]*m[13] + m[12]*m[5]*m[11] - m[12]*m[7]*m[9]
+	inv[12] = -m[4]*m[9]*m[14] + m[4]*m[10]*m[13] + m[8]*m[5]*m[14] - m[8]*m[6]*m[13] - m[12]*m[5]*m[10] + m[12]*m[6]*m[9]
+	inv[1] = -m[1]*m[10]*m[15] + m[1]*m[11]*m[14] + m[9]*m[2]*m[15] - m[9]*m[3]*m[14] - m[13]*m[2]*m[11] + m[13]*m[3]*m[10]
+	inv[5] = m[0]*m[10]*m[15] - m[0]*m[11]*m[14] - m[8]*m[2]*m[15] + m[8]*m[3]*m[14] + m[12]*m[2]*m[11] - m[12]*m[3]*m[10]
+	inv[9] = -m[0]*m[9]*m[15] + m[0]*m[11]*m[13] + m[8]*m[1]*m[15] - m[8]*m[3]*m[13] - m[12]*m[1]*m[11] + m[12]*m[3]*m[9]
+	inv[13] = m[0]*m[9]*m[14] - m[0]*m[10]*m[13] - m[8]*m[1]*m[14] + m[8]*m[2]*m[13] + m[12]*m[1]*m[10] - m[12]*m[2]*m[9]
+	inv[2] = m[1]*m[6]*m[15] - m[1]*m[7]*m[14] - m[5]*m[2]*m[15] + m[5]*m[3]*m[14] + m[13]*m[2]*m[7] - m[13]*m[3]*m[6]
+	inv[6] = -m[0]*m[6]*m[15] + m[0]*m[7]*m[14] + m[4]*m[2]*m[15] - m[4]*m[3]*m[14] - m[12]*m[2]*m[7] + m[12]*m[3]*m[6]
+	inv[10] = m[0]*m[5]*m[15] - m[0]*m[7]*m[13] - m[4]*m[1]*m[15] + m[4]*m[3]*m[13] + m[12]*m[1]*m[7] - m[12]*m[3]*m[5]
+	inv[14] = -m[0]*m[5]*m[14] + m[0]*m[6]*m[13] + m[4]*m[1]*m[14] - m[4]*m[2]*m[13] - m[12]*m[1]*m[6] + m[12]*m[2]*m[5]
+	inv[3] = -m[1]*m[6]*m[11] + m[1]*m[7]*m[10] + m[5]*m[2]*m[11] - m[5]*m[3]*m[10] - m[9]*m[2]*m[7] + m[9]*m[3]*m[6]
+	inv[7] = m[0]*m[6]*m[11] - m[0]*m[7]*m[10] - m[4]*m[2]*m[11] + m[4]*m[3]*m[10] + m[8]*m[2]*m[7] - m[8]*m[3]*m[6]
+	inv[11] = -m[0]*m[5]*m[11] + m[0]*m[7]*m[9] + m[4]*m[1]*m[11] - m[4]*m[3]*m[9] - m[8]*m[1]*m[7] + m[8]*m[3]*m[5]
+	inv[15] = m[0]*m[5]*m[10] - m[0]*m[6]*m[9] - m[4]*m[1]*m[10] + m[4]*m[2]*m[9] + m[8]*m[1]*m[6] - m[8]*m[2]*m[5]
+
+	det := m[0]*inv[0] + m[1]*inv[4] + m[2]*inv[8] + m[3]*inv[12]
+	if det == 0 {
+		return Identity(), false
+	}
+	d := 1 / det
+	for i := range inv {
+		inv[i] *= d
+	}
+	return inv, true
+}

@@ -1,0 +1,247 @@
+// Package mem provides the pieces of the memory system shared by every
+// agent in the SoC: the functional backing store (a sparse, page-granular
+// physical memory), the timing request type that flows between caches,
+// interconnects and DRAM, and small queue primitives used to plumb
+// requests between cycle-stepped components.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// PageSize is the granularity of the sparse backing store.
+const PageSize = 4096
+
+// Memory is a sparse functional model of physical memory. Reads of pages
+// never written return zeroes, like freshly mapped DRAM from the
+// simulator's point of view. Memory carries data only; all timing lives
+// in the cache/DRAM models.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+// Read copies len(p) bytes starting at addr into p.
+func (m *Memory) Read(addr uint64, p []byte) {
+	for len(p) > 0 {
+		page, off := addr/PageSize, addr%PageSize
+		n := copy(p, m.pageFor(page, false)[off:])
+		p = p[n:]
+		addr += uint64(n)
+	}
+}
+
+// Write copies p into memory starting at addr.
+func (m *Memory) Write(addr uint64, p []byte) {
+	for len(p) > 0 {
+		page, off := addr/PageSize, addr%PageSize
+		n := copy(m.pageFor(page, true)[off:], p)
+		p = p[n:]
+		addr += uint64(n)
+	}
+}
+
+var zeroPage [PageSize]byte
+
+func (m *Memory) pageFor(page uint64, create bool) *[PageSize]byte {
+	p, ok := m.pages[page]
+	if !ok {
+		if !create {
+			return &zeroPage
+		}
+		p = new([PageSize]byte)
+		m.pages[page] = p
+	}
+	return p
+}
+
+// PageCount reports how many pages have been materialized (for
+// checkpoint sizing and tests).
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Pages returns the set of materialized page indices (unordered).
+func (m *Memory) Pages() []uint64 {
+	out := make([]uint64, 0, len(m.pages))
+	for p := range m.pages {
+		out = append(out, p)
+	}
+	return out
+}
+
+// PageData returns the raw contents of one materialized page, or nil.
+func (m *Memory) PageData(page uint64) []byte {
+	if p, ok := m.pages[page]; ok {
+		return p[:]
+	}
+	return nil
+}
+
+// ReadU32 reads a little-endian uint32.
+func (m *Memory) ReadU32(addr uint64) uint32 {
+	var b [4]byte
+	m.Read(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteU32 writes a little-endian uint32.
+func (m *Memory) WriteU32(addr uint64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	m.Write(addr, b[:])
+}
+
+// ReadU64 reads a little-endian uint64.
+func (m *Memory) ReadU64(addr uint64) uint64 {
+	var b [8]byte
+	m.Read(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteU64 writes a little-endian uint64.
+func (m *Memory) WriteU64(addr uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.Write(addr, b[:])
+}
+
+// ReadF32 reads a little-endian float32.
+func (m *Memory) ReadF32(addr uint64) float32 {
+	return math.Float32frombits(m.ReadU32(addr))
+}
+
+// WriteF32 writes a little-endian float32.
+func (m *Memory) WriteF32(addr uint64, v float32) {
+	m.WriteU32(addr, math.Float32bits(v))
+}
+
+// Client identifies the class of traffic source issuing a request; the
+// DASH and HMC models schedule by it.
+type Client uint8
+
+// Traffic source classes.
+const (
+	ClientCPU Client = iota
+	ClientGPU
+	ClientDisplay
+	ClientDMA
+)
+
+// String implements fmt.Stringer.
+func (c Client) String() string {
+	switch c {
+	case ClientCPU:
+		return "cpu"
+	case ClientGPU:
+		return "gpu"
+	case ClientDisplay:
+		return "display"
+	case ClientDMA:
+		return "dma"
+	}
+	return fmt.Sprintf("client(%d)", uint8(c))
+}
+
+// IsIP reports whether the client is an IP block (non-CPU) in the paper's
+// terminology.
+func (c Client) IsIP() bool { return c != ClientCPU }
+
+// Kind is the request direction.
+type Kind uint8
+
+// Request kinds.
+const (
+	Read Kind = iota
+	Write
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Request is a timing-level memory request. Requests are created by an
+// agent (cache miss, DMA engine, CPU load) and flow through queues to the
+// DRAM model, which marks them Done. Data movement is functional and
+// happens at the endpoints; Request carries no payload.
+type Request struct {
+	Addr     uint64
+	Size     uint32
+	Kind     Kind
+	Client   Client
+	ClientID int // per-class id: CPU core index, GPU unit, ...
+
+	// Done is set by the memory system when the request retires;
+	// DoneAt is the retirement cycle.
+	Done   bool
+	DoneAt uint64
+
+	// IssuedAt is the cycle the requester handed the request to the
+	// memory system (for latency stats).
+	IssuedAt uint64
+
+	// Tag is requester-private metadata (e.g. MSHR index).
+	Tag any
+}
+
+// Complete marks the request done at the given cycle.
+func (r *Request) Complete(cycle uint64) {
+	r.Done = true
+	r.DoneAt = cycle
+}
+
+// Queue is a bounded FIFO of requests. A zero-capacity queue is
+// unbounded.
+type Queue struct {
+	cap   int
+	items []*Request
+}
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func NewQueue(capacity int) *Queue { return &Queue{cap: capacity} }
+
+// Len returns the number of queued requests.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue) Full() bool { return q.cap > 0 && len(q.items) >= q.cap }
+
+// Push appends r; it reports false (and drops nothing) if the queue is
+// full.
+func (q *Queue) Push(r *Request) bool {
+	if q.Full() {
+		return false
+	}
+	q.items = append(q.items, r)
+	return true
+}
+
+// Peek returns the oldest request without removing it, or nil.
+func (q *Queue) Peek() *Request {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// Pop removes and returns the oldest request, or nil.
+func (q *Queue) Pop() *Request {
+	if len(q.items) == 0 {
+		return nil
+	}
+	r := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return r
+}
+
+// Items returns the backing slice, oldest first (read-only use).
+func (q *Queue) Items() []*Request { return q.items }

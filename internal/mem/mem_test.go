@@ -1,0 +1,148 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryZeroFill(t *testing.T) {
+	m := NewMemory()
+	buf := make([]byte, 16)
+	m.Read(0x1000, buf)
+	if !bytes.Equal(buf, make([]byte, 16)) {
+		t.Fatal("unwritten memory must read as zero")
+	}
+	if m.PageCount() != 0 {
+		t.Fatal("reads must not materialize pages")
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory()
+	data := []byte("hello, emerald")
+	m.Write(0x2FFA, data) // straddles a page boundary
+	got := make([]byte, len(data))
+	m.Read(0x2FFA, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read back %q, want %q", got, data)
+	}
+	if m.PageCount() != 2 {
+		t.Fatalf("page count = %d, want 2 (straddle)", m.PageCount())
+	}
+}
+
+func TestMemoryTypedAccessors(t *testing.T) {
+	m := NewMemory()
+	m.WriteU32(64, 0xDEADBEEF)
+	if m.ReadU32(64) != 0xDEADBEEF {
+		t.Fatal("u32 round trip failed")
+	}
+	m.WriteU64(128, 0x0123456789ABCDEF)
+	if m.ReadU64(128) != 0x0123456789ABCDEF {
+		t.Fatal("u64 round trip failed")
+	}
+	m.WriteF32(256, 3.5)
+	if m.ReadF32(256) != 3.5 {
+		t.Fatal("f32 round trip failed")
+	}
+}
+
+// Property: last write wins, for arbitrary overlapping writes.
+func TestMemoryLastWriteWins(t *testing.T) {
+	f := func(addr uint16, a, b byte) bool {
+		m := NewMemory()
+		m.Write(uint64(addr), []byte{a})
+		m.Write(uint64(addr), []byte{b})
+		got := make([]byte, 1)
+		m.Read(uint64(addr), got)
+		return got[0] == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a write followed by a read of the same span returns the data,
+// regardless of page straddling.
+func TestMemoryWriteReadProperty(t *testing.T) {
+	f := func(addr uint32, data []byte) bool {
+		if len(data) > 3*PageSize {
+			data = data[:3*PageSize]
+		}
+		m := NewMemory()
+		m.Write(uint64(addr), data)
+		got := make([]byte, len(data))
+		m.Read(uint64(addr), got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageEnumeration(t *testing.T) {
+	m := NewMemory()
+	m.Write(0, []byte{1})
+	m.Write(PageSize*5, []byte{2})
+	pages := m.Pages()
+	if len(pages) != 2 {
+		t.Fatalf("pages = %v", pages)
+	}
+	if m.PageData(5) == nil || m.PageData(99) != nil {
+		t.Fatal("PageData lookup broken")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(2)
+	a := &Request{Addr: 1}
+	b := &Request{Addr: 2}
+	c := &Request{Addr: 3}
+	if !q.Push(a) || !q.Push(b) {
+		t.Fatal("pushes under capacity must succeed")
+	}
+	if q.Push(c) {
+		t.Fatal("push over capacity must fail")
+	}
+	if q.Peek() != a {
+		t.Fatal("peek should return oldest")
+	}
+	if q.Pop() != a || q.Pop() != b || q.Pop() != nil {
+		t.Fatal("pop order wrong")
+	}
+}
+
+func TestQueueUnbounded(t *testing.T) {
+	q := NewQueue(0)
+	for i := 0; i < 1000; i++ {
+		if !q.Push(&Request{Addr: uint64(i)}) {
+			t.Fatal("unbounded queue rejected push")
+		}
+	}
+	if q.Len() != 1000 || q.Full() {
+		t.Fatal("unbounded queue accounting wrong")
+	}
+}
+
+func TestClientClassification(t *testing.T) {
+	if ClientCPU.IsIP() {
+		t.Fatal("CPU is not an IP")
+	}
+	for _, c := range []Client{ClientGPU, ClientDisplay, ClientDMA} {
+		if !c.IsIP() {
+			t.Fatalf("%v should be an IP", c)
+		}
+	}
+	if ClientGPU.String() != "gpu" || Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("stringers broken")
+	}
+}
+
+func TestRequestComplete(t *testing.T) {
+	r := &Request{Addr: 0x40, Size: 64, IssuedAt: 10}
+	r.Complete(25)
+	if !r.Done || r.DoneAt != 25 {
+		t.Fatal("complete did not mark request")
+	}
+}

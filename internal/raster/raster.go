@@ -1,0 +1,85 @@
+package raster
+
+// RasterTileSize is the fine-raster tile edge in pixels (paper Table 7:
+// 4x4 raster tiles).
+const RasterTileSize = 4
+
+// Fragment is one covered pixel produced by fine rasterization. It keeps
+// a reference to its setup triangle plus the barycentrics, so fragment
+// shading can lazily interpolate any varying.
+type Fragment struct {
+	Tri        *SetupTri
+	X, Y       int
+	Z          float32
+	L0, L1, L2 float32
+}
+
+// RasterTile is the unit the fine rasterizer emits: the fragments of one
+// primitive covering one 4x4 screen-aligned tile.
+type RasterTile struct {
+	Tri      *SetupTri
+	TileX    int // tile origin in pixels
+	TileY    int
+	Frags    []Fragment
+	Coverage uint16 // bit per pixel, row-major within the tile
+}
+
+// FullCoverage is the coverage mask of a completely covered raster tile.
+const FullCoverage = uint16(0xFFFF)
+
+// CoarseRaster enumerates the screen tiles (of the given tile size, in
+// pixels) that the triangle's bounding box touches — the coarse
+// rasterization stage (paper Figure 3, H). The callback receives tile
+// origin coordinates.
+func CoarseRaster(t *SetupTri, tileSize int, visit func(tx, ty int)) {
+	x0 := t.X0 / tileSize * tileSize
+	y0 := t.Y0 / tileSize * tileSize
+	for ty := y0; ty < t.Y1; ty += tileSize {
+		for tx := x0; tx < t.X1; tx += tileSize {
+			visit(tx, ty)
+		}
+	}
+}
+
+// FineRaster tests the 16 pixels of the raster tile at (tileX, tileY)
+// against the triangle and returns the covered fragments, or nil if
+// empty (paper Figure 3, I). The viewport clamps pixel coordinates.
+func FineRaster(t *SetupTri, tileX, tileY int, vp Viewport) *RasterTile {
+	rt := &RasterTile{Tri: t, TileX: tileX, TileY: tileY}
+	for dy := 0; dy < RasterTileSize; dy++ {
+		py := tileY + dy
+		if py < 0 || py >= vp.Height {
+			continue
+		}
+		for dx := 0; dx < RasterTileSize; dx++ {
+			px := tileX + dx
+			if px < 0 || px >= vp.Width {
+				continue
+			}
+			l0, l1, l2, inside := t.Bary(px, py)
+			if !inside {
+				continue
+			}
+			rt.Frags = append(rt.Frags, Fragment{
+				Tri: t, X: px, Y: py,
+				Z:  t.DepthAt(l0, l1, l2),
+				L0: l0, L1: l1, L2: l2,
+			})
+			rt.Coverage |= 1 << (dy*RasterTileSize + dx)
+		}
+	}
+	if len(rt.Frags) == 0 {
+		return nil
+	}
+	return rt
+}
+
+// Rasterize runs coarse+fine rasterization over the whole triangle,
+// emitting non-empty raster tiles in tile-scan order.
+func Rasterize(t *SetupTri, vp Viewport, emit func(*RasterTile)) {
+	CoarseRaster(t, RasterTileSize, func(tx, ty int) {
+		if rt := FineRaster(t, tx, ty, vp); rt != nil {
+			emit(rt)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+// Package raster implements the fixed-function geometry and raster
+// stages of the Emerald pipeline (paper Figure 3, stages D-J): primitive
+// assembly, clipping & culling, primitive setup, coarse rasterization
+// over screen tiles, fine rasterization into 4x4 raster tiles, and the
+// Hierarchical-Z buffer.
+package raster
+
+import "emerald/internal/mathx"
+
+// MaxVaryings is the number of vec4 attributes carried from vertex to
+// fragment shading (position excluded).
+const MaxVaryings = 4
+
+// Vertex is a post-vertex-shading vertex: a clip-space position plus
+// varyings.
+type Vertex struct {
+	Clip  mathx.Vec4
+	Attrs [MaxVaryings][4]float32
+}
+
+// Primitive is an assembled triangle.
+type Primitive struct {
+	ID uint32 // draw-order id (PMRB ordering key)
+	V  [3]Vertex
+}
+
+// Viewport describes the render target mapping.
+type Viewport struct {
+	Width, Height int
+}
+
+// PrimMode enumerates supported OpenGL primitive topologies.
+type PrimMode uint8
+
+// Primitive topologies.
+const (
+	Triangles PrimMode = iota
+	TriangleStrip
+	TriangleFan
+)
+
+// VertexOverlap returns how many vertices of warp-aligned batches must
+// overlap between consecutive vertex warps for this topology, so
+// primitive processing never needs to consult another warp's vertices
+// (paper §3.3.3: "batches of, sometimes overlapping, warps").
+func (m PrimMode) VertexOverlap() int {
+	switch m {
+	case TriangleStrip:
+		return 2
+	case TriangleFan:
+		return 2 // fan also re-reads the hub vertex; handled by the batcher
+	}
+	return 0
+}
+
+// Assemble converts an index stream into triangle index triples
+// according to the topology. Degenerate index counts are truncated.
+func Assemble(mode PrimMode, indices []uint32) [][3]uint32 {
+	var out [][3]uint32
+	switch mode {
+	case Triangles:
+		for i := 0; i+2 < len(indices); i += 3 {
+			out = append(out, [3]uint32{indices[i], indices[i+1], indices[i+2]})
+		}
+	case TriangleStrip:
+		for i := 0; i+2 < len(indices); i++ {
+			a, b, c := indices[i], indices[i+1], indices[i+2]
+			if i%2 == 1 {
+				a, b = b, a // preserve winding
+			}
+			out = append(out, [3]uint32{a, b, c})
+		}
+	case TriangleFan:
+		for i := 1; i+1 < len(indices); i++ {
+			out = append(out, [3]uint32{indices[0], indices[i], indices[i+1]})
+		}
+	}
+	return out
+}

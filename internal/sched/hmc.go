@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"emerald/internal/dram"
+	"emerald/internal/mem"
+)
+
+// BaselineDRAM returns the paper's baseline DRAM configuration (Table 4):
+// all channels page-striped ("Row:Rank:Bank:Column:Channel") with FR-FCFS
+// scheduling and address-interleaved channel selection.
+func BaselineDRAM(name string, g dram.Geometry, t dram.Timing) dram.Config {
+	return dram.Config{
+		Name:      name,
+		Geometry:  g,
+		Timing:    t,
+		Mappings:  []dram.Mapping{dram.MappingPageStriped(g)},
+		Scheduler: dram.NewFRFCFS(),
+	}
+}
+
+// HMCDRAM returns the heterogeneous memory controller organization of
+// Nachiappan et al. (Table 4): with 2 channels, channel 0 is dedicated to
+// CPU traffic using the locality-preserving page-striped mapping, and
+// channel 1 to IP traffic using the parallelism-oriented line-striped
+// mapping. Both use FR-FCFS. Channel geometry must have >= 2 channels.
+//
+// Because each traffic class owns its channel outright, the decoded
+// channel field of the per-channel mapping is ignored — the Assign hook
+// routes by traffic source, which is exactly HMC's organization (and the
+// source of its imbalance problems in the paper's Figure 10).
+func HMCDRAM(name string, g dram.Geometry, t dram.Timing) dram.Config {
+	cpuMap := dram.MappingPageStriped(singleChannel(g))
+	ipMap := dram.MappingLineStriped(singleChannel(g))
+	mappings := make([]dram.Mapping, g.Channels)
+	for i := range mappings {
+		if i == 0 {
+			mappings[i] = cpuMap
+		} else {
+			mappings[i] = ipMap
+		}
+	}
+	return dram.Config{
+		Name:     name,
+		Geometry: g,
+		Timing:   t,
+		Mappings: mappings,
+		Assign: func(r *mem.Request) int {
+			if r.Client == mem.ClientCPU {
+				return 0
+			}
+			return 1
+		},
+		Scheduler: dram.NewFRFCFS(),
+	}
+}
+
+// DASHDRAM returns the baseline organization with the DASH scheduler
+// attached; the returned *DASH must be fed RegisterIP/StartFrame/
+// ReportProgress by the system model.
+func DASHDRAM(name string, g dram.Geometry, t dram.Timing, cfg DASHConfig) (dram.Config, *DASH) {
+	d := NewDASH(cfg)
+	c := dram.Config{
+		Name:      name,
+		Geometry:  g,
+		Timing:    t,
+		Mappings:  []dram.Mapping{dram.MappingPageStriped(g)},
+		Scheduler: d,
+	}
+	return c, d
+}
+
+// singleChannel returns g reshaped to one channel, for per-channel
+// mappings under source-routed assignment.
+func singleChannel(g dram.Geometry) dram.Geometry {
+	g.Channels = 1
+	return g
+}

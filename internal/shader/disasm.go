@@ -1,0 +1,151 @@
+package shader
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// opNames maps opcodes back to mnemonics (inverse of the assembler
+// table; setp handled separately).
+var opNames = map[Opcode]string{
+	OpNop: "nop", OpFMov: "mov", OpFAdd: "add", OpFSub: "sub",
+	OpFMul: "mul", OpFDiv: "div", OpFMin: "min", OpFMax: "max",
+	OpFMad: "mad", OpFAbs: "abs", OpFNeg: "neg", OpFFlr: "flr",
+	OpFFrc: "frc", OpFRcp: "rcp", OpFRsq: "rsq", OpFSqrt: "sqrt",
+	OpFSin: "sin", OpFCos: "cos", OpFEx2: "ex2", OpFLg2: "lg2",
+	OpIAdd: "iadd", OpISub: "isub", OpIMul: "imul", OpIMad: "imad",
+	OpIMin: "imin", OpIMax: "imax", OpIAnd: "and", OpIOr: "or",
+	OpIXor: "xor", OpIShl: "shl", OpIShr: "shr",
+	OpCvtFI: "cvt.f2i", OpCvtIF: "cvt.i2f",
+	OpSelp: "selp", OpBra: "bra", OpSSY: "ssy", OpExit: "exit",
+	OpKill: "kill", OpBar: "bar", OpMovS: "movs",
+	OpLdGlobal: "ldg", OpStGlobal: "stg", OpLdShared: "lds",
+	OpStShared: "sts", OpLdConst: "ldc", OpAtomAdd: "atom.add",
+	OpAttr4: "attr4", OpOut4: "out4", OpTex4: "tex4",
+	OpZLd: "zld", OpZSt: "zst", OpFBLd: "fbld", OpFBSt: "fbst",
+	OpPack4: "pack4", OpUnpk4: "unpk4",
+}
+
+var sregByIndex = func() map[SReg]string {
+	m := make(map[SReg]string, len(sregNames))
+	for name, r := range sregNames {
+		m[r] = name
+	}
+	return m
+}()
+
+// isIntOp reports whether immediates of the opcode carry integer bits.
+func isIntOp(op Opcode) bool {
+	switch op {
+	case OpIAdd, OpISub, OpIMul, OpIMad, OpIMin, OpIMax, OpIAnd, OpIOr,
+		OpIXor, OpIShl, OpIShr, OpCvtIF, OpSetpI,
+		OpLdGlobal, OpStGlobal, OpLdShared, OpStShared, OpLdConst, OpAtomAdd:
+		return true
+	}
+	return false
+}
+
+func srcString(s Src, intImm bool) string {
+	if !s.IsImm {
+		return fmt.Sprintf("r%d", s.Reg)
+	}
+	if intImm {
+		return fmt.Sprintf("%d", int32(s.Imm))
+	}
+	return strings.TrimRight(strings.TrimRight(
+		fmt.Sprintf("%g", math.Float32frombits(s.Imm)), "0"), ".")
+}
+
+// memString renders a memory operand.
+func memString(in Instr) string {
+	if in.B.IsImm {
+		return fmt.Sprintf("[%d]", in.Off)
+	}
+	if in.Off == 0 {
+		return fmt.Sprintf("[r%d]", in.B.Reg)
+	}
+	if in.Off < 0 {
+		return fmt.Sprintf("[r%d-%d]", in.B.Reg, -in.Off)
+	}
+	return fmt.Sprintf("[r%d+%d]", in.B.Reg, in.Off)
+}
+
+// DisasmInstr renders one instruction in assembler syntax. Branch/ssy
+// targets print as "pcN" labels.
+func DisasmInstr(in Instr) string {
+	var b strings.Builder
+	if in.Pred >= 0 {
+		if in.Neg {
+			fmt.Fprintf(&b, "@!p%d ", in.Pred)
+		} else {
+			fmt.Fprintf(&b, "@p%d ", in.Pred)
+		}
+	}
+	intImm := isIntOp(in.Op)
+	switch in.Op {
+	case OpSetpF:
+		fmt.Fprintf(&b, "setp.%s.f p%d, %s, %s", in.Cmp, in.Dst,
+			srcString(in.A, false), srcString(in.B, false))
+	case OpSetpI:
+		fmt.Fprintf(&b, "setp.%s.i p%d, %s, %s", in.Cmp, in.Dst,
+			srcString(in.A, true), srcString(in.B, true))
+	case OpSelp:
+		fmt.Fprintf(&b, "selp r%d, %s, %s, p%d", in.Dst,
+			srcString(in.A, false), srcString(in.B, false), in.Slot)
+	case OpBra, OpSSY:
+		fmt.Fprintf(&b, "%s pc%d", opNames[in.Op], in.Target)
+	case OpNop, OpExit, OpKill, OpBar:
+		b.WriteString(opNames[in.Op])
+	case OpMovS:
+		name := sregByIndex[SReg(in.Slot)]
+		fmt.Fprintf(&b, "movs r%d, %s", in.Dst, name)
+	case OpLdGlobal, OpLdShared, OpLdConst:
+		fmt.Fprintf(&b, "%s r%d, %s", opNames[in.Op], in.Dst, memString(in))
+	case OpStGlobal, OpStShared:
+		fmt.Fprintf(&b, "%s %s, %s", opNames[in.Op], memString(in), srcString(in.A, true))
+	case OpAtomAdd:
+		fmt.Fprintf(&b, "atom.add r%d, %s, %s", in.Dst, memString(in), srcString(in.A, true))
+	case OpAttr4:
+		fmt.Fprintf(&b, "attr4 r%d, %d", in.Dst, in.Slot)
+	case OpOut4:
+		fmt.Fprintf(&b, "out4 %d, %s", in.Slot, srcString(in.A, false))
+	case OpTex4:
+		fmt.Fprintf(&b, "tex4 r%d, %d, %s, %s", in.Dst, in.Slot,
+			srcString(in.A, false), srcString(in.B, false))
+	case OpZLd, OpFBLd:
+		fmt.Fprintf(&b, "%s r%d", opNames[in.Op], in.Dst)
+	case OpZSt, OpFBSt:
+		fmt.Fprintf(&b, "%s %s", opNames[in.Op], srcString(in.A, false))
+	case OpPack4, OpUnpk4, OpFMov, OpFAbs, OpFNeg, OpFFlr, OpFFrc,
+		OpFRcp, OpFRsq, OpFSqrt, OpFSin, OpFCos, OpFEx2, OpFLg2,
+		OpCvtFI, OpCvtIF:
+		fmt.Fprintf(&b, "%s r%d, %s", opNames[in.Op], in.Dst, srcString(in.A, intImm))
+	case OpFMad, OpIMad:
+		fmt.Fprintf(&b, "%s r%d, %s, %s, %s", opNames[in.Op], in.Dst,
+			srcString(in.A, intImm), srcString(in.B, intImm), srcString(in.C, intImm))
+	default:
+		fmt.Fprintf(&b, "%s r%d, %s, %s", opNames[in.Op], in.Dst,
+			srcString(in.A, intImm), srcString(in.B, intImm))
+	}
+	return b.String()
+}
+
+// Disassemble renders a whole program with pc labels at branch targets.
+func Disassemble(p *Program) string {
+	targets := map[uint32]bool{}
+	for _, in := range p.Code {
+		if in.Op == OpBra || in.Op == OpSSY {
+			targets[in.Target] = true
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; %s\n", p.String())
+	for pc, in := range p.Code {
+		if targets[uint32(pc)] {
+			fmt.Fprintf(&b, "pc%d:\n", pc)
+		}
+		fmt.Fprintf(&b, "\t%s\n", DisasmInstr(in))
+	}
+	return b.String()
+}

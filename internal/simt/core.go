@@ -1,0 +1,436 @@
+package simt
+
+import (
+	"fmt"
+
+	"emerald/internal/cache"
+	"emerald/internal/mem"
+	"emerald/internal/shader"
+	"emerald/internal/stats"
+)
+
+// CoreConfig describes one SIMT core (paper Tables 2, 5 and 7).
+type CoreConfig struct {
+	ID        int
+	ClusterID int
+
+	MaxWarps    int // concurrent warp slots (2048 threads = 64 warps)
+	Schedulers  int // warp schedulers issuing 1 instr/cycle each
+	RegFile     int // 32-bit registers per core (occupancy limit)
+	SharedBytes int // scratchpad size per core
+
+	ALULatency uint64 // cycles to writeback for ALU ops
+	SFULatency uint64 // cycles to writeback for SFU ops
+	SFUStall   uint64 // extra issue stall after an SFU op (throughput)
+	LSUWidth   int    // memory transactions issued per cycle
+
+	// Cache configs (Name/Client filled in by the core).
+	L1D, L1T, L1Z, L1C cache.Config
+
+	// GTO selects greedy-then-oldest warp scheduling; false = loose
+	// round-robin.
+	GTO bool
+}
+
+// DefaultCoreConfig mirrors the paper's Case Study II per-core
+// configuration (Table 7) with Table 2's cache set.
+func DefaultCoreConfig() CoreConfig {
+	return CoreConfig{
+		MaxWarps:    64, // 2048 threads / 32
+		Schedulers:  2,
+		RegFile:     65536,
+		SharedBytes: 48 * 1024,
+		ALULatency:  4,
+		SFULatency:  16,
+		SFUStall:    4,
+		LSUWidth:    1,
+		GTO:         true,
+		// GPGPU-Sim-style policies: L1D write-through/no-allocate, L1Z
+		// write-back (depth is re-read and re-written densely), L1T/L1C
+		// read-only.
+		L1D: cache.Config{SizeBytes: 32 * 1024, LineBytes: 128, Ways: 8, HitLatency: 28, MSHRs: 64, MSHRTargets: 16, WriteThrough: true},
+		L1T: cache.Config{SizeBytes: 48 * 1024, LineBytes: 128, Ways: 24, HitLatency: 30, MSHRs: 96, MSHRTargets: 16},
+		L1Z: cache.Config{SizeBytes: 32 * 1024, LineBytes: 128, Ways: 8, HitLatency: 28, MSHRs: 64, MSHRTargets: 16, WriteBack: true, Allocate: true},
+		L1C: cache.Config{SizeBytes: 16 * 1024, LineBytes: 128, Ways: 4, HitLatency: 20, MSHRs: 32, MSHRTargets: 16},
+	}
+}
+
+// transaction is one coalesced memory access belonging to a memOp.
+type transaction struct {
+	addr  uint64
+	kind  mem.Kind
+	cache *cache.Cache // nil = raw store to the output port (vertex out)
+	op    *memOp
+}
+
+// memOp tracks one warp memory instruction until its data returns.
+type memOp struct {
+	warp      *Warp
+	regs      []uint8
+	remaining int
+	isLoad    bool
+}
+
+// wbEvent releases scoreboard entries at a future cycle (ALU/SFU
+// latency, cache hit latency).
+type wbEvent struct {
+	at   uint64
+	warp *Warp
+	regs []uint8
+	op   *memOp // when set, decrement op instead of direct unlock
+}
+
+// Core is one SIMT core.
+type Core struct {
+	Cfg CoreConfig
+
+	warps []*Warp
+	// blocks tracks compute thread blocks for barrier handling.
+	blocks map[int]*blockState
+
+	L1D, L1T, L1Z, L1C *cache.Cache
+
+	// Out carries this core's miss/writeback traffic toward the cluster
+	// and L2. The owner (cluster model) drains it.
+	Out *mem.Queue
+
+	// txQueue holds coalesced transactions awaiting cache issue.
+	txQueue []*transaction
+
+	events []wbEvent
+
+	lastScheduled int
+	warpSeq       uint64
+
+	// Stats.
+	reg            *stats.Registry
+	instrs         *stats.Counter
+	cycles         *stats.Counter
+	warpsLaunched  *stats.Counter
+	warpsRetired   *stats.Counter
+	divergences    *stats.Counter
+	memStalls      *stats.Counter
+	issueIdle      *stats.Counter
+	threadsRetired *stats.Counter
+}
+
+type blockState struct {
+	warps     []*Warp
+	atBarrier int
+	live      int
+}
+
+// NewCore builds a core. reg may be nil.
+func NewCore(cfg CoreConfig, reg *stats.Registry) *Core {
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	if cfg.MaxWarps == 0 {
+		cfg = DefaultCoreConfig()
+	}
+	scope := reg.Scope(fmt.Sprintf("core%d_%d", cfg.ClusterID, cfg.ID))
+	mkCache := func(name string, c cache.Config) *cache.Cache {
+		c.Name = name
+		c.Client = mem.ClientGPU
+		c.ClientID = cfg.ClusterID
+		return cache.New(c, scope)
+	}
+	core := &Core{
+		Cfg:            cfg,
+		blocks:         make(map[int]*blockState),
+		L1D:            mkCache("l1d", cfg.L1D),
+		L1T:            mkCache("l1t", cfg.L1T),
+		L1Z:            mkCache("l1z", cfg.L1Z),
+		L1C:            mkCache("l1c", cfg.L1C),
+		Out:            mem.NewQueue(0),
+		reg:            scope,
+		instrs:         scope.Counter("instructions"),
+		cycles:         scope.Counter("cycles"),
+		warpsLaunched:  scope.Counter("warps_launched"),
+		warpsRetired:   scope.Counter("warps_retired"),
+		divergences:    scope.Counter("divergences"),
+		memStalls:      scope.Counter("mem_stalls"),
+		issueIdle:      scope.Counter("issue_idle"),
+		threadsRetired: scope.Counter("threads_retired"),
+	}
+	for _, c := range []*cache.Cache{core.L1D, core.L1T, core.L1Z, core.L1C} {
+		c.OnReady = core.onCacheReady
+	}
+	return core
+}
+
+// Registry returns the core's stats scope.
+func (c *Core) Registry() *stats.Registry { return c.reg }
+
+// ActiveWarps returns the number of resident warps.
+func (c *Core) ActiveWarps() int { return len(c.warps) }
+
+// regsFree computes remaining register file capacity.
+func (c *Core) regsFree() int {
+	used := 0
+	for _, w := range c.warps {
+		used += w.Prog.RegsUsed * WarpSize
+	}
+	return c.Cfg.RegFile - used
+}
+
+// CanLaunch reports whether a warp of prog can be accepted now.
+func (c *Core) CanLaunch(prog *shader.Program) bool {
+	return len(c.warps) < c.Cfg.MaxWarps && c.regsFree() >= prog.RegsUsed*WarpSize
+}
+
+// Launch places a new warp on the core. mask selects live lanes;
+// specials seeds per-lane special registers; init may preload registers.
+// blockID < 0 means no thread block (graphics warps).
+func (c *Core) Launch(prog *shader.Program, env WarpEnv, blockID int, mask uint32,
+	specials [WarpSize]shader.Special, init func(lane int, t *shader.Thread)) (*Warp, error) {
+	if !c.CanLaunch(prog) {
+		return nil, fmt.Errorf("simt: core %d full (%d warps)", c.Cfg.ID, len(c.warps))
+	}
+	if mask == 0 {
+		return nil, fmt.Errorf("simt: empty launch mask")
+	}
+	w := newWarp(int(c.warpSeq), prog, env, blockID, mask)
+	c.warpSeq++
+	w.LaunchedAt = c.warpSeq
+	w.Special = specials
+	if init != nil {
+		for lane := 0; lane < WarpSize; lane++ {
+			if mask&(1<<lane) != 0 {
+				init(lane, &w.Threads[lane])
+			}
+		}
+	}
+	c.warps = append(c.warps, w)
+	c.warpsLaunched.Inc()
+	if blockID >= 0 {
+		b := c.blocks[blockID]
+		if b == nil {
+			b = &blockState{}
+			c.blocks[blockID] = b
+		}
+		b.warps = append(b.warps, w)
+		b.live++
+	}
+	return w, nil
+}
+
+// Idle reports whether the core has no warps and no outstanding memory.
+func (c *Core) Idle() bool {
+	return len(c.warps) == 0 && len(c.txQueue) == 0 && len(c.events) == 0
+}
+
+// Tick advances the core one cycle.
+func (c *Core) Tick(cycle uint64) {
+	c.cycles.Inc()
+
+	// 1. Writeback events.
+	kept := c.events[:0]
+	for _, e := range c.events {
+		if e.at <= cycle {
+			c.completeEvent(e, cycle)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	c.events = kept
+
+	// 2. Caches retire fills (may call onCacheReady).
+	c.L1D.Tick(cycle)
+	c.L1T.Tick(cycle)
+	c.L1Z.Tick(cycle)
+	c.L1C.Tick(cycle)
+
+	// 3. Drain cache miss traffic into the core output port.
+	for _, ca := range []*cache.Cache{c.L1D, c.L1T, c.L1Z, c.L1C} {
+		for {
+			r := ca.Out.Peek()
+			if r == nil {
+				break
+			}
+			ca.Out.Pop()
+			c.Out.Push(r)
+		}
+	}
+
+	// 4. LSU: issue pending transactions.
+	c.issueTransactions(cycle)
+
+	// 5. Warp schedulers.
+	for s := 0; s < c.Cfg.Schedulers; s++ {
+		c.issueOne(cycle)
+	}
+
+	// 6. Reap finished warps.
+	c.reap()
+}
+
+func (c *Core) completeEvent(e wbEvent, cycle uint64) {
+	if e.op != nil {
+		e.op.remaining--
+		if e.op.remaining == 0 {
+			e.op.warp.unlock(e.op.regs)
+			e.op.warp.outstanding--
+		}
+		return
+	}
+	e.warp.unlock(e.regs)
+}
+
+// onCacheReady is invoked by a cache when a missed line returns.
+func (c *Core) onCacheReady(waiter any, cycle uint64) {
+	op, ok := waiter.(*memOp)
+	if !ok || op == nil {
+		return
+	}
+	op.remaining--
+	if op.remaining == 0 {
+		op.warp.unlock(op.regs)
+		op.warp.outstanding--
+	}
+}
+
+// issueTransactions pushes queued coalesced accesses into caches.
+func (c *Core) issueTransactions(cycle uint64) {
+	n := 0
+	for len(c.txQueue) > 0 && n < c.Cfg.LSUWidth {
+		tx := c.txQueue[0]
+		if tx.cache == nil {
+			// Raw store (vertex output): straight to the output port.
+			c.Out.Push(&mem.Request{
+				Addr: tx.addr, Size: 16, Kind: mem.Write,
+				Client: mem.ClientGPU, ClientID: c.Cfg.ClusterID, IssuedAt: cycle,
+			})
+			c.finishTx(tx, cycle, 1)
+			c.txQueue = c.txQueue[1:]
+			n++
+			continue
+		}
+		res := tx.cache.Access(cycle, tx.addr, tx.kind, tx.op)
+		switch res {
+		case cache.Hit:
+			c.finishTx(tx, cycle, tx.cache.Config().HitLatency)
+			c.txQueue = c.txQueue[1:]
+			n++
+		case cache.Miss:
+			// Waiter registered with the MSHR; fill will decrement.
+			c.txQueue = c.txQueue[1:]
+			n++
+		case cache.Blocked:
+			c.memStalls.Inc()
+			return // in-order LSU: retry next cycle
+		}
+	}
+}
+
+// finishTx schedules the transaction's completion after lat cycles.
+func (c *Core) finishTx(tx *transaction, cycle, lat uint64) {
+	if tx.op == nil {
+		return
+	}
+	c.events = append(c.events, wbEvent{at: cycle + lat, op: tx.op, warp: tx.op.warp})
+}
+
+// warpReady reports whether w can issue at this cycle.
+func (c *Core) warpReady(w *Warp, cycle uint64) bool {
+	if w.done || w.atBarrier || w.readyAt > cycle {
+		return false
+	}
+	if len(w.stack) == 0 {
+		return false
+	}
+	pc := w.PC()
+	if pc >= uint32(len(w.Prog.Code)) {
+		return false
+	}
+	in := w.Prog.Code[pc]
+	if w.hazard(in) {
+		return false
+	}
+	// LSU backpressure: don't issue memory work into a saturated queue.
+	if in.IsMemory() && len(c.txQueue) >= txQueueDepth {
+		return false
+	}
+	// Memory fences: a memory instruction waits for prior ones from this
+	// warp to at least issue (outstanding loads are covered by the
+	// scoreboard; ROP ordering relies on program order).
+	if in.IsMemory() && w.outstanding > 0 && shader.ClassOf(in.Op) == shader.ClassROP {
+		return false
+	}
+	return true
+}
+
+// issueOne lets one scheduler pick and execute a warp instruction.
+func (c *Core) issueOne(cycle uint64) {
+	n := len(c.warps)
+	if n == 0 {
+		c.issueIdle.Inc()
+		return
+	}
+	// Greedy-then-oldest: try the last-issued warp first, then oldest
+	// launch order; LRR just rotates.
+	order := make([]*Warp, 0, n)
+	if c.Cfg.GTO {
+		var greedy *Warp
+		for _, w := range c.warps {
+			if w.lastIssued == cycle-1 && cycle > 0 {
+				greedy = w
+				break
+			}
+		}
+		if greedy != nil {
+			order = append(order, greedy)
+		}
+		for _, w := range c.warps {
+			if w != greedy {
+				order = append(order, w)
+			}
+		}
+	} else {
+		start := c.lastScheduled % n
+		for i := 0; i < n; i++ {
+			order = append(order, c.warps[(start+i)%n])
+		}
+		c.lastScheduled++
+	}
+	for _, w := range order {
+		if !c.warpReady(w, cycle) {
+			continue
+		}
+		c.execute(w, cycle)
+		w.lastIssued = cycle
+		return
+	}
+	c.issueIdle.Inc()
+}
+
+// reap removes retired warps and fires their env callbacks.
+func (c *Core) reap() {
+	kept := c.warps[:0]
+	for _, w := range c.warps {
+		if w.done && w.outstanding == 0 {
+			c.warpsRetired.Inc()
+			if w.BlockID >= 0 {
+				if b := c.blocks[w.BlockID]; b != nil {
+					b.live--
+					if b.live == 0 {
+						delete(c.blocks, w.BlockID)
+					} else if b.atBarrier >= b.live && b.atBarrier > 0 {
+						// A warp exited while siblings wait: the barrier
+						// is now satisfied by the survivors.
+						for _, bw := range b.warps {
+							bw.atBarrier = false
+						}
+						b.atBarrier = 0
+					}
+				}
+			}
+			if w.Env != nil {
+				w.Env.Retired(w)
+			}
+			continue
+		}
+		kept = append(kept, w)
+	}
+	c.warps = kept
+}

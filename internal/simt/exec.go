@@ -1,0 +1,342 @@
+package simt
+
+import (
+	"math"
+
+	"emerald/internal/cache"
+	"emerald/internal/mem"
+	"emerald/internal/shader"
+)
+
+// sharedLatency is the scratchpad access latency in cycles.
+const sharedLatency = 24
+
+// atomExtraLatency models the round trip to the L2 atomic unit beyond a
+// regular global access.
+const atomExtraLatency = 20
+
+// txQueueDepth bounds the LSU's pending coalesced transactions.
+const txQueueDepth = 192
+
+// execute runs one instruction for warp w. The functional architectural
+// effects happen immediately (the simulator is deterministic and
+// single-threaded); timing effects are modeled through the scoreboard,
+// writeback events and cache transactions.
+func (c *Core) execute(w *Warp, cycle uint64) {
+	pc := w.PC()
+	in := w.Prog.Code[pc]
+	mask := w.ActiveMask()
+	c.instrs.Inc()
+
+	// Per-lane predication mask.
+	exec := uint32(0)
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		if shader.Active(in, &w.Threads[lane]) {
+			exec |= 1 << lane
+		}
+	}
+
+	switch in.Op {
+	case shader.OpSSY:
+		w.pendingRPC = in.Target
+		w.advance()
+		return
+	case shader.OpBra:
+		if w.branch(in.Target, exec) {
+			c.divergences.Inc()
+		}
+		w.reconverge()
+		return
+	case shader.OpExit, shader.OpKill:
+		if exec != 0 {
+			c.threadsRetired.Add(int64(popcount(exec)))
+			w.exitLanes(exec)
+		} else {
+			w.advance()
+		}
+		return
+	case shader.OpBar:
+		w.advance()
+		c.barrier(w)
+		return
+	}
+
+	cls := shader.ClassOf(in.Op)
+	switch cls {
+	case shader.ClassALU, shader.ClassSFU:
+		for lane := 0; lane < WarpSize; lane++ {
+			if exec&(1<<lane) != 0 {
+				shader.ExecALU(in, &w.Threads[lane], w.Special[lane])
+			}
+		}
+		if regs := w.lockDst(in); regs != nil {
+			lat := c.Cfg.ALULatency
+			if cls == shader.ClassSFU {
+				lat = c.Cfg.SFULatency
+			}
+			c.events = append(c.events, wbEvent{at: cycle + lat, warp: w, regs: regs})
+		}
+		if cls == shader.ClassSFU {
+			w.readyAt = cycle + 1 + c.Cfg.SFUStall
+		}
+		w.advance()
+	default:
+		c.executeMem(w, in, exec, cycle)
+		w.advance()
+	}
+}
+
+// executeMem handles every memory-class instruction: functional effect
+// now, timing via coalesced cache transactions.
+func (c *Core) executeMem(w *Warp, in shader.Instr, exec uint32, cycle uint64) {
+	memory := w.Env.Memory()
+
+	// lineAddrs coalesces per-lane addresses into unique cache lines.
+	coalesce := func(target *cache.Cache, addrs []uint64) []uint64 {
+		seen := make(map[uint64]bool, 4)
+		var lines []uint64
+		for _, a := range addrs {
+			la := target.LineAddr(a)
+			if !seen[la] {
+				seen[la] = true
+				lines = append(lines, la)
+			}
+		}
+		return lines
+	}
+
+	// issueLoad locks dst registers and enqueues read transactions.
+	issueLoad := func(target *cache.Cache, addrs []uint64, regs []uint8) {
+		if len(addrs) == 0 {
+			// No memory touched (e.g. all lanes predicated off):
+			// release immediately via a short event.
+			if regs != nil {
+				c.events = append(c.events, wbEvent{at: cycle + c.Cfg.ALULatency, warp: w, regs: regs})
+			}
+			return
+		}
+		lines := coalesce(target, addrs)
+		op := &memOp{warp: w, regs: regs, remaining: len(lines), isLoad: true}
+		w.outstanding++
+		for _, la := range lines {
+			c.txQueue = append(c.txQueue, &transaction{addr: la, kind: mem.Read, cache: target, op: op})
+		}
+	}
+
+	// issueStore enqueues fire-and-forget write transactions.
+	issueStore := func(target *cache.Cache, addrs []uint64) {
+		if len(addrs) == 0 {
+			return
+		}
+		for _, la := range coalesce(target, addrs) {
+			c.txQueue = append(c.txQueue, &transaction{addr: la, kind: mem.Write, cache: target})
+		}
+	}
+
+	lanes := func(f func(lane int, t *shader.Thread)) {
+		for lane := 0; lane < WarpSize; lane++ {
+			if exec&(1<<lane) != 0 {
+				f(lane, &w.Threads[lane])
+			}
+		}
+	}
+
+	switch in.Op {
+	case shader.OpLdGlobal:
+		var addrs []uint64
+		lanes(func(lane int, t *shader.Thread) {
+			ea := shader.EA(in, t)
+			t.SetU(in.Dst, memory.ReadU32(ea))
+			addrs = append(addrs, ea)
+		})
+		issueLoad(c.L1D, addrs, w.lockDst(in))
+
+	case shader.OpStGlobal:
+		var addrs []uint64
+		lanes(func(lane int, t *shader.Thread) {
+			ea := shader.EA(in, t)
+			memory.WriteU32(ea, t.U(in.A))
+			addrs = append(addrs, ea)
+		})
+		issueStore(c.L1D, addrs)
+
+	case shader.OpAtomAdd:
+		var addrs []uint64
+		lanes(func(lane int, t *shader.Thread) {
+			ea := shader.EA(in, t)
+			old := memory.ReadF32(ea)
+			memory.WriteF32(ea, old+t.F(in.A))
+			t.SetF(in.Dst, old)
+			addrs = append(addrs, ea)
+		})
+		issueLoad(c.L1D, addrs, w.lockDst(in))
+		w.readyAt = cycle + atomExtraLatency
+
+	case shader.OpLdShared:
+		sh := w.Env.SharedMem()
+		lanes(func(lane int, t *shader.Thread) {
+			off := int(shader.EA(in, t))
+			if sh != nil && off >= 0 && off+4 <= len(sh) {
+				t.SetU(in.Dst, leU32(sh[off:]))
+			} else {
+				t.SetU(in.Dst, 0)
+			}
+		})
+		if regs := w.lockDst(in); regs != nil {
+			c.events = append(c.events, wbEvent{at: cycle + sharedLatency, warp: w, regs: regs})
+		}
+
+	case shader.OpStShared:
+		sh := w.Env.SharedMem()
+		lanes(func(lane int, t *shader.Thread) {
+			off := int(shader.EA(in, t))
+			if sh != nil && off >= 0 && off+4 <= len(sh) {
+				putU32(sh[off:], t.U(in.A))
+			}
+		})
+		w.readyAt = cycle + 1
+
+	case shader.OpLdConst:
+		base := w.Env.ConstBase()
+		var addrs []uint64
+		lanes(func(lane int, t *shader.Thread) {
+			ea := base + shader.EA(in, t)
+			t.SetU(in.Dst, memory.ReadU32(ea))
+			addrs = append(addrs, ea)
+		})
+		issueLoad(c.L1C, addrs, w.lockDst(in))
+
+	case shader.OpAttr4:
+		var addrs []uint64
+		lanes(func(lane int, t *shader.Thread) {
+			val, addr := w.Env.AttrIn(lane, int(in.Slot))
+			for i := 0; i < 4; i++ {
+				t.SetF(in.Dst+uint8(i), val[i])
+			}
+			if addr != 0 {
+				addrs = append(addrs, addr, addr+12) // vec4 spans 16 bytes
+			}
+		})
+		regs := w.lockDst(in)
+		if len(addrs) > 0 {
+			issueLoad(c.L1C, addrs, regs)
+		} else if regs != nil {
+			// Fragment varyings: plane-equation evaluation, ALU cost.
+			c.events = append(c.events, wbEvent{at: cycle + c.Cfg.ALULatency, warp: w, regs: regs})
+		}
+
+	case shader.OpOut4:
+		var addrs []uint64
+		lanes(func(lane int, t *shader.Thread) {
+			r := in.A.Reg
+			val := [4]float32{
+				math.Float32frombits(t.Regs[r]),
+				math.Float32frombits(t.Regs[r+1]),
+				math.Float32frombits(t.Regs[r+2]),
+				math.Float32frombits(t.Regs[r+3]),
+			}
+			if addr := w.Env.OutWrite(lane, int(in.Slot), val); addr != 0 {
+				addrs = append(addrs, addr)
+			}
+		})
+		// Vertex outputs stream directly to the L2-backed output buffer,
+		// bypassing L1 (cache == nil).
+		for _, a := range addrs {
+			c.txQueue = append(c.txQueue, &transaction{addr: a, kind: mem.Write})
+		}
+
+	case shader.OpTex4:
+		var addrs []uint64
+		lanes(func(lane int, t *shader.Thread) {
+			u, v := t.F(in.A), t.F(in.B)
+			val, texels := w.Env.Tex(lane, int(in.Slot), u, v)
+			for i := 0; i < 4; i++ {
+				t.SetF(in.Dst+uint8(i), val[i])
+			}
+			for _, a := range texels {
+				if a != 0 {
+					addrs = append(addrs, a)
+				}
+			}
+		})
+		issueLoad(c.L1T, addrs, w.lockDst(in))
+
+	case shader.OpZLd:
+		var addrs []uint64
+		lanes(func(lane int, t *shader.Thread) {
+			a := w.Env.ZAddr(lane)
+			t.SetF(in.Dst, memory.ReadF32(a))
+			addrs = append(addrs, a)
+		})
+		issueLoad(c.L1Z, addrs, w.lockDst(in))
+
+	case shader.OpZSt:
+		var addrs []uint64
+		lanes(func(lane int, t *shader.Thread) {
+			a := w.Env.ZAddr(lane)
+			memory.WriteF32(a, t.F(in.A))
+			addrs = append(addrs, a)
+		})
+		issueStore(c.L1Z, addrs)
+
+	case shader.OpFBLd:
+		var addrs []uint64
+		lanes(func(lane int, t *shader.Thread) {
+			a := w.Env.CAddr(lane)
+			t.SetU(in.Dst, memory.ReadU32(a))
+			addrs = append(addrs, a)
+		})
+		issueLoad(c.L1D, addrs, w.lockDst(in))
+
+	case shader.OpFBSt:
+		var addrs []uint64
+		lanes(func(lane int, t *shader.Thread) {
+			a := w.Env.CAddr(lane)
+			memory.WriteU32(a, t.U(in.A))
+			addrs = append(addrs, a)
+		})
+		issueStore(c.L1D, addrs)
+	}
+}
+
+// barrier handles a warp arriving at bar.
+func (c *Core) barrier(w *Warp) {
+	if w.BlockID < 0 {
+		return // graphics warps have no block barrier
+	}
+	b := c.blocks[w.BlockID]
+	if b == nil {
+		return
+	}
+	w.atBarrier = true
+	b.atBarrier++
+	if b.atBarrier >= b.live {
+		for _, bw := range b.warps {
+			bw.atBarrier = false
+		}
+		b.atBarrier = 0
+	}
+}
+
+func popcount(m uint32) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}

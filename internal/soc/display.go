@@ -1,0 +1,146 @@
+// Package soc implements Emerald's full-system mode (paper Figures 1 and
+// 8b): CPU cores running the frame-production workload, the GPU, a
+// display controller, a coherent system NoC and shared DRAM. It is the
+// substrate for Case Study I (memory organization and scheduling).
+//
+// Time scaling: the paper simulates wall-clock frame periods (16 ms
+// display, 33 ms GPU at ~1 GHz = millions of cycles per frame). To keep
+// experiment turnaround tractable, the SoC uses *scaled* frame periods
+// (hundreds of thousands of cycles) with the framebuffer sized so the
+// bandwidth ratios between display scan-out, GPU rendering and CPU
+// traffic match the paper's regime. EXPERIMENTS.md documents the scaling.
+package soc
+
+import (
+	"emerald/internal/gfx"
+	"emerald/internal/mem"
+	"emerald/internal/stats"
+)
+
+// Display is the scan-out DMA engine: it reads the front framebuffer
+// sequentially once per refresh period. If a scan cannot finish within
+// its period the frame is dropped and the scan restarts — the feedback
+// loop the paper observes under DASH (Figure 14, callout 6).
+type Display struct {
+	Period uint64 // cycles per refresh
+	fb     gfx.Surface
+
+	reqBytes   uint32
+	totalReqs  int
+	issued     int
+	completed  int
+	inflight   []*mem.Request
+	frameStart uint64
+
+	// Out is drained by the SoC into the system NoC.
+	Out *mem.Queue
+
+	served, shown, dropped *stats.Counter
+}
+
+// NewDisplay creates a display controller. reg may be nil.
+func NewDisplay(period uint64, reg *stats.Registry) *Display {
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	s := reg.Scope("display")
+	return &Display{
+		Period:   period,
+		reqBytes: 64,
+		Out:      mem.NewQueue(0),
+		served:   s.Counter("requests_served"),
+		shown:    s.Counter("frames_shown"),
+		dropped:  s.Counter("frames_dropped"),
+	}
+}
+
+// SetFrontBuffer points scan-out at a surface (flip).
+func (d *Display) SetFrontBuffer(fb gfx.Surface) {
+	d.fb = fb
+}
+
+// Served returns the number of scan-out requests completed by DRAM.
+func (d *Display) Served() int64 { return d.served.Value() }
+
+// FramesShown returns complete refreshes.
+func (d *Display) FramesShown() int64 { return d.shown.Value() }
+
+// FramesDropped returns refreshes aborted for missing their deadline.
+func (d *Display) FramesDropped() int64 { return d.dropped.Value() }
+
+// Tick advances the display one cycle.
+func (d *Display) Tick(cycle uint64) {
+	if d.fb.Width == 0 {
+		return
+	}
+	if d.totalReqs == 0 {
+		d.beginScan(cycle)
+	}
+
+	// Retire completed reads.
+	kept := d.inflight[:0]
+	for _, r := range d.inflight {
+		if r.Done {
+			d.completed++
+			d.served.Inc()
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	d.inflight = kept
+
+	// Deadline check.
+	if cycle-d.frameStart >= d.Period {
+		if d.completed >= d.totalReqs {
+			d.shown.Inc()
+		} else {
+			d.dropped.Inc()
+		}
+		d.beginScan(cycle)
+		return
+	}
+
+	// Pace issues across the period, aiming to finish at ~90% of it so
+	// in-flight tail requests can retire before the deadline.
+	elapsed := cycle - d.frameStart
+	budget := d.Period * 9 / 10
+	if budget == 0 {
+		budget = 1
+	}
+	target := int(uint64(d.totalReqs) * elapsed / budget)
+	if target > d.totalReqs {
+		target = d.totalReqs
+	}
+	for d.issued < target && len(d.inflight) < 8 {
+		addr := d.fb.Base + uint64(d.issued)*uint64(d.reqBytes)
+		r := &mem.Request{
+			Addr: addr, Size: d.reqBytes, Kind: mem.Read,
+			Client: mem.ClientDisplay, IssuedAt: cycle,
+		}
+		if !d.Out.Push(r) {
+			break
+		}
+		d.inflight = append(d.inflight, r)
+		d.issued++
+	}
+}
+
+func (d *Display) beginScan(cycle uint64) {
+	d.totalReqs = (d.fb.SizeBytes() + int(d.reqBytes) - 1) / int(d.reqBytes)
+	d.issued = 0
+	d.completed = 0
+	d.inflight = d.inflight[:0]
+	d.frameStart = cycle
+}
+
+// Progress returns the fraction of the current scan completed (DASH
+// feedback).
+func (d *Display) Progress() float64 {
+	if d.totalReqs == 0 {
+		return 1
+	}
+	return float64(d.completed) / float64(d.totalReqs)
+}
+
+// FrameStart returns the cycle the current scan began.
+func (d *Display) FrameStart() uint64 { return d.frameStart }

@@ -1,0 +1,448 @@
+package soc
+
+import (
+	"fmt"
+
+	"emerald/internal/cpu"
+	"emerald/internal/dram"
+	"emerald/internal/geom"
+	"emerald/internal/gfx"
+	"emerald/internal/gl"
+	"emerald/internal/gpu"
+	"emerald/internal/interconnect"
+	"emerald/internal/mathx"
+	"emerald/internal/mem"
+	"emerald/internal/sched"
+	"emerald/internal/shader"
+	"emerald/internal/stats"
+)
+
+// Config describes the full SoC (paper Table 5 + workload knobs).
+type Config struct {
+	NumCPUs      int
+	CPUClockMult int // CPU cycles per system cycle (2 GHz vs 1 GHz)
+
+	GPU  gpu.Config
+	DRAM dram.Config
+	// DASH, when the DRAM config uses the DASH scheduler, receives frame
+	// registration and progress feedback.
+	DASH *sched.DASH
+
+	// Scaled frame periods in system cycles (see package comment).
+	DisplayPeriod uint64
+	AppPeriod     uint64 // app/GPU frame period (2x display = 30 FPS)
+
+	Width, Height int
+
+	Scene *geom.Scene
+
+	// CPUConfig builds each core's configuration (defaults to
+	// ScaledCPUConfig, whose cache sizes are shrunk in proportion to the
+	// scaled working sets so the DRAM-contention regime matches the
+	// paper's).
+	CPUConfig func(id int) cpu.Config
+
+	// App workload knobs.
+	WorkingSetBytes uint32
+	ScenePasses     uint32
+	CmdBufBytes     uint32
+	// Background memory intensity per non-app core: ALU iterations per
+	// memory access (0 = idle core). Length NumCPUs-1.
+	Background []uint32
+	// BackgroundWSBytes is each background task's working set; sized
+	// above the scaled L2 so background cores keep pressure on DRAM
+	// throughout the frame (the multiprogrammed Android processes of the
+	// paper's workload).
+	BackgroundWSBytes uint32
+
+	// Frames to simulate (plus WarmupFrames discarded from stats).
+	Frames       int
+	WarmupFrames int
+}
+
+// DefaultConfig builds the Case Study I system (Table 5) around a scene,
+// with scaled frame periods.
+func DefaultConfig(scene *geom.Scene) Config {
+	return Config{
+		NumCPUs:      4,
+		CPUClockMult: 2,
+		GPU:          gpu.CaseStudyIConfig(),
+		DRAM: sched.BaselineDRAM("dram", dram.LPDDR3Geometry(2),
+			dram.LPDDR3Timing(1333)),
+		DisplayPeriod:     150_000,
+		AppPeriod:         300_000,
+		Width:             192,
+		Height:            144,
+		Scene:             scene,
+		CPUConfig:         ScaledCPUConfig,
+		WorkingSetBytes:   96 * 1024,
+		ScenePasses:       1,
+		CmdBufBytes:       2048,
+		Background:        []uint32{4, 48, 0},
+		BackgroundWSBytes: 512 * 1024,
+		Frames:            4,
+		WarmupFrames:      1,
+	}
+}
+
+// ScaledCPUConfig shrinks the Table 5 cache hierarchy in proportion to
+// the SoC's scaled frame periods and working sets (8 KB L1s, 64 KB L2),
+// preserving the paper's cache-to-working-set ratios.
+func ScaledCPUConfig(id int) cpu.Config {
+	c := cpu.DefaultConfig(id)
+	c.L1I.SizeBytes = 8 * 1024
+	c.L1D.SizeBytes = 8 * 1024
+	c.L2.SizeBytes = 64 * 1024
+	return c
+}
+
+// FrameStats records one app frame's timing.
+type FrameStats struct {
+	SubmitCycle uint64
+	GPUCycles   uint64 // submission to fence
+	TotalCycles uint64 // submit-to-next-submit
+}
+
+// SoC is the assembled full system.
+type SoC struct {
+	Cfg Config
+	Reg *stats.Registry
+	Mem *mem.Memory
+
+	CPUs    []*cpu.Core
+	GPU     *gpu.GPU
+	GL      *gl.Context
+	Display *Display
+	DRAM    *dram.Controller
+
+	noc *interconnect.Crossbar
+
+	// Frame lifecycle.
+	colorA, colorB gfx.Surface
+	depth          gfx.Surface
+	backIsA        bool
+	frameIndex     int
+	fenceID        uint32
+	fenceBusy      bool
+	submitCycle    uint64
+	framesDone     int
+	Frames         []FrameStats
+
+	mesh gl.MeshHandle
+
+	cycle            uint64
+	nextDashFeedback uint64
+}
+
+// New assembles the SoC.
+func New(cfg Config, reg *stats.Registry) (*SoC, error) {
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	if cfg.Scene == nil {
+		return nil, fmt.Errorf("soc: config needs a scene")
+	}
+	if cfg.NumCPUs < 1 {
+		return nil, fmt.Errorf("soc: need at least one CPU")
+	}
+	memory := mem.NewMemory()
+	s := &SoC{Cfg: cfg, Reg: reg, Mem: memory, backIsA: true}
+
+	s.GPU = gpu.New(cfg.GPU, memory, reg)
+	s.DRAM = dram.NewController(cfg.DRAM, reg)
+	s.Display = NewDisplay(cfg.DisplayPeriod, reg)
+
+	// Ports: CPUs, GPU, display.
+	s.noc = interconnect.New(interconnect.Config{
+		Name: "sys_noc", Ports: cfg.NumCPUs + 2, Latency: 10, Width: 4, Depth: 64,
+	}, s.DRAM.Push, reg)
+
+	// Surfaces (double-buffered color + depth) at fixed addresses.
+	fbBytes := uint64(cfg.Width * cfg.Height * 4)
+	s.colorA = gfx.Surface{Base: 0x8000_0000, Width: cfg.Width, Height: cfg.Height}
+	s.colorB = gfx.Surface{Base: 0x8000_0000 + fbBytes, Width: cfg.Width, Height: cfg.Height}
+	s.depth = gfx.Surface{Base: 0x8000_0000 + 2*fbBytes, Width: cfg.Width, Height: cfg.Height}
+	s.Display.SetFrontBuffer(s.colorB)
+
+	// GL context over its own heap, submitting into the GPU.
+	s.GL = gl.NewContext(memory, 0x1000_0000, 256<<20)
+	s.GL.Submit = func(call *gpu.DrawCall) error { return s.GPU.SubmitDraw(call, nil) }
+	s.GL.OnClearDepth = s.GPU.ClearHiZ
+
+	// Upload scene assets once (app start).
+	var err error
+	s.mesh, err = s.GL.UploadMesh(cfg.Scene.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	tex, err := s.GL.UploadTexture(cfg.Scene.Texture)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.GL.BindTexture(0, tex); err != nil {
+		return nil, err
+	}
+	fs := shader.FSTexturedEarlyZ
+	if cfg.Scene.Translucent {
+		fs = shader.FSTexturedBlend
+		s.GL.Enable(gl.Blend)
+		s.GL.DepthMask(false)
+		s.GL.SetAlpha(0.6)
+	}
+	if err := s.GL.UseProgram(shader.VSTransform, fs); err != nil {
+		return nil, err
+	}
+	s.GL.SetLight(mathx.V3(0.4, 0.5, 0.8).Normalize())
+
+	// CPU cores.
+	for i := 0; i < cfg.NumCPUs; i++ {
+		var prog *cpu.Program
+		if i == 0 {
+			prog = cpu.AppFrameLoop
+		} else {
+			bi := i - 1
+			if bi < len(cfg.Background) && cfg.Background[bi] > 0 {
+				prog = cpu.BackgroundTask
+			} else {
+				prog = cpu.IdleTask
+			}
+		}
+		mkCfg := cfg.CPUConfig
+		if mkCfg == nil {
+			mkCfg = ScaledCPUConfig
+		}
+		core := cpu.NewCore(mkCfg(i), prog, memory, reg)
+		core.Sys = s.syscall
+		// Workload parameters.
+		core.Regs[10] = 0x6000_0000 + uint32(i)<<24 // working set base
+		if i == 0 {
+			core.Regs[11] = cfg.WorkingSetBytes
+			core.Regs[12] = 0x7000_0000
+			core.Regs[13] = cfg.CmdBufBytes
+			core.Regs[14] = cfg.ScenePasses
+		} else if bi := i - 1; bi < len(cfg.Background) && cfg.Background[bi] > 0 {
+			ws := cfg.BackgroundWSBytes
+			if ws == 0 {
+				ws = 512 * 1024
+			}
+			core.Regs[11] = ws
+			core.Regs[12] = cfg.Background[bi]
+			core.Regs[13] = 128 // stride: two lines, low row locality
+		}
+		s.CPUs = append(s.CPUs, core)
+	}
+
+	// Register IPs with DASH (Table 3: display 16 ms, GPU 33 ms).
+	if cfg.DASH != nil {
+		cfg.DASH.RegisterIP(mem.ClientDisplay, 0, cfg.DisplayPeriod)
+		cfg.DASH.RegisterIP(mem.ClientGPU, 0, cfg.AppPeriod)
+		cfg.DASH.StartFrame(mem.ClientDisplay, 0, 0)
+		cfg.DASH.StartFrame(mem.ClientGPU, 0, 0)
+	}
+	return s, nil
+}
+
+// backBuffer returns the current render target.
+func (s *SoC) backBuffer() gfx.Surface {
+	if s.backIsA {
+		return s.colorA
+	}
+	return s.colorB
+}
+
+// syscall implements the driver layer (goldfish-pipe substitute).
+func (s *SoC) syscall(c *cpu.Core, code int32) (uint32, bool) {
+	switch code {
+	case cpu.SysFrameSubmit:
+		if s.fenceBusy {
+			return 0, false // previous frame still rendering
+		}
+		s.submitFrame()
+		return s.fenceID, true
+
+	case cpu.SysFenceDone:
+		if uint32(c.Regs[2]) != s.fenceID {
+			return 1, true // stale fence: long signaled
+		}
+		if s.fenceBusy {
+			return 0, true // still rendering; poll again
+		}
+		return 1, true
+
+	case cpu.SysWaitVsync:
+		// Block until the next app-frame boundary.
+		next := (s.cycle/s.Cfg.AppPeriod + 1) * s.Cfg.AppPeriod
+		if s.cycle < next-1 {
+			return 0, false
+		}
+		return 0, true
+
+	case cpu.SysYield:
+		return 0, true
+	}
+	return 0, true
+}
+
+// submitFrame issues the frame's GL commands and arms the fence.
+func (s *SoC) submitFrame() {
+	aspect := float32(s.Cfg.Width) / float32(s.Cfg.Height)
+	s.GL.BindSurfaces(s.backBuffer(), s.depth)
+	s.GL.Clear(0xFF101010, true)
+	s.GL.SetMVP(s.Cfg.Scene.MVP(s.frameIndex, aspect))
+	if err := s.GL.DrawMesh(s.mesh); err != nil {
+		panic(fmt.Sprintf("soc: draw failed: %v", err))
+	}
+	s.frameIndex++
+	s.fenceID++
+	s.fenceBusy = true
+	s.submitCycle = s.cycle
+	if s.Cfg.DASH != nil {
+		s.Cfg.DASH.StartFrame(mem.ClientGPU, 0, s.cycle)
+	}
+}
+
+// completeFrame retires the fence and flips buffers.
+func (s *SoC) completeFrame() {
+	s.fenceBusy = false
+	// Flip: the just-rendered buffer becomes the display front buffer.
+	front := s.backBuffer()
+	s.backIsA = !s.backIsA
+	s.Display.SetFrontBuffer(front)
+
+	st := FrameStats{
+		SubmitCycle: s.submitCycle,
+		GPUCycles:   s.cycle - s.submitCycle,
+	}
+	if n := len(s.Frames); n > 0 {
+		s.Frames[n-1].TotalCycles = s.submitCycle - s.Frames[n-1].SubmitCycle
+	}
+	s.Frames = append(s.Frames, st)
+	s.framesDone++
+}
+
+// Cycle returns the current system cycle.
+func (s *SoC) Cycle() uint64 { return s.cycle }
+
+// Tick advances the SoC one system cycle.
+func (s *SoC) Tick() {
+	c := s.cycle
+
+	// CPUs run at a clock multiple.
+	for i, core := range s.CPUs {
+		for m := 0; m < s.Cfg.CPUClockMult; m++ {
+			core.Tick(c*uint64(s.Cfg.CPUClockMult) + uint64(m))
+		}
+		port := s.noc.Port(i)
+		for !port.Full() {
+			r := core.Out.Pop()
+			if r == nil {
+				break
+			}
+			port.Push(r)
+		}
+	}
+
+	// GPU.
+	s.GPU.Tick(c)
+	gport := s.noc.Port(s.Cfg.NumCPUs)
+	for !gport.Full() {
+		r := s.GPU.Out.Pop()
+		if r == nil {
+			break
+		}
+		gport.Push(r)
+	}
+
+	// Display.
+	s.Display.Tick(c)
+	dport := s.noc.Port(s.Cfg.NumCPUs + 1)
+	for !dport.Full() {
+		r := s.Display.Out.Pop()
+		if r == nil {
+			break
+		}
+		dport.Push(r)
+	}
+
+	s.noc.Tick(c)
+	s.DRAM.Tick(c)
+
+	// Fence resolution.
+	if s.fenceBusy && !s.GPU.Busy() {
+		s.completeFrame()
+	}
+
+	// DASH progress feedback (per scheduling-unit granularity).
+	if s.Cfg.DASH != nil && c >= s.nextDashFeedback {
+		s.nextDashFeedback = c + 1000
+		if s.fenceBusy {
+			s.Cfg.DASH.ReportProgress(mem.ClientGPU, 0, s.GPU.DrawProgress())
+		} else {
+			s.Cfg.DASH.ReportProgress(mem.ClientGPU, 0, 1)
+		}
+		s.Cfg.DASH.StartFrame(mem.ClientDisplay, 0, s.Display.FrameStart())
+		s.Cfg.DASH.ReportProgress(mem.ClientDisplay, 0, s.Display.Progress())
+	}
+
+	s.cycle++
+}
+
+// Run simulates until Frames+WarmupFrames app frames have completed (or
+// the budget expires), returning an error on timeout.
+func (s *SoC) Run(budget uint64) error {
+	target := s.Cfg.Frames + s.Cfg.WarmupFrames
+	start := s.cycle
+	for s.cycle-start < budget {
+		s.Tick()
+		if s.framesDone >= target {
+			return nil
+		}
+	}
+	return fmt.Errorf("soc: %d/%d frames after %d cycles", s.framesDone, target, budget)
+}
+
+// Results summarizes the run for the Case Study I figures, skipping
+// warmup frames.
+type Results struct {
+	Config          string
+	Model           string
+	MeanGPUCycles   float64
+	MeanFrameCycles float64
+	DisplayServed   int64
+	FramesShown     int64
+	FramesDropped   int64
+	RowHitRate      float64
+	BytesPerAct     float64
+}
+
+// Results computes the run summary.
+func (s *SoC) Results(configName string) Results {
+	r := Results{
+		Config:        configName,
+		Model:         s.Cfg.Scene.Name,
+		DisplayServed: s.Display.Served(),
+		FramesShown:   s.Display.FramesShown(),
+		FramesDropped: s.Display.FramesDropped(),
+		RowHitRate:    s.DRAM.RowHitRate(),
+		BytesPerAct:   s.DRAM.BytesPerActivation(),
+	}
+	var gpuSum, frameSum, nGPU, nFrame float64
+	for i, f := range s.Frames {
+		if i < s.Cfg.WarmupFrames {
+			continue
+		}
+		gpuSum += float64(f.GPUCycles)
+		nGPU++
+		if f.TotalCycles > 0 {
+			frameSum += float64(f.TotalCycles)
+			nFrame++
+		}
+	}
+	if nGPU > 0 {
+		r.MeanGPUCycles = gpuSum / nGPU
+	}
+	if nFrame > 0 {
+		r.MeanFrameCycles = frameSum / nFrame
+	}
+	return r
+}

@@ -1,0 +1,189 @@
+package soc
+
+import (
+	"testing"
+
+	"emerald/internal/dram"
+	"emerald/internal/geom"
+	"emerald/internal/gfx"
+	"emerald/internal/mem"
+	"emerald/internal/sched"
+	"emerald/internal/stats"
+)
+
+// smallConfig shrinks the system for unit tests.
+func smallConfig(t *testing.T) Config {
+	t.Helper()
+	scene, err := geom.SoCModel(geom.M2Cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(scene)
+	cfg.Width, cfg.Height = 96, 72
+	cfg.DisplayPeriod = 60_000
+	cfg.AppPeriod = 120_000
+	cfg.WorkingSetBytes = 16 * 1024
+	cfg.ScenePasses = 1
+	cfg.Frames = 2
+	cfg.WarmupFrames = 1
+	return cfg
+}
+
+func TestSoCBootsAndRendersFrames(t *testing.T) {
+	cfg := smallConfig(t)
+	s, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(30_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Frames) < cfg.Frames+cfg.WarmupFrames {
+		t.Fatalf("frames = %d", len(s.Frames))
+	}
+	res := s.Results("BAS")
+	if res.MeanGPUCycles <= 0 {
+		t.Fatal("no GPU render time recorded")
+	}
+	// The display must have completed at least one refresh.
+	if s.Display.FramesShown()+s.Display.FramesDropped() == 0 {
+		t.Fatal("display never completed a refresh window")
+	}
+	if s.Display.Served() == 0 {
+		t.Fatal("display was never serviced by DRAM")
+	}
+	// The rendered frame actually reached the framebuffer: some pixel
+	// differs from the clear color.
+	painted := false
+	fb := s.colorA
+	for y := 0; y < cfg.Height && !painted; y += 8 {
+		for x := 0; x < cfg.Width; x += 8 {
+			if fb.ReadPixel(s.Mem, x, y) != 0xFF101010 {
+				painted = true
+				break
+			}
+		}
+	}
+	if !painted {
+		t.Fatal("nothing rendered into the framebuffer")
+	}
+}
+
+func TestSoCCPUsGenerateTraffic(t *testing.T) {
+	cfg := smallConfig(t)
+	s, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(30_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if s.DRAM.ServedBy(mem.ClientCPU) == 0 {
+		t.Fatal("CPU traffic never reached DRAM")
+	}
+	if s.DRAM.ServedBy(mem.ClientGPU) == 0 {
+		t.Fatal("GPU traffic never reached DRAM")
+	}
+	if s.DRAM.ServedBy(mem.ClientDisplay) == 0 {
+		t.Fatal("display traffic never reached DRAM")
+	}
+	// App core executed many instructions across frames.
+	if s.CPUs[0].Instructions() < 1000 {
+		t.Fatalf("app core retired only %d instructions", s.CPUs[0].Instructions())
+	}
+}
+
+func TestSoCWithDASHSchedulerRuns(t *testing.T) {
+	cfg := smallConfig(t)
+	dcfg, dash := sched.DASHDRAM("dram", dram.LPDDR3Geometry(2),
+		dram.LPDDR3Timing(1333), sched.DefaultDASHConfig(cfg.NumCPUs, false))
+	cfg.DRAM = dcfg
+	cfg.DASH = dash
+	s, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(40_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Results("DCB").MeanGPUCycles <= 0 {
+		t.Fatal("DASH run produced no GPU timing")
+	}
+}
+
+func TestSoCWithHMCRuns(t *testing.T) {
+	cfg := smallConfig(t)
+	cfg.DRAM = sched.HMCDRAM("dram", dram.LPDDR3Geometry(2), dram.LPDDR3Timing(1333))
+	s, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(40_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// HMC: CPU traffic only on channel 0, IP traffic only on channel 1.
+	ch0CPU := s.Reg.Value("dram.ch0.served_cpu")
+	ch1CPU := s.Reg.Value("dram.ch1.served_cpu")
+	ch0GPU := s.Reg.Value("dram.ch0.served_gpu")
+	ch1GPU := s.Reg.Value("dram.ch1.served_gpu")
+	if ch0CPU == 0 || ch1CPU != 0 {
+		t.Fatalf("HMC CPU routing broken: ch0=%d ch1=%d", ch0CPU, ch1CPU)
+	}
+	if ch1GPU == 0 || ch0GPU != 0 {
+		t.Fatalf("HMC GPU routing broken: ch0=%d ch1=%d", ch0GPU, ch1GPU)
+	}
+}
+
+func TestDisplayDropsUnderStarvation(t *testing.T) {
+	// A display alone against DRAM that is far too slow must drop frames.
+	reg := stats.NewRegistry()
+	d := NewDisplay(2_000, reg) // absurdly short period
+	fb := testSurface()
+	d.SetFrontBuffer(fb)
+	ctrl := dram.NewController(dram.Config{
+		Geometry: dram.LPDDR3Geometry(1),
+		Timing:   dram.LPDDR3Timing(133),
+	}, reg)
+	for cycle := uint64(0); cycle < 50_000; cycle++ {
+		d.Tick(cycle)
+		for {
+			r := d.Out.Pop()
+			if r == nil {
+				break
+			}
+			if !ctrl.Push(r) {
+				break
+			}
+		}
+		ctrl.Tick(cycle)
+	}
+	if d.FramesDropped() == 0 {
+		t.Fatal("starved display should drop frames")
+	}
+}
+
+func TestDisplayMeetsDeadlineWithFastMemory(t *testing.T) {
+	reg := stats.NewRegistry()
+	d := NewDisplay(100_000, reg)
+	d.SetFrontBuffer(testSurface())
+	for cycle := uint64(0); cycle < 400_000; cycle++ {
+		d.Tick(cycle)
+		for {
+			r := d.Out.Pop()
+			if r == nil {
+				break
+			}
+			r.Complete(cycle + 20)
+		}
+	}
+	if d.FramesShown() < 2 {
+		t.Fatalf("frames shown = %d, want >= 2", d.FramesShown())
+	}
+	if d.FramesDropped() > 1 {
+		t.Fatalf("unexpected drops: %d", d.FramesDropped())
+	}
+}
+
+func testSurface() gfx.Surface {
+	return gfx.Surface{Base: 0x8000_0000, Width: 64, Height: 64}
+}

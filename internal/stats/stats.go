@@ -1,0 +1,163 @@
+// Package stats collects and reports simulation statistics: named
+// counters, distributions, and time-bucketed bandwidth series. Every
+// hardware model in the simulator owns a *Registry (or a scoped child of
+// one) and publishes its counters there, so experiment harnesses can dump
+// uniform tables without reaching into model internals.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Registry is a hierarchy of named statistics. A Registry is not safe for
+// concurrent use; the simulator is single-threaded by design (determinism
+// is a feature for an architecture simulator).
+type Registry struct {
+	prefix   string
+	counters map[string]*Counter
+	dists    map[string]*Distribution
+}
+
+// NewRegistry returns an empty root registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		dists:    make(map[string]*Distribution),
+	}
+}
+
+// Scope returns a view of r where every name is prefixed with
+// "name.". Scoped views share storage with the root.
+func (r *Registry) Scope(name string) *Registry {
+	return &Registry{
+		prefix:   r.prefix + name + ".",
+		counters: r.counters,
+		dists:    r.dists,
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	full := r.prefix + name
+	c, ok := r.counters[full]
+	if !ok {
+		c = &Counter{}
+		r.counters[full] = c
+	}
+	return c
+}
+
+// Distribution returns the distribution with the given name, creating it
+// on first use.
+func (r *Registry) Distribution(name string) *Distribution {
+	full := r.prefix + name
+	d, ok := r.dists[full]
+	if !ok {
+		d = &Distribution{}
+		r.dists[full] = d
+	}
+	return d
+}
+
+// Value returns the current value of a counter, or 0 if it has never been
+// touched.
+func (r *Registry) Value(name string) int64 {
+	if c, ok := r.counters[r.prefix+name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Names returns all counter names (fully qualified), sorted.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Each calls f for every counter with its fully qualified name, sorted.
+// Unlike Value, it is prefix-independent (usable from scoped views).
+func (r *Registry) Each(f func(name string, v int64)) {
+	for _, n := range r.Names() {
+		f(n, r.counters[n].Value())
+	}
+}
+
+// Reset zeroes every counter and distribution in the registry.
+func (r *Registry) Reset() {
+	for _, c := range r.counters {
+		c.v = 0
+	}
+	for _, d := range r.dists {
+		*d = Distribution{}
+	}
+}
+
+// Dump writes "name value" lines for every counter whose fully qualified
+// name contains the filter substring (empty filter matches all).
+func (r *Registry) Dump(w io.Writer, filter string) {
+	for _, n := range r.Names() {
+		if filter != "" && !strings.Contains(n, filter) {
+			continue
+		}
+		fmt.Fprintf(w, "%-48s %d\n", n, r.counters[n].Value())
+	}
+}
+
+// Counter is a monotonically adjustable int64 statistic.
+type Counter struct{ v int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n (which may be negative, e.g. for occupancy gauges).
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v }
+
+// Distribution accumulates samples and reports count/sum/min/max/mean.
+type Distribution struct {
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// Sample records one observation.
+func (d *Distribution) Sample(v float64) {
+	if d.n == 0 || v < d.min {
+		d.min = v
+	}
+	if d.n == 0 || v > d.max {
+		d.max = v
+	}
+	d.n++
+	d.sum += v
+}
+
+// Count returns the number of samples.
+func (d *Distribution) Count() int64 { return d.n }
+
+// Sum returns the sum of all samples.
+func (d *Distribution) Sum() float64 { return d.sum }
+
+// Mean returns the sample mean (0 with no samples).
+func (d *Distribution) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (d *Distribution) Min() float64 { return d.min }
+
+// Max returns the largest sample (0 with no samples).
+func (d *Distribution) Max() float64 { return d.max }

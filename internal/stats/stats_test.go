@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reads")
+	c.Inc()
+	c.Add(4)
+	if got := r.Value("reads"); got != 5 {
+		t.Fatalf("reads = %d, want 5", got)
+	}
+	if got := r.Value("never"); got != 0 {
+		t.Fatalf("untouched counter = %d, want 0", got)
+	}
+}
+
+func TestCounterIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("same name must return same counter")
+	}
+	if r.Counter("x") == r.Counter("y") {
+		t.Fatal("different names must return different counters")
+	}
+}
+
+func TestScopePrefixes(t *testing.T) {
+	r := NewRegistry()
+	gpu := r.Scope("gpu")
+	gpu.Counter("l2.hits").Add(7)
+	if got := r.Value("gpu.l2.hits"); got != 7 {
+		t.Fatalf("scoped counter via root = %d, want 7", got)
+	}
+	inner := gpu.Scope("core0")
+	inner.Counter("warps").Inc()
+	if got := r.Value("gpu.core0.warps"); got != 1 {
+		t.Fatalf("nested scope = %d, want 1", got)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(10)
+	r.Distribution("d").Sample(3)
+	r.Reset()
+	if r.Value("a") != 0 {
+		t.Fatal("counter not reset")
+	}
+	if r.Distribution("d").Count() != 0 {
+		t.Fatal("distribution not reset")
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{4, 2, 6} {
+		d.Sample(v)
+	}
+	if d.Count() != 3 || d.Min() != 2 || d.Max() != 6 || d.Mean() != 4 {
+		t.Fatalf("dist = count %d min %v max %v mean %v", d.Count(), d.Min(), d.Max(), d.Mean())
+	}
+	var empty Distribution
+	if empty.Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+// Property: counter value equals the sum of all Adds.
+func TestCounterSumProperty(t *testing.T) {
+	f := func(deltas []int16) bool {
+		r := NewRegistry()
+		c := r.Counter("p")
+		var want int64
+		for _, d := range deltas {
+			c.Add(int64(d))
+			want += int64(d)
+		}
+		return c.Value() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineBuckets(t *testing.T) {
+	tl := NewTimeline(100)
+	tl.Record(0, "cpu", 64)
+	tl.Record(99, "cpu", 64)
+	tl.Record(100, "gpu", 128)
+	tl.Record(350, "cpu", 32)
+	if tl.Buckets() != 4 {
+		t.Fatalf("buckets = %d, want 4", tl.Buckets())
+	}
+	if got := tl.Bytes(0, "cpu"); got != 128 {
+		t.Fatalf("bucket0 cpu = %d, want 128", got)
+	}
+	if got := tl.Bytes(1, "gpu"); got != 128 {
+		t.Fatalf("bucket1 gpu = %d, want 128", got)
+	}
+	if got := tl.Bytes(2, "cpu"); got != 0 {
+		t.Fatalf("empty bucket = %d, want 0", got)
+	}
+	if got := tl.TotalBytes("cpu"); got != 160 {
+		t.Fatalf("total cpu = %d, want 160", got)
+	}
+	series := tl.Series("cpu")
+	if series[0] != 1.28 {
+		t.Fatalf("series[0] = %v, want 1.28", series[0])
+	}
+}
+
+// Property: total bytes recorded equals TotalBytes regardless of cycle
+// ordering.
+func TestTimelineConservation(t *testing.T) {
+	f := func(cycles []uint16, sizes []uint8) bool {
+		tl := NewTimeline(64)
+		var want uint64
+		n := len(cycles)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		for i := 0; i < n; i++ {
+			tl.Record(uint64(cycles[i]), "s", uint64(sizes[i]))
+			want += uint64(sizes[i])
+		}
+		return tl.TotalBytes("s") == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineDump(t *testing.T) {
+	tl := NewTimeline(10)
+	tl.Record(5, "cpu", 100)
+	var b strings.Builder
+	tl.Dump(&b, 0)
+	out := b.String()
+	if !strings.Contains(out, "cpu") || !strings.Contains(out, "10.0000") {
+		t.Fatalf("dump output unexpected:\n%s", out)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "config", "value")
+	tb.AddRow("BAS", 1.0)
+	tb.AddRow("HMC", 1.97)
+	out := tb.String()
+	for _, want := range []string{"Figure X", "config", "BAS", "1.970"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Rows() != 2 || tb.Cell(1, 0) != "HMC" || tb.Cell(9, 9) != "" {
+		t.Fatal("row/cell accessors broken")
+	}
+}
+
+func TestRegistryDumpFilter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gpu.hits").Add(1)
+	r.Counter("cpu.hits").Add(2)
+	var b strings.Builder
+	r.Dump(&b, "gpu")
+	if strings.Contains(b.String(), "cpu.hits") {
+		t.Fatal("filter leaked non-matching counters")
+	}
+	if !strings.Contains(b.String(), "gpu.hits") {
+		t.Fatal("filter dropped matching counters")
+	}
+}
