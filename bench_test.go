@@ -479,6 +479,55 @@ func BenchmarkGPGPUSAXPY(b *testing.B) {
 	}
 }
 
+// BenchmarkFrameW3 renders frames of the W3 cube workload on the
+// standalone Table 7 GPU — the reference frame-rendering benchmark used
+// to guard the hot tick path (the emtrace nil-tracer fast path must keep
+// this within 2% of the untraced seed).
+func BenchmarkFrameW3(b *testing.B) {
+	benchmarkFrame(b, geom.W3Cube)
+}
+
+// BenchmarkFrameW1 is the same guard over the geometry-heavy W1 hall.
+func BenchmarkFrameW1(b *testing.B) {
+	benchmarkFrame(b, geom.W1Sibenik)
+}
+
+func benchmarkFrame(b *testing.B, workload int) {
+	b.Helper()
+	sys := NewStandaloneGPU(nil)
+	ctx := NewGL(sys)
+	scene, err := geom.DFSLWorkload(workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx.Viewport(benchOpt.CS2Width, benchOpt.CS2Height)
+	if err := ctx.UseProgram(VSTransform, FSTexturedEarlyZ); err != nil {
+		b.Fatal(err)
+	}
+	tex, err := ctx.UploadTexture(scene.Texture)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ctx.BindTexture(0, tex); err != nil {
+		b.Fatal(err)
+	}
+	mesh, err := ctx.UploadMesh(scene.Mesh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Clear(0xFF101020, true)
+		ctx.SetMVP(scene.MVP(i, float32(benchOpt.CS2Width)/float32(benchOpt.CS2Height)))
+		if err := ctx.DrawMesh(mesh); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.RunUntilIdle(4_000_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func max64(a, b uint64) uint64 {
 	if a > b {
 		return a

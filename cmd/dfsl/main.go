@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"emerald/internal/emtrace"
 	"emerald/internal/exp"
 )
 
@@ -23,11 +24,21 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 17|18|19|all")
 	scale := flag.String("scale", "quick", "experiment scale: quick|paper")
 	workloads := flag.String("workloads", "", "comma-separated workload ids 1..6 (default all)")
+	traceFile := flag.String("trace-events", "", "write a Chrome/Perfetto trace-event JSON file covering every run")
+	traceStart := flag.Uint64("trace-start", 0, "drop trace events before this cycle")
+	traceFrames := flag.Int("trace-frames", 0, "stop tracing after this many frames (0 = all)")
 	flag.Parse()
 
 	opt := exp.Quick()
 	if *scale == "paper" {
 		opt = exp.Paper()
+	}
+	var tr *emtrace.Tracer
+	if *traceFile != "" {
+		tr = emtrace.New(0)
+		tr.SetStart(*traceStart)
+		tr.SetFrameLimit(*traceFrames)
+		opt.Trace = tr
 	}
 	var ws []int
 	if *workloads != "" {
@@ -58,6 +69,14 @@ func main() {
 		tab, _, err := exp.Fig19(opt, ws)
 		check(err)
 		tab.Write(os.Stdout)
+	}
+
+	if tr != nil {
+		f, err := os.Create(*traceFile)
+		check(err)
+		check(tr.WriteChromeJSON(f))
+		check(f.Close())
+		fmt.Printf("wrote %s (%d events, %d dropped)\n", *traceFile, tr.Len(), tr.Dropped())
 	}
 }
 

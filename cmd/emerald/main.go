@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"emerald/internal/emtrace"
 	"emerald/internal/geom"
 	"emerald/internal/gl"
 	"emerald/internal/gpu"
@@ -22,14 +23,29 @@ import (
 	"emerald/internal/stats"
 )
 
+// options carries the run configuration from flags.
+type options struct {
+	workload, frames, w, h, wt int
+	dump, dumpStats            string
+	statsJSON                  string
+	traceFile                  string
+	traceStart                 uint64
+	traceFrames                int
+}
+
 func main() {
-	workload := flag.Int("workload", 3, "workload id 1..6 (Table 8)")
-	frames := flag.Int("frames", 2, "frames to render")
-	width := flag.Int("w", 192, "viewport width")
-	height := flag.Int("h", 144, "viewport height")
-	wt := flag.Int("wt", 1, "work-tile granularity (1..10)")
-	dump := flag.String("dump", "", "write the final framebuffer to this PPM file")
-	dumpStats := flag.String("stats", "", "print counters whose name contains this substring")
+	var opt options
+	flag.IntVar(&opt.workload, "workload", 3, "workload id 1..6 (Table 8)")
+	flag.IntVar(&opt.frames, "frames", 2, "frames to render")
+	flag.IntVar(&opt.w, "w", 192, "viewport width")
+	flag.IntVar(&opt.h, "h", 144, "viewport height")
+	flag.IntVar(&opt.wt, "wt", 1, "work-tile granularity (1..10)")
+	flag.StringVar(&opt.dump, "dump", "", "write the final framebuffer to this PPM file")
+	flag.StringVar(&opt.dumpStats, "stats", "", "print counters whose name contains this substring")
+	flag.StringVar(&opt.statsJSON, "stats-json", "", "write all counters and distributions as JSON to this file")
+	flag.StringVar(&opt.traceFile, "trace-events", "", "write a Chrome/Perfetto trace-event JSON file")
+	flag.Uint64Var(&opt.traceStart, "trace-start", 0, "drop trace events before this cycle")
+	flag.IntVar(&opt.traceFrames, "trace-frames", 0, "stop tracing after this many frames (0 = all)")
 	disasm := flag.String("disasm", "", "disassemble a built-in shader by name (e.g. vs_transform) and exit")
 	flag.Parse()
 
@@ -43,13 +59,16 @@ func main() {
 		return
 	}
 
-	if err := run(*workload, *frames, *width, *height, *wt, *dump, *dumpStats); err != nil {
+	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "emerald:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload, frames, w, h, wt int, dump, dumpStats string) error {
+func run(opt options) error {
+	workload, frames := opt.workload, opt.frames
+	w, h, wt := opt.w, opt.h, opt.wt
+	dump, dumpStats := opt.dump, opt.dumpStats
 	scene, err := geom.DFSLWorkload(workload)
 	if err != nil {
 		return err
@@ -57,6 +76,13 @@ func run(workload, frames, w, h, wt int, dump, dumpStats string) error {
 	reg := stats.NewRegistry()
 	s := gpu.DefaultStandalone(reg)
 	s.GPU.SetWT(wt)
+	var tr *emtrace.Tracer
+	if opt.traceFile != "" {
+		tr = emtrace.New(0)
+		tr.SetStart(opt.traceStart)
+		tr.SetFrameLimit(opt.traceFrames)
+		s.AttachTracer(tr)
+	}
 	ctx := gl.NewContext(s.Mem(), 0x1000_0000, 256<<20)
 	ctx.Submit = func(call *gpu.DrawCall) error { return s.GPU.SubmitDraw(call, nil) }
 	ctx.OnClearDepth = s.GPU.ClearHiZ
@@ -100,6 +126,22 @@ func run(workload, frames, w, h, wt int, dump, dumpStats string) error {
 		}
 		fmt.Printf("frame %d: %8d cycles, %7d fragments\n",
 			f, s.Cycle()-start, s.GPU.FragsShaded()-frags0)
+		tr.FrameMark()
+	}
+
+	if opt.traceFile != "" {
+		if err := writeTrace(opt.traceFile, tr); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events, %d dropped)\n",
+			opt.traceFile, tr.Len(), tr.Dropped())
+		tr.WriteSummary(os.Stdout)
+	}
+	if opt.statsJSON != "" {
+		if err := writeStatsJSON(opt.statsJSON, reg); err != nil {
+			return err
+		}
+		fmt.Println("wrote", opt.statsJSON)
 	}
 
 	if dump != "" {
@@ -112,6 +154,26 @@ func run(workload, frames, w, h, wt int, dump, dumpStats string) error {
 		reg.Dump(os.Stdout, dumpStats)
 	}
 	return nil
+}
+
+// writeTrace writes the collected events as Chrome trace-event JSON.
+func writeTrace(path string, tr *emtrace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tr.WriteChromeJSON(f)
+}
+
+// writeStatsJSON dumps the registry as JSON.
+func writeStatsJSON(path string, reg *stats.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.DumpJSON(f)
 }
 
 // writePPM dumps the color surface as a binary PPM.

@@ -15,18 +15,34 @@ import (
 	"strconv"
 	"strings"
 
+	"emerald/internal/emtrace"
 	"emerald/internal/exp"
+	"emerald/internal/stats"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 9|10|11|12|13|14|all")
 	scale := flag.String("scale", "quick", "experiment scale: quick|paper")
 	models := flag.String("models", "", "comma-separated model ids (1=chair 2=cube 3=mask 4=triangles; default all)")
+	traceFile := flag.String("trace-events", "", "write a Chrome/Perfetto trace-event JSON file covering every run")
+	traceStart := flag.Uint64("trace-start", 0, "drop trace events before this cycle")
+	traceFrames := flag.Int("trace-frames", 0, "stop tracing after this many frames (0 = all)")
+	statsJSON := flag.String("stats-json", "", "write all counters and distributions as JSON to this file")
 	flag.Parse()
 
 	opt := exp.Quick()
 	if *scale == "paper" {
 		opt = exp.Paper()
+	}
+	var tr *emtrace.Tracer
+	if *traceFile != "" {
+		tr = emtrace.New(0)
+		tr.SetStart(*traceStart)
+		tr.SetFrameLimit(*traceFrames)
+		opt.Trace = tr
+	}
+	if *statsJSON != "" {
+		opt.Stats = stats.NewRegistry()
 	}
 	var ms []int
 	if *models != "" {
@@ -80,6 +96,21 @@ func main() {
 		fmt.Println()
 		fmt.Println("== Figure 14b: M1 under DASH-DTB, DRAM bandwidth by source (bytes/cycle) ==")
 		dtb.Dump(os.Stdout, 0)
+	}
+
+	if tr != nil {
+		f, err := os.Create(*traceFile)
+		check(err)
+		check(tr.WriteChromeJSON(f))
+		check(f.Close())
+		fmt.Printf("wrote %s (%d events, %d dropped)\n", *traceFile, tr.Len(), tr.Dropped())
+	}
+	if *statsJSON != "" {
+		f, err := os.Create(*statsJSON)
+		check(err)
+		check(opt.Stats.DumpJSON(f))
+		check(f.Close())
+		fmt.Println("wrote", *statsJSON)
 	}
 }
 

@@ -1,5 +1,6 @@
 // Command tracetool records, inspects and replays GL API traces — the
-// APITrace workflow of the paper's standalone mode (Figure 8a).
+// APITrace workflow of the paper's standalone mode (Figure 8a) — and
+// renders event traces captured with -trace-events as text timelines.
 //
 // Usage:
 //
@@ -7,6 +8,8 @@
 //	tracetool -info trace.bin                           # op/draw counts
 //	tracetool -replay trace.bin                         # re-render, print cycles
 //	tracetool -replay trace.bin -first 2 -last 3        # region of interest
+//	tracetool timeline events.json                      # text Gantt of a -trace-events file
+//	tracetool timeline -source dram -width 120 events.json
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"emerald/internal/emtrace"
 	"emerald/internal/geom"
 	"emerald/internal/gl"
 	"emerald/internal/gpu"
@@ -22,6 +26,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "timeline" {
+		check(doTimeline(os.Args[2:]))
+		return
+	}
 	record := flag.String("record", "", "record a workload trace to this file")
 	workload := flag.Int("workload", 3, "workload id 1..6 for -record")
 	frames := flag.Int("frames", 2, "frames to record")
@@ -160,6 +168,39 @@ func doReplay(path string, first, last int) error {
 	}
 	fmt.Printf("replayed draws %d..%d in %d GPU cycles (%d fragments shaded)\n",
 		first, last, cycles, s.GPU.FragsShaded())
+	return nil
+}
+
+// doTimeline renders a -trace-events JSON file as a per-track text
+// Gantt view plus the per-event profile summary.
+func doTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	source := fs.String("source", "", "restrict rows to one source (gpu|simt|cache|dram|soc)")
+	width := fs.Int("width", 96, "number of time-bucket columns")
+	summary := fs.Bool("summary", true, "print the per-event profile summary after the timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracetool timeline [-source s] [-width n] events.json")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := emtrace.ReadChromeJSON(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(0), err)
+	}
+	emtrace.RenderTimeline(os.Stdout, events, emtrace.TimelineOptions{
+		Width:  *width,
+		Source: *source,
+	})
+	if *summary {
+		fmt.Println()
+		emtrace.WriteEventSummary(os.Stdout, events, 0)
+	}
 	return nil
 }
 

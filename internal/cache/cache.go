@@ -9,6 +9,7 @@
 package cache
 
 import (
+	"emerald/internal/emtrace"
 	"emerald/internal/mem"
 	"emerald/internal/stats"
 )
@@ -92,6 +93,11 @@ type Cache struct {
 	// OnReady is invoked once per waiter when its miss data returns.
 	OnReady func(waiter any, cycle uint64)
 
+	// trace, when armed via SetTracer, receives miss/evict instants and
+	// fill spans on traceTrack (e.g. "core0_0.l1d", "l2").
+	trace      *emtrace.Tracer
+	traceTrack string
+
 	accesses, hits, misses, evictions, writebacks *stats.Counter
 	readHits, readMisses                          *stats.Counter
 }
@@ -137,6 +143,13 @@ func New(cfg Config, reg *stats.Registry) *Cache {
 
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// SetTracer arms event tracing on this cache. track names the trace
+// lane (precomputed once here so the hot paths never build strings).
+func (c *Cache) SetTracer(t *emtrace.Tracer, track string) {
+	c.trace = t
+	c.traceTrack = track
+}
 
 // LineAddr masks addr down to its line address.
 func (c *Cache) LineAddr(addr uint64) uint64 {
@@ -200,6 +213,8 @@ func (c *Cache) Access(cycle uint64, addr uint64, kind mem.Kind, waiter any) Res
 		if kind == mem.Read {
 			c.readMisses.Inc()
 		}
+		c.trace.Instant1(emtrace.SrcCache, c.traceTrack, "miss", cycle,
+			emtrace.Arg{Key: "addr", Val: int64(la)})
 		return Miss
 	}
 
@@ -227,6 +242,8 @@ func (c *Cache) Access(cycle uint64, addr uint64, kind mem.Kind, waiter any) Res
 	if kind == mem.Read {
 		c.readMisses.Inc()
 	}
+	c.trace.Instant1(emtrace.SrcCache, c.traceTrack, "miss", cycle,
+		emtrace.Arg{Key: "addr", Val: int64(la)})
 	return Miss
 }
 
@@ -262,6 +279,8 @@ func (c *Cache) Tick(cycle uint64) {
 			continue
 		}
 		c.install(cycle, req.Addr)
+		c.trace.Span1(emtrace.SrcCache, c.traceTrack, "fill", req.IssuedAt, cycle,
+			emtrace.Arg{Key: "addr", Val: int64(req.Addr)})
 		if m, ok := c.mshrs[req.Addr]; ok {
 			delete(c.mshrs, req.Addr)
 			if c.OnReady != nil {
@@ -312,6 +331,14 @@ func (c *Cache) install(cycle uint64, la uint64) {
 	v := &set[victim]
 	if v.valid {
 		c.evictions.Inc()
+		if c.trace.Active(cycle) {
+			dirty := int64(0)
+			if v.dirty {
+				dirty = 1
+			}
+			c.trace.Instant1(emtrace.SrcCache, c.traceTrack, "evict", cycle,
+				emtrace.Arg{Key: "dirty", Val: dirty})
+		}
 		if v.dirty && c.cfg.WriteBack {
 			c.writebacks.Inc()
 			wb := &mem.Request{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"emerald/internal/cache"
+	"emerald/internal/emtrace"
 	"emerald/internal/mem"
 	"emerald/internal/stats"
 )
@@ -104,6 +105,14 @@ func NewCore(cfg Config, prog *Program, m *mem.Memory, reg *stats.Registry) *Cor
 		}
 	}
 	return c
+}
+
+// AttachTracer arms cache event tracing on the core's cache hierarchy.
+func (c *Core) AttachTracer(t *emtrace.Tracer) {
+	track := fmt.Sprintf("cpu%d", c.Cfg.ID)
+	c.L1I.SetTracer(t, track+".l1i")
+	c.L1D.SetTracer(t, track+".l1d")
+	c.L2.SetTracer(t, track+".l2")
 }
 
 // Halted reports whether the program executed halt.

@@ -1,6 +1,7 @@
 package dram
 
 import (
+	"emerald/internal/emtrace"
 	"emerald/internal/mem"
 	"emerald/internal/stats"
 )
@@ -57,6 +58,15 @@ func LPDDR3Timing(dataRateMbps int) Timing {
 	}
 }
 
+// burstNames gives static per-client burst span names so the hot emit
+// path never concatenates strings.
+var burstNames = [...]string{
+	mem.ClientCPU:     "burst_cpu",
+	mem.ClientGPU:     "burst_gpu",
+	mem.ClientDisplay: "burst_display",
+	mem.ClientDMA:     "burst_dma",
+}
+
 type bank struct {
 	openRow   int64 // -1 = closed
 	readyAt   uint64
@@ -77,6 +87,10 @@ type Channel struct {
 	activations                      *stats.Counter
 	bytes                            *stats.Counter
 	served                           map[mem.Client]*stats.Counter
+	latency                          *stats.Distribution
+
+	trace *emtrace.Tracer
+	track string // "chN", precomputed so emitting never builds strings
 }
 
 // OpenRow reports the open row in (rank,bank), or -1.
@@ -136,12 +150,14 @@ func NewController(cfg Config, reg *stats.Registry) *Controller {
 		chScope := s.Scope("ch" + string(rune('0'+i)))
 		ch := &Channel{
 			ID:           i,
+			track:        "ch" + string(rune('0'+i)),
 			mapping:      cfg.Mappings[i],
 			rowHits:      chScope.Counter("row_hits"),
 			rowMisses:    chScope.Counter("row_misses"),
 			rowConflicts: chScope.Counter("row_conflicts"),
 			activations:  chScope.Counter("activations"),
 			bytes:        chScope.Counter("bytes"),
+			latency:      chScope.Distribution("latency"),
 			served:       make(map[mem.Client]*stats.Counter),
 		}
 		for _, cl := range []mem.Client{mem.ClientCPU, mem.ClientGPU, mem.ClientDisplay, mem.ClientDMA} {
@@ -161,6 +177,14 @@ func NewController(cfg Config, reg *stats.Registry) *Controller {
 
 // Config returns the controller configuration.
 func (c *Controller) Config() Config { return c.cfg }
+
+// AttachTracer arms event tracing: per-bank activate/precharge instants
+// and data-burst spans, one trace lane per channel.
+func (c *Controller) AttachTracer(t *emtrace.Tracer) {
+	for _, ch := range c.Channels {
+		ch.trace = t
+	}
+}
 
 // channelFor routes a request.
 func (c *Controller) channelFor(r *mem.Request) int {
@@ -242,10 +266,16 @@ func (c *Controller) tickChannel(ch *Channel, cycle uint64) {
 		cmdLatency = t.TRCD + t.TCL
 		ch.rowMisses.Inc()
 		ch.activations.Inc()
+		ch.trace.Instant1(emtrace.SrcDRAM, ch.track, "activate", start,
+			emtrace.Arg{Key: "bank", Val: int64(loc.Bank)})
 	default:
 		cmdLatency = t.TRP + t.TRCD + t.TCL
 		ch.rowConflicts.Inc()
 		ch.activations.Inc()
+		ch.trace.Instant1(emtrace.SrcDRAM, ch.track, "precharge", start,
+			emtrace.Arg{Key: "bank", Val: int64(loc.Bank)})
+		ch.trace.Instant1(emtrace.SrcDRAM, ch.track, "activate", start+t.TRP,
+			emtrace.Arg{Key: "bank", Val: int64(loc.Bank)})
 	}
 	bk.openRow = int64(loc.Row)
 
@@ -264,6 +294,10 @@ func (c *Controller) tickChannel(ch *Channel, cycle uint64) {
 
 	ch.bytes.Add(int64(r.Size))
 	ch.served[r.Client].Inc()
+	ch.latency.Sample(float64(finish - r.IssuedAt))
+	ch.trace.Span2(emtrace.SrcDRAM, ch.track, burstNames[r.Client], dataStart, finish,
+		emtrace.Arg{Key: "bytes", Val: int64(r.Size)},
+		emtrace.Arg{Key: "bank", Val: int64(loc.Bank)})
 	if c.Timeline != nil {
 		c.Timeline.Record(cycle, r.Client.String(), uint64(r.Size))
 	}

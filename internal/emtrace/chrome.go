@@ -1,0 +1,212 @@
+package emtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (docs.google.com "Trace Event Format"), the interchange Perfetto and
+// chrome://tracing load. Simulated cycles map 1:1 onto the format's
+// microsecond timestamps, so viewer time reads directly as cycles.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the containing JSON object.
+type chromeFile struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"otherData,omitempty"`
+}
+
+// trackKey identifies one (source, track) lane.
+type trackKey struct{ source, track string }
+
+// assignIDs maps sources to pids and (source, track) pairs to tids,
+// deterministically (sorted), with ids starting at 1.
+func assignIDs(events []Event) (pids map[string]int, tids map[trackKey]int) {
+	srcSet := map[string]bool{}
+	trkSet := map[trackKey]bool{}
+	for i := range events {
+		srcSet[events[i].Source] = true
+		trkSet[trackKey{events[i].Source, events[i].Track}] = true
+	}
+	srcs := make([]string, 0, len(srcSet))
+	for s := range srcSet {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
+	pids = make(map[string]int, len(srcs))
+	for i, s := range srcs {
+		pids[s] = i + 1
+	}
+	trks := make([]trackKey, 0, len(trkSet))
+	for k := range trkSet {
+		trks = append(trks, k)
+	}
+	sort.Slice(trks, func(i, j int) bool {
+		if trks[i].source != trks[j].source {
+			return trks[i].source < trks[j].source
+		}
+		return trks[i].track < trks[j].track
+	})
+	tids = make(map[trackKey]int, len(trks))
+	n := 0
+	for _, k := range trks {
+		n++
+		tids[k] = n
+	}
+	return pids, tids
+}
+
+// WriteChromeJSON writes the buffered events as Chrome trace-event JSON:
+// sources become processes, tracks become threads, timestamps are
+// simulated cycles. Events are emitted in monotone cycle order.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	events := t.Events()
+	pids, tids := assignIDs(events)
+
+	out := chromeFile{
+		// Non-nil so an empty trace serializes as [] rather than null
+		// (Perfetto rejects "traceEvents": null).
+		TraceEvents: []chromeEvent{},
+		Metadata: map[string]any{
+			"clock":   "simulated-cycles",
+			"dropped": t.Dropped(),
+		},
+	}
+
+	// Metadata events naming each process (source) and thread (track).
+	srcs := make([]string, 0, len(pids))
+	for s := range pids {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
+	for _, s := range srcs {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pids[s],
+			Args: map[string]any{"name": s},
+		})
+	}
+	trks := make([]trackKey, 0, len(tids))
+	for k := range tids {
+		trks = append(trks, k)
+	}
+	sort.Slice(trks, func(i, j int) bool { return tids[trks[i]] < tids[trks[j]] })
+	for _, k := range trks {
+		name := k.track
+		if name == "" {
+			name = k.source
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pids[k.source], Tid: tids[k],
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for i := range events {
+		e := &events[i]
+		ce := chromeEvent{
+			Name: e.Name,
+			Ts:   e.Cycle,
+			Pid:  pids[e.Source],
+			Tid:  tids[trackKey{e.Source, e.Track}],
+		}
+		switch e.Kind {
+		case KindInstant:
+			ce.Ph = "i"
+			ce.S = "t"
+		default:
+			ce.Ph = "X"
+			dur := e.Dur
+			ce.Dur = &dur
+		}
+		if e.NArgs > 0 {
+			ce.Args = make(map[string]any, e.NArgs)
+			for a := uint8(0); a < e.NArgs; a++ {
+				ce.Args[e.Args[a].Key] = e.Args[a].Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadChromeJSON parses a trace written by WriteChromeJSON back into
+// events (metadata entries are consumed to recover source/track names).
+// It accepts both the object form ({"traceEvents": [...]}) and a bare
+// JSON array of events.
+func ReadChromeJSON(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var file chromeFile
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("emtrace: decode: %w", err)
+	}
+	procName := map[int]string{}
+	threadName := map[[2]int]string{}
+	for _, ce := range file.TraceEvents {
+		if ce.Ph != "M" {
+			continue
+		}
+		name, _ := ce.Args["name"].(string)
+		switch ce.Name {
+		case "process_name":
+			procName[ce.Pid] = name
+		case "thread_name":
+			threadName[[2]int{ce.Pid, ce.Tid}] = name
+		}
+	}
+	var out []Event
+	for _, ce := range file.TraceEvents {
+		if ce.Ph == "M" {
+			continue
+		}
+		ev := Event{
+			Name:   ce.Name,
+			Source: procName[ce.Pid],
+			Track:  threadName[[2]int{ce.Pid, ce.Tid}],
+			Cycle:  ce.Ts,
+		}
+		if ev.Source == "" {
+			ev.Source = fmt.Sprintf("pid%d", ce.Pid)
+		}
+		switch ce.Ph {
+		case "X":
+			if ce.Dur != nil {
+				ev.Dur = *ce.Dur
+			}
+		case "i", "I":
+			ev.Kind = KindInstant
+		default:
+			continue // unsupported phase: skip rather than fail
+		}
+		keys := make([]string, 0, len(ce.Args))
+		for k := range ce.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if ev.NArgs >= 2 {
+				break
+			}
+			if v, ok := ce.Args[k].(float64); ok {
+				ev.Args[ev.NArgs] = Arg{Key: k, Val: int64(v)}
+				ev.NArgs++
+			}
+		}
+		out = append(out, ev)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out, nil
+}

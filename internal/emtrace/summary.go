@@ -1,0 +1,96 @@
+package emtrace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// profileRow aggregates one (source, name) pair.
+type profileRow struct {
+	source, name string
+	count        int64
+	totalDur     uint64
+	maxDur       uint64
+}
+
+// WriteSummary writes a flamegraph-style text profile of the buffered
+// events: per (source, event name), the call count, total and mean span
+// cycles, and the share of the traced interval the spans cover. Sources
+// are sorted alphabetically, rows within a source by total cycles
+// descending — the text equivalent of reading a flamegraph's widest
+// frames first.
+func (t *Tracer) WriteSummary(w io.Writer) {
+	WriteEventSummary(w, t.Events(), t.Dropped())
+}
+
+// WriteEventSummary is WriteSummary over an explicit event slice (used
+// by tracetool on loaded trace files).
+func WriteEventSummary(w io.Writer, events []Event, dropped uint64) {
+	if len(events) == 0 {
+		fmt.Fprintln(w, "emtrace: no events recorded")
+		return
+	}
+	lo, hi := events[0].Cycle, events[0].End()
+	rows := map[trackKey]*profileRow{}
+	for i := range events {
+		e := &events[i]
+		if e.Cycle < lo {
+			lo = e.Cycle
+		}
+		if e.End() > hi {
+			hi = e.End()
+		}
+		k := trackKey{e.Source, e.Name}
+		r := rows[k]
+		if r == nil {
+			r = &profileRow{source: e.Source, name: e.Name}
+			rows[k] = r
+		}
+		r.count++
+		r.totalDur += e.Dur
+		if e.Dur > r.maxDur {
+			r.maxDur = e.Dur
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+
+	sorted := make([]*profileRow, 0, len(rows))
+	for _, r := range rows {
+		sorted = append(sorted, r)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].source != sorted[j].source {
+			return sorted[i].source < sorted[j].source
+		}
+		if sorted[i].totalDur != sorted[j].totalDur {
+			return sorted[i].totalDur > sorted[j].totalDur
+		}
+		return sorted[i].name < sorted[j].name
+	})
+
+	fmt.Fprintf(w, "emtrace summary: %d events over cycles [%d, %d] (%d cycles)",
+		len(events), lo, hi, span)
+	if dropped > 0 {
+		fmt.Fprintf(w, ", %d dropped by ring buffer", dropped)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s %-28s %10s %14s %12s %8s\n",
+		"source", "event", "count", "cycles", "avg", "%span")
+	lastSrc := ""
+	for _, r := range sorted {
+		src := r.source
+		if src == lastSrc {
+			src = ""
+		} else {
+			lastSrc = r.source
+		}
+		avg := float64(r.totalDur) / float64(r.count)
+		fmt.Fprintf(w, "%-8s %-28s %10d %14d %12.1f %7.2f%%\n",
+			src, r.name, r.count, r.totalDur, avg,
+			100*float64(r.totalDur)/float64(span))
+	}
+}

@@ -1,0 +1,188 @@
+package emtrace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TimelineOptions configures RenderTimeline.
+type TimelineOptions struct {
+	// Width is the number of time-bucket columns (default 96).
+	Width int
+	// Source restricts rows to one source ("" = all).
+	Source string
+}
+
+// shades maps a busy fraction to a density character, darkest = fully
+// busy, '.' = touched but mostly idle.
+var shades = []byte(" .:-=+*#@")
+
+func shadeFor(frac float64) byte {
+	if frac <= 0 {
+		return shades[0]
+	}
+	idx := 1 + int(frac*float64(len(shades)-2))
+	if idx >= len(shades) {
+		idx = len(shades) - 1
+	}
+	return shades[idx]
+}
+
+// RenderTimeline renders events as a per-track text Gantt chart: one
+// row per (source, track), one column per time bucket, cell density
+// showing the fraction of the bucket covered by that track's spans.
+// Tracks carrying a "bytes" argument (the DRAM burst events) get an
+// additional bandwidth row in bytes/cycle — the Figure-10-style view.
+func RenderTimeline(w io.Writer, events []Event, opt TimelineOptions) {
+	if opt.Width <= 0 {
+		opt.Width = 96
+	}
+	var filtered []Event
+	for _, e := range events {
+		if opt.Source != "" && e.Source != opt.Source {
+			continue
+		}
+		filtered = append(filtered, e)
+	}
+	if len(filtered) == 0 {
+		fmt.Fprintln(w, "emtrace timeline: no events")
+		return
+	}
+	lo, hi := filtered[0].Cycle, filtered[0].End()
+	for _, e := range filtered {
+		if e.Cycle < lo {
+			lo = e.Cycle
+		}
+		if e.End() > hi {
+			hi = e.End()
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	bucket := (hi - lo + uint64(opt.Width) - 1) / uint64(opt.Width)
+	if bucket == 0 {
+		bucket = 1
+	}
+
+	// busy[track][col] accumulates covered cycles; bytes[track][col]
+	// accumulates "bytes" args for the bandwidth rows.
+	busy := map[trackKey][]uint64{}
+	bytes := map[trackKey][]uint64{}
+	row := func(m map[trackKey][]uint64, k trackKey) []uint64 {
+		r := m[k]
+		if r == nil {
+			r = make([]uint64, opt.Width)
+			m[k] = r
+		}
+		return r
+	}
+	for _, e := range filtered {
+		k := trackKey{e.Source, e.Track}
+		b := row(busy, k)
+		start, end := e.Cycle, e.End()
+		if e.Dur == 0 {
+			end = start + 1
+		}
+		for c := start; c < end; {
+			col := int((c - lo) / bucket)
+			if col >= opt.Width {
+				break
+			}
+			colEnd := lo + uint64(col+1)*bucket
+			if colEnd > end {
+				colEnd = end
+			}
+			b[col] += colEnd - c
+			c = colEnd
+		}
+		for a := uint8(0); a < e.NArgs; a++ {
+			if e.Args[a].Key == "bytes" && e.Args[a].Val > 0 {
+				bb := row(bytes, k)
+				col := int((start - lo) / bucket)
+				if col < opt.Width {
+					bb[col] += uint64(e.Args[a].Val)
+				}
+			}
+		}
+	}
+
+	keys := make([]trackKey, 0, len(busy))
+	for k := range busy {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].source != keys[j].source {
+			return keys[i].source < keys[j].source
+		}
+		return keys[i].track < keys[j].track
+	})
+
+	nameW := len("source/track")
+	for _, k := range keys {
+		if n := len(k.source) + 1 + len(k.track); n > nameW {
+			nameW = n
+		}
+	}
+	fmt.Fprintf(w, "emtrace timeline: cycles [%d, %d], %d cycles/column\n", lo, hi, bucket)
+	fmt.Fprintf(w, "%-*s |%s|\n", nameW, "source/track", ramp(opt.Width))
+	for _, k := range keys {
+		line := make([]byte, opt.Width)
+		for col, covered := range busy[k] {
+			line[col] = shadeFor(float64(covered) / float64(bucket))
+		}
+		fmt.Fprintf(w, "%-*s |%s|\n", nameW, k.source+"/"+k.track, line)
+	}
+
+	// Bandwidth rows (bytes/cycle per bucket) for tracks that carried
+	// byte counts.
+	bkeys := make([]trackKey, 0, len(bytes))
+	for k := range bytes {
+		bkeys = append(bkeys, k)
+	}
+	if len(bkeys) == 0 {
+		return
+	}
+	sort.Slice(bkeys, func(i, j int) bool {
+		if bkeys[i].source != bkeys[j].source {
+			return bkeys[i].source < bkeys[j].source
+		}
+		return bkeys[i].track < bkeys[j].track
+	})
+	fmt.Fprintln(w, "\nbandwidth (bytes/cycle, peak-normalized shading):")
+	for _, k := range bkeys {
+		var peak float64
+		for _, v := range bytes[k] {
+			if f := float64(v) / float64(bucket); f > peak {
+				peak = f
+			}
+		}
+		line := make([]byte, opt.Width)
+		var total uint64
+		for col, v := range bytes[k] {
+			total += v
+			f := 0.0
+			if peak > 0 {
+				f = float64(v) / float64(bucket) / peak
+			}
+			line[col] = shadeFor(f)
+		}
+		fmt.Fprintf(w, "%-*s |%s| peak %.3f B/cy, %d B total\n",
+			nameW, k.source+"/"+k.track, line, peak, total)
+	}
+}
+
+// ramp draws the header ruler for the timeline.
+func ramp(width int) []byte {
+	out := make([]byte, width)
+	for i := range out {
+		switch {
+		case i%10 == 0:
+			out[i] = '+'
+		default:
+			out[i] = '-'
+		}
+	}
+	return out
+}

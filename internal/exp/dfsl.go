@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"emerald/internal/dram"
+	"emerald/internal/emtrace"
 	"emerald/internal/geom"
 	"emerald/internal/gl"
 	"emerald/internal/gpu"
@@ -26,6 +27,7 @@ type CS2Renderer struct {
 	frame  int
 	aspect float32
 	budget uint64
+	trace  *emtrace.Tracer
 }
 
 // NewCS2Renderer builds the standalone system for one workload.
@@ -39,10 +41,14 @@ func NewCS2Renderer(scene *geom.Scene, opt Options) (*CS2Renderer, error) {
 	ctx.Submit = func(call *gpu.DrawCall) error { return s.GPU.SubmitDraw(call, nil) }
 	ctx.OnClearDepth = s.GPU.ClearHiZ
 
+	if opt.Trace != nil {
+		s.AttachTracer(opt.Trace)
+	}
 	r := &CS2Renderer{
 		S: s, Ctx: ctx, Scene: scene, Reg: reg,
 		aspect: float32(opt.CS2Width) / float32(opt.CS2Height),
 		budget: opt.BudgetCycles,
+		trace:  opt.Trace,
 	}
 	ctx.Viewport(opt.CS2Width, opt.CS2Height)
 	var err error
@@ -87,6 +93,7 @@ func (r *CS2Renderer) RenderFrame(wt int, advance bool) (uint64, error) {
 	if advance {
 		r.frame++
 	}
+	r.trace.FrameMark()
 	return r.S.Cycle() - start, nil
 }
 

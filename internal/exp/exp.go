@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"emerald/internal/dram"
+	"emerald/internal/emtrace"
 	"emerald/internal/geom"
 	"emerald/internal/sched"
 	"emerald/internal/soc"
@@ -37,6 +38,15 @@ type Options struct {
 	DFSLRunFrames       int // run-phase length (paper: 100)
 
 	BudgetCycles uint64
+
+	// Trace, when non-nil, is attached to every system the harness
+	// builds (GPU/SIMT/cache/DRAM/SoC event tracing).
+	Trace *emtrace.Tracer
+
+	// Stats, when non-nil, collects counters from every Case Study I
+	// system the harness builds (unless a run supplies its own registry,
+	// as TimelineRun does).
+	Stats *stats.Registry
 }
 
 // Quick returns bench-friendly scaling.
@@ -87,6 +97,9 @@ func AllMemConfigs() []MemConfig { return []MemConfig{BAS, DCB, DTB, HMC} }
 
 // buildSoC assembles one Case Study I system.
 func buildSoC(model int, cfg MemConfig, dataRateMbps int, opt Options, reg *stats.Registry) (*soc.SoC, error) {
+	if reg == nil {
+		reg = opt.Stats
+	}
 	scene, err := geom.SoCModel(model)
 	if err != nil {
 		return nil, err
@@ -123,7 +136,14 @@ func buildSoC(model int, cfg MemConfig, dataRateMbps int, opt Options, reg *stat
 	case HMC:
 		sc.DRAM = sched.HMCDRAM("dram", g, timing)
 	}
-	return soc.New(sc, reg)
+	s, err := soc.New(sc, reg)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Trace != nil {
+		s.AttachTracer(opt.Trace)
+	}
+	return s, nil
 }
 
 // RunCaseStudyI runs one (model, config, load) cell and returns the
@@ -265,7 +285,10 @@ func Fig13(opt Options, models []int) (*stats.Table, error) {
 // TimelineRun runs one cell with a bandwidth timeline attached and
 // returns the timeline (Figures 10 and 14).
 func TimelineRun(model int, cfg MemConfig, dataRateMbps int, opt Options, bucket uint64) (*stats.Timeline, error) {
-	reg := stats.NewRegistry()
+	reg := opt.Stats
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
 	s, err := buildSoC(model, cfg, dataRateMbps, opt, reg)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"emerald/internal/cache"
+	"emerald/internal/emtrace"
 	"emerald/internal/gfx"
 	"emerald/internal/interconnect"
 	"emerald/internal/mem"
@@ -17,6 +18,7 @@ import (
 // raster pipeline stages and the TC unit.
 type cluster struct {
 	id    int
+	track string // trace lane name "clusterN", precomputed
 	cores []*simt.Core
 	tc    *gfx.TCUnit
 	hiz   *raster.HiZ
@@ -39,15 +41,17 @@ type clusterPrim struct {
 }
 
 type setupState struct {
-	prim    *clusterPrim
-	toIssue []uint64
-	reqs    []*mem.Request
+	prim      *clusterPrim
+	toIssue   []uint64
+	reqs      []*mem.Request
+	startedAt uint64 // cycle the primitive entered setup (trace span)
 }
 
 type rasterState struct {
-	tri   *raster.SetupTri
-	tiles [][2]int // owned raster-tile origins
-	next  int
+	tri       *raster.SetupTri
+	tiles     [][2]int // owned raster-tile origins
+	next      int
+	startedAt uint64 // cycle rasterization of tri began (trace span)
 }
 
 type fsLaunch struct {
@@ -79,6 +83,10 @@ type GPU struct {
 	blockSeq int
 	cycle    uint64
 
+	// trace, when armed via AttachTracer, receives draw/kernel spans and
+	// per-cluster setup/raster/fragment-shading phase spans.
+	trace *emtrace.Tracer
+
 	l2Events []l2Event
 
 	drawsDone     *stats.Counter
@@ -88,6 +96,7 @@ type GPU struct {
 	hizCulledC    *stats.Counter
 	vsWarpsC      *stats.Counter
 	fsWarpsC      *stats.Counter
+	drawCyclesD   *stats.Distribution
 }
 
 type drawEntry struct {
@@ -140,6 +149,7 @@ func New(cfg Config, memory *mem.Memory, reg *stats.Registry) *GPU {
 		hizCulledC:    scope.Counter("hiz_culled_tiles"),
 		vsWarpsC:      scope.Counter("vs_warps"),
 		fsWarpsC:      scope.Counter("fs_warps"),
+		drawCyclesD:   scope.Distribution("draw_cycles"),
 	}
 	l2cfg := cfg.L2
 	l2cfg.Name = "l2"
@@ -156,7 +166,7 @@ func New(cfg Config, memory *mem.Memory, reg *stats.Registry) *GPU {
 	}, g.l2Sink, scope)
 
 	for ci := 0; ci < cfg.Clusters; ci++ {
-		cl := &cluster{id: ci}
+		cl := &cluster{id: ci, track: fmt.Sprintf("cluster%d", ci)}
 		for k := 0; k < cfg.CoresPerCluster; k++ {
 			cc := cfg.Core
 			cc.ID = k
@@ -167,6 +177,18 @@ func New(cfg Config, memory *mem.Memory, reg *stats.Registry) *GPU {
 		g.clusters = append(g.clusters, cl)
 	}
 	return g
+}
+
+// AttachTracer arms event tracing on the GPU, its L2, and every SIMT
+// core (which in turn arms the core's L1 caches).
+func (g *GPU) AttachTracer(t *emtrace.Tracer) {
+	g.trace = t
+	g.L2.SetTracer(t, "l2")
+	for _, cl := range g.clusters {
+		for _, core := range cl.cores {
+			core.AttachTracer(t)
+		}
+	}
 }
 
 // SetWT changes the work-tile granularity (between draws/frames only).

@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 
+	"emerald/internal/emtrace"
 	"emerald/internal/mem"
 	"emerald/internal/shader"
 	"emerald/internal/simt"
@@ -92,6 +93,8 @@ func (g *GPU) tickKernels(cycle uint64) {
 
 	if ks.nextBlock >= ks.k.Blocks && ks.outstanding == 0 {
 		g.kernels = g.kernels[1:]
+		g.trace.Span1(emtrace.SrcGPU, "frontend", ks.k.Prog.Name,
+			ks.startCycle, cycle, emtrace.Arg{Key: "blocks", Val: int64(ks.k.Blocks)})
 		if ks.onDone != nil {
 			ks.onDone(cycle - ks.startCycle)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"emerald/internal/gfx"
 
+	"emerald/internal/emtrace"
 	"emerald/internal/mem"
 	"emerald/internal/raster"
 	"emerald/internal/shader"
@@ -65,6 +66,10 @@ func (g *GPU) tickDrawFrontEnd(cycle uint64) {
 
 	if g.drawComplete(d) {
 		g.drawsDone.Inc()
+		g.drawCyclesD.Sample(float64(cycle - d.startCycle))
+		g.trace.Span2(emtrace.SrcGPU, "frontend", "draw", d.startCycle, cycle,
+			emtrace.Arg{Key: "prims", Val: int64(d.primSeq)},
+			emtrace.Arg{Key: "frags", Val: d.fragsShaded})
 		if d.onDone != nil {
 			d.onDone(cycle - d.startCycle)
 		}
@@ -204,6 +209,7 @@ func (g *GPU) tickClusterGraphics(cl *cluster, cycle uint64) {
 		p := cl.pmrb[0]
 		cl.pmrb = cl.pmrb[1:]
 		cl.setup.prim = p
+		cl.setup.startedAt = cycle
 		// Setup fetches the three vertex records from the L2-backed
 		// output vertex buffer (paper §3.3.4).
 		cl.setup.toIssue = p.fetch[:]
@@ -248,7 +254,9 @@ func (g *GPU) tickSetup(cl *cluster, d *drawState, cycle uint64) {
 	if cl.rast.tri != nil {
 		return
 	}
-	g.startRaster(cl, d, s.prim.tri)
+	g.trace.Span1(emtrace.SrcGPU, cl.track, "setup", s.startedAt, cycle,
+		emtrace.Arg{Key: "prim", Val: int64(s.prim.tri.ID)})
+	g.startRaster(cl, d, s.prim.tri, cycle)
 	s.prim = nil
 	s.reqs = nil
 }
@@ -258,10 +266,11 @@ func (g *GPU) tickSetup(cl *cluster, d *drawState, cycle uint64) {
 // 2x2 raster tiles within each): the TC engines then see a TC tile's
 // raster tiles back to back and can coalesce them fully instead of
 // thrashing between screen positions.
-func (g *GPU) startRaster(cl *cluster, d *drawState, tri *raster.SetupTri) {
+func (g *GPU) startRaster(cl *cluster, d *drawState, tri *raster.SetupTri, cycle uint64) {
 	cl.rast.tri = tri
 	cl.rast.tiles = cl.rast.tiles[:0]
 	cl.rast.next = 0
+	cl.rast.startedAt = cycle
 	vp := d.call.Viewport
 	raster.CoarseRaster(tri, gfx.TCTilePx, func(cx, cy int) {
 		if g.screenMap.ClusterOf(cx, cy) != cl.id {
@@ -288,6 +297,8 @@ func (g *GPU) tickRaster(cl *cluster, d *drawState, cycle uint64) {
 	}
 	for n := 0; n < g.Cfg.RasterThroughput; n++ {
 		if cl.rast.next >= len(cl.rast.tiles) {
+			g.trace.Span1(emtrace.SrcGPU, cl.track, "raster", cl.rast.startedAt, cycle,
+				emtrace.Arg{Key: "tiles", Val: int64(len(cl.rast.tiles))})
 			cl.rast.tri = nil
 			return
 		}
@@ -327,6 +338,8 @@ type tileTask struct {
 	remaining int
 	fullCover bool
 	maxZ      float32
+	frags     int
+	started   uint64 // launch cycle, for the fragment-shading span
 }
 
 func (t *tileTask) warpRetired(frags int) {
@@ -336,6 +349,8 @@ func (t *tileTask) warpRetired(frags int) {
 	if t.remaining > 0 {
 		return
 	}
+	t.g.trace.Span1(emtrace.SrcGPU, t.cl.track, "fs_tile", t.started, t.g.cycle,
+		emtrace.Arg{Key: "frags", Val: int64(t.frags)})
 	t.cl.tc.Complete(t.tx, t.ty)
 	t.d.tasksOutstanding--
 	// Safe Hi-Z update: full-tile opaque depth-written coverage only.
@@ -362,6 +377,7 @@ func (g *GPU) tickFSLaunch(cl *cluster, cycle uint64) {
 			task := &tileTask{
 				g: g, cl: cl, d: d, tx: t.TX, ty: t.TY,
 				remaining: warps, fullCover: t.FullCover, maxZ: t.MaxZ,
+				frags: len(t.Frags), started: cycle,
 			}
 			d.tasksOutstanding++
 			d.fragsLaunched += int64(len(t.Frags))

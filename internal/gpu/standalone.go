@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"emerald/internal/dram"
+	"emerald/internal/emtrace"
 	"emerald/internal/interconnect"
 	"emerald/internal/mem"
 	"emerald/internal/stats"
@@ -49,6 +50,12 @@ func DefaultStandalone(reg *stats.Registry) *Standalone {
 			Geometry: dram.LPDDR3Geometry(4),
 			Timing:   dram.LPDDR3Timing(1600),
 		}, reg)
+}
+
+// AttachTracer arms event tracing across the GPU and DRAM.
+func (s *Standalone) AttachTracer(t *emtrace.Tracer) {
+	s.GPU.AttachTracer(t)
+	s.DRAM.AttachTracer(t)
 }
 
 // Mem exposes the functional memory for asset upload.

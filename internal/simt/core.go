@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"emerald/internal/cache"
+	"emerald/internal/emtrace"
 	"emerald/internal/mem"
 	"emerald/internal/shader"
 	"emerald/internal/stats"
@@ -102,6 +103,12 @@ type Core struct {
 	lastScheduled int
 	warpSeq       uint64
 
+	// trace, when armed via AttachTracer, receives warp launch→retire
+	// spans and per-cycle stall-reason instants on traceTrack.
+	trace      *emtrace.Tracer
+	traceTrack string
+	curCycle   uint64 // latest Tick cycle, for launch/retire stamping
+
 	// Stats.
 	reg            *stats.Registry
 	instrs         *stats.Counter
@@ -162,6 +169,17 @@ func NewCore(cfg CoreConfig, reg *stats.Registry) *Core {
 // Registry returns the core's stats scope.
 func (c *Core) Registry() *stats.Registry { return c.reg }
 
+// AttachTracer arms event tracing on the core and its L1 caches. Track
+// names are precomputed here so emitting never builds strings.
+func (c *Core) AttachTracer(t *emtrace.Tracer) {
+	c.trace = t
+	c.traceTrack = fmt.Sprintf("core%d_%d", c.Cfg.ClusterID, c.Cfg.ID)
+	c.L1D.SetTracer(t, c.traceTrack+".l1d")
+	c.L1T.SetTracer(t, c.traceTrack+".l1t")
+	c.L1Z.SetTracer(t, c.traceTrack+".l1z")
+	c.L1C.SetTracer(t, c.traceTrack+".l1c")
+}
+
 // ActiveWarps returns the number of resident warps.
 func (c *Core) ActiveWarps() int { return len(c.warps) }
 
@@ -193,6 +211,7 @@ func (c *Core) Launch(prog *shader.Program, env WarpEnv, blockID int, mask uint3
 	w := newWarp(int(c.warpSeq), prog, env, blockID, mask)
 	c.warpSeq++
 	w.LaunchedAt = c.warpSeq
+	w.launchCycle = c.curCycle
 	w.Special = specials
 	if init != nil {
 		for lane := 0; lane < WarpSize; lane++ {
@@ -223,6 +242,7 @@ func (c *Core) Idle() bool {
 // Tick advances the core one cycle.
 func (c *Core) Tick(cycle uint64) {
 	c.cycles.Inc()
+	c.curCycle = cycle
 
 	// 1. Writeback events.
 	kept := c.events[:0]
@@ -402,6 +422,58 @@ func (c *Core) issueOne(cycle uint64) {
 		return
 	}
 	c.issueIdle.Inc()
+	c.traceStall(cycle)
+}
+
+// traceStall emits one instant naming the dominant reason no warp could
+// issue this scheduler slot: scoreboard dependency, outstanding memory,
+// barrier/reconvergence wait, or SFU throughput. Only runs while the
+// tracer is active — the disabled path costs a single branch.
+func (c *Core) traceStall(cycle uint64) {
+	if !c.trace.Active(cycle) {
+		return
+	}
+	var scoreboard, memory, reconv, sfu int
+	for _, w := range c.warps {
+		switch {
+		case w.done || len(w.stack) == 0:
+		case w.atBarrier:
+			reconv++
+		case w.readyAt > cycle:
+			sfu++
+		default:
+			pc := w.PC()
+			if pc >= uint32(len(w.Prog.Code)) {
+				continue
+			}
+			in := w.Prog.Code[pc]
+			switch {
+			case w.hazard(in) && w.outstanding > 0:
+				memory++
+			case w.hazard(in):
+				scoreboard++
+			case in.IsMemory() && len(c.txQueue) >= txQueueDepth:
+				memory++
+			}
+		}
+	}
+	name, count := "", 0
+	if scoreboard > count {
+		name, count = "stall_scoreboard", scoreboard
+	}
+	if memory > count {
+		name, count = "stall_mem", memory
+	}
+	if reconv > count {
+		name, count = "stall_reconv", reconv
+	}
+	if sfu > count {
+		name, count = "stall_sfu", sfu
+	}
+	if name != "" {
+		c.trace.Instant1(emtrace.SrcSIMT, c.traceTrack, name, cycle,
+			emtrace.Arg{Key: "warps", Val: int64(count)})
+	}
 }
 
 // reap removes retired warps and fires their env callbacks.
@@ -410,6 +482,8 @@ func (c *Core) reap() {
 	for _, w := range c.warps {
 		if w.done && w.outstanding == 0 {
 			c.warpsRetired.Inc()
+			c.trace.Span1(emtrace.SrcSIMT, c.traceTrack, w.Prog.Name,
+				w.launchCycle, c.curCycle, emtrace.Arg{Key: "warp", Val: int64(w.ID)})
 			if w.BlockID >= 0 {
 				if b := c.blocks[w.BlockID]; b != nil {
 					b.live--

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"emerald/internal/cache"
+	"emerald/internal/emtrace"
 	"emerald/internal/mem"
 	"emerald/internal/shader"
 )
@@ -47,6 +48,8 @@ func (c *Core) execute(w *Warp, cycle uint64) {
 	case shader.OpBra:
 		if w.branch(in.Target, exec) {
 			c.divergences.Inc()
+			c.trace.Instant1(emtrace.SrcSIMT, c.traceTrack, "diverge", cycle,
+				emtrace.Arg{Key: "warp", Val: int64(w.ID)})
 		}
 		w.reconverge()
 		return

@@ -89,6 +89,9 @@ type Warp struct {
 	// LaunchedAt orders warps for greedy-then-oldest scheduling.
 	LaunchedAt uint64
 	lastIssued uint64
+
+	// launchCycle stamps the launch time for the warp's trace span.
+	launchCycle uint64
 }
 
 // newWarp initializes a warp at pc 0 with the given initial active mask.

@@ -12,6 +12,7 @@
 package soc
 
 import (
+	"emerald/internal/emtrace"
 	"emerald/internal/gfx"
 	"emerald/internal/mem"
 	"emerald/internal/stats"
@@ -36,7 +37,12 @@ type Display struct {
 	Out *mem.Queue
 
 	served, shown, dropped *stats.Counter
+
+	trace *emtrace.Tracer
 }
+
+// AttachTracer arms refresh-span tracing on the display.
+func (d *Display) AttachTracer(t *emtrace.Tracer) { d.trace = t }
 
 // NewDisplay creates a display controller. reg may be nil.
 func NewDisplay(period uint64, reg *stats.Registry) *Display {
@@ -93,8 +99,12 @@ func (d *Display) Tick(cycle uint64) {
 	if cycle-d.frameStart >= d.Period {
 		if d.completed >= d.totalReqs {
 			d.shown.Inc()
+			d.trace.Span1(emtrace.SrcSoC, "display", "refresh", d.frameStart, cycle,
+				emtrace.Arg{Key: "reqs", Val: int64(d.completed)})
 		} else {
 			d.dropped.Inc()
+			d.trace.Span1(emtrace.SrcSoC, "display", "refresh_drop", d.frameStart, cycle,
+				emtrace.Arg{Key: "missing", Val: int64(d.totalReqs - d.completed)})
 		}
 		d.beginScan(cycle)
 		return

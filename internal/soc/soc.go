@@ -5,6 +5,7 @@ import (
 
 	"emerald/internal/cpu"
 	"emerald/internal/dram"
+	"emerald/internal/emtrace"
 	"emerald/internal/geom"
 	"emerald/internal/gfx"
 	"emerald/internal/gl"
@@ -132,7 +133,18 @@ type SoC struct {
 
 	cycle            uint64
 	nextDashFeedback uint64
+
+	// trace, when armed via AttachTracer, receives frame submit/complete
+	// spans and blocking-syscall spans; per-CPU state below tracks a
+	// pending (blocked, retried-each-tick) syscall's start cycle.
+	trace     *emtrace.Tracer
+	sysStart  []uint64
+	sysCode   []int32
+	cpuTracks []string
 }
+
+// noSysStart marks "no blocked syscall pending" in SoC.sysStart.
+const noSysStart = ^uint64(0)
 
 // New assembles the SoC.
 func New(cfg Config, reg *stats.Registry) (*SoC, error) {
@@ -242,6 +254,25 @@ func New(cfg Config, reg *stats.Registry) (*SoC, error) {
 	return s, nil
 }
 
+// AttachTracer arms event tracing across the whole system: GPU (and its
+// cores/caches), DRAM, display, CPU cache hierarchies, and the SoC's own
+// frame/syscall spans. Frame completions drive the tracer's FrameMark
+// region-of-interest.
+func (s *SoC) AttachTracer(t *emtrace.Tracer) {
+	s.trace = t
+	s.GPU.AttachTracer(t)
+	s.DRAM.AttachTracer(t)
+	s.Display.AttachTracer(t)
+	s.sysStart = make([]uint64, len(s.CPUs))
+	s.sysCode = make([]int32, len(s.CPUs))
+	s.cpuTracks = make([]string, len(s.CPUs))
+	for i, c := range s.CPUs {
+		c.AttachTracer(t)
+		s.sysStart[i] = noSysStart
+		s.cpuTracks[i] = fmt.Sprintf("cpu%d", i)
+	}
+}
+
 // backBuffer returns the current render target.
 func (s *SoC) backBuffer() gfx.Surface {
 	if s.backIsA {
@@ -250,8 +281,52 @@ func (s *SoC) backBuffer() gfx.Surface {
 	return s.colorB
 }
 
-// syscall implements the driver layer (goldfish-pipe substitute).
+// syscall implements the driver layer (goldfish-pipe substitute),
+// wrapping the handler with blocking-syscall span tracing.
 func (s *SoC) syscall(c *cpu.Core, code int32) (uint32, bool) {
+	v, done := s.syscallImpl(c, code)
+	if s.trace != nil {
+		s.traceSyscall(c, code, done)
+	}
+	return v, done
+}
+
+// traceSyscall emits a span for each syscall that blocked at least one
+// cycle (fast-path syscalls like yield produce no events).
+func (s *SoC) traceSyscall(c *cpu.Core, code int32, done bool) {
+	id := c.Cfg.ID
+	if id < 0 || id >= len(s.sysStart) {
+		return
+	}
+	if !done {
+		if s.sysStart[id] == noSysStart {
+			s.sysStart[id] = s.cycle
+			s.sysCode[id] = code
+		}
+		return
+	}
+	if s.sysStart[id] != noSysStart && s.sysCode[id] == code {
+		s.trace.Span(emtrace.SrcSoC, s.cpuTracks[id], syscallName(code),
+			s.sysStart[id], s.cycle)
+	}
+	s.sysStart[id] = noSysStart
+}
+
+func syscallName(code int32) string {
+	switch code {
+	case cpu.SysFrameSubmit:
+		return "sys_frame_submit"
+	case cpu.SysFenceDone:
+		return "sys_fence_done"
+	case cpu.SysWaitVsync:
+		return "sys_wait_vsync"
+	case cpu.SysYield:
+		return "sys_yield"
+	}
+	return "sys_unknown"
+}
+
+func (s *SoC) syscallImpl(c *cpu.Core, code int32) (uint32, bool) {
 	switch code {
 	case cpu.SysFrameSubmit:
 		if s.fenceBusy {
@@ -296,6 +371,8 @@ func (s *SoC) submitFrame() {
 	s.fenceID++
 	s.fenceBusy = true
 	s.submitCycle = s.cycle
+	s.trace.Instant1(emtrace.SrcSoC, "frames", "frame_submit", s.cycle,
+		emtrace.Arg{Key: "fence", Val: int64(s.fenceID)})
 	if s.Cfg.DASH != nil {
 		s.Cfg.DASH.StartFrame(mem.ClientGPU, 0, s.cycle)
 	}
@@ -318,6 +395,9 @@ func (s *SoC) completeFrame() {
 	}
 	s.Frames = append(s.Frames, st)
 	s.framesDone++
+	s.trace.Span1(emtrace.SrcSoC, "frames", "frame", s.submitCycle, s.cycle,
+		emtrace.Arg{Key: "frame", Val: int64(s.framesDone)})
+	s.trace.FrameMark()
 }
 
 // Cycle returns the current system cycle.

@@ -6,8 +6,11 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -100,8 +103,19 @@ func (r *Registry) Reset() {
 	}
 }
 
+// distNames returns all distribution names (fully qualified), sorted.
+func (r *Registry) distNames() []string {
+	names := make([]string, 0, len(r.dists))
+	for n := range r.dists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Dump writes "name value" lines for every counter whose fully qualified
-// name contains the filter substring (empty filter matches all).
+// name contains the filter substring (empty filter matches all), then one
+// summary line per matching distribution (count, mean, quantiles, range).
 func (r *Registry) Dump(w io.Writer, filter string) {
 	for _, n := range r.Names() {
 		if filter != "" && !strings.Contains(n, filter) {
@@ -109,6 +123,51 @@ func (r *Registry) Dump(w io.Writer, filter string) {
 		}
 		fmt.Fprintf(w, "%-48s %d\n", n, r.counters[n].Value())
 	}
+	for _, n := range r.distNames() {
+		if filter != "" && !strings.Contains(n, filter) {
+			continue
+		}
+		d := r.dists[n]
+		fmt.Fprintf(w, "%-48s n=%d mean=%.2f p50=%.1f p95=%.1f p99=%.1f min=%.1f max=%.1f\n",
+			n, d.Count(), d.Mean(), d.Quantile(0.50), d.Quantile(0.95),
+			d.Quantile(0.99), d.Min(), d.Max())
+	}
+}
+
+// jsonDist is a Distribution's JSON representation.
+type jsonDist struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// DumpJSON writes the full registry as one JSON object with "counters"
+// (name -> value) and "distributions" (name -> summary) maps, keys
+// sorted, for machine consumption by plotting/regression tooling.
+func (r *Registry) DumpJSON(w io.Writer) error {
+	counters := make(map[string]int64, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c.Value()
+	}
+	dists := make(map[string]jsonDist, len(r.dists))
+	for n, d := range r.dists {
+		dists[n] = jsonDist{
+			Count: d.Count(), Sum: d.Sum(), Mean: d.Mean(),
+			Min: d.Min(), Max: d.Max(),
+			P50: d.Quantile(0.50), P95: d.Quantile(0.95), P99: d.Quantile(0.99),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"counters":      counters,
+		"distributions": dists,
+	})
 }
 
 // Counter is a monotonically adjustable int64 statistic.
@@ -123,11 +182,18 @@ func (c *Counter) Add(n int64) { c.v += n }
 // Value returns the current value.
 func (c *Counter) Value() int64 { return c.v }
 
-// Distribution accumulates samples and reports count/sum/min/max/mean.
+// distBuckets is the number of log₂ histogram buckets past the first:
+// bucket 0 holds v < 1, bucket i (1..distBuckets) holds 2^(i-1) <= v <
+// 2^i, so the histogram spans the full positive int64 range.
+const distBuckets = 63
+
+// Distribution accumulates samples into a log₂-bucketed histogram and
+// reports count/sum/min/max/mean plus approximate quantiles.
 type Distribution struct {
 	n        int64
 	sum      float64
 	min, max float64
+	buckets  [distBuckets + 1]int64
 }
 
 // Sample records one observation.
@@ -140,6 +206,64 @@ func (d *Distribution) Sample(v float64) {
 	}
 	d.n++
 	d.sum += v
+	d.buckets[bucketOf(v)]++
+}
+
+// bucketOf maps a sample to its log₂ bucket index.
+func bucketOf(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) // floor(log2(v)) + 1 for v >= 1
+	if b > distBuckets {
+		b = distBuckets
+	}
+	return b
+}
+
+// bucketBounds returns bucket i's value range [lo, hi).
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return math.Ldexp(1, i-1), math.Ldexp(1, i)
+}
+
+// Quantile returns the approximate p-quantile (p in [0,1]) by linear
+// interpolation within the sample's log₂ bucket, clamped to the observed
+// [min, max]. With no samples it returns 0.
+func (d *Distribution) Quantile(p float64) float64 {
+	if d.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return d.min
+	}
+	if p >= 1 {
+		return d.max
+	}
+	target := p * float64(d.n)
+	var cum float64
+	for i, c := range d.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if target <= next {
+			lo, hi := bucketBounds(i)
+			frac := (target - cum) / float64(c)
+			v := lo + frac*(hi-lo)
+			if v < d.min {
+				v = d.min
+			}
+			if v > d.max {
+				v = d.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return d.max
 }
 
 // Count returns the number of samples.

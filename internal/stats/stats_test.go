@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -158,6 +159,159 @@ func TestTableRendering(t *testing.T) {
 	}
 	if tb.Rows() != 2 || tb.Cell(1, 0) != "HMC" || tb.Cell(9, 9) != "" {
 		t.Fatal("row/cell accessors broken")
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	var d Distribution
+	for v := 1; v <= 1024; v++ {
+		d.Sample(float64(v))
+	}
+	// Log₂ buckets give approximate quantiles; within-bucket linear
+	// interpolation keeps the error under the bucket width.
+	checks := []struct{ p, want, tol float64 }{
+		{0, 1, 0},
+		{0.50, 512, 160},
+		{0.95, 973, 60},
+		{0.99, 1014, 30},
+		{1, 1024, 0},
+	}
+	for _, c := range checks {
+		got := d.Quantile(c.p)
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("Quantile(%.2f) = %.1f, want %.1f ± %.0f", c.p, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Distribution
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	var one Distribution
+	one.Sample(42)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(p); got != 42 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 42", p, got)
+		}
+	}
+	var small Distribution
+	small.Sample(0.25) // bucket 0 (v < 1)
+	small.Sample(0.75)
+	if got := small.Quantile(0.5); got < 0.25 || got > 0.75 {
+		t.Fatalf("sub-1 quantile = %v, want within [0.25, 0.75]", got)
+	}
+}
+
+// Property: quantiles are monotone in p and clamped to [min, max].
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint16) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var d Distribution
+		for _, s := range samples {
+			d.Sample(float64(s))
+		}
+		prev := d.Min()
+		for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			q := d.Quantile(p)
+			if q < prev || q < d.Min() || q > d.Max() {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpIncludesDistributions(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gpu.hits").Add(3)
+	d := r.Distribution("gpu.draw_cycles")
+	d.Sample(100)
+	d.Sample(300)
+	var b strings.Builder
+	r.Dump(&b, "")
+	out := b.String()
+	if !strings.Contains(out, "gpu.draw_cycles") {
+		t.Fatalf("Dump dropped distributions:\n%s", out)
+	}
+	if !strings.Contains(out, "n=2") || !strings.Contains(out, "mean=200.00") {
+		t.Fatalf("distribution summary wrong:\n%s", out)
+	}
+	var filtered strings.Builder
+	r.Dump(&filtered, "hits")
+	if strings.Contains(filtered.String(), "draw_cycles") {
+		t.Fatal("filter leaked non-matching distributions")
+	}
+}
+
+func TestDumpJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gpu.hits").Add(7)
+	d := r.Distribution("dram.latency")
+	for _, v := range []float64{10, 20, 30, 40} {
+		d.Sample(v)
+	}
+	var b strings.Builder
+	if err := r.DumpJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Counters      map[string]int64 `json:"counters"`
+		Distributions map[string]struct {
+			Count int64   `json:"count"`
+			Mean  float64 `json:"mean"`
+			P50   float64 `json:"p50"`
+			P95   float64 `json:"p95"`
+			P99   float64 `json:"p99"`
+			Min   float64 `json:"min"`
+			Max   float64 `json:"max"`
+		} `json:"distributions"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("DumpJSON output is not valid JSON: %v", err)
+	}
+	if parsed.Counters["gpu.hits"] != 7 {
+		t.Fatalf("counters = %v", parsed.Counters)
+	}
+	lat, ok := parsed.Distributions["dram.latency"]
+	if !ok || lat.Count != 4 || lat.Mean != 25 || lat.Min != 10 || lat.Max != 40 {
+		t.Fatalf("distributions = %+v", parsed.Distributions)
+	}
+	if lat.P50 < lat.Min || lat.P99 > lat.Max || lat.P50 > lat.P95 || lat.P95 > lat.P99 {
+		t.Fatalf("quantiles out of order: %+v", lat)
+	}
+}
+
+// TestTimelineDumpGolden pins the Dump layout, including alignment for
+// source names longer than the 12-char numeric columns.
+func TestTimelineDumpGolden(t *testing.T) {
+	tl := NewTimeline(10)
+	tl.Record(5, "cpu", 100)
+	tl.Record(5, "a_very_long_source_name", 50)
+	tl.Record(15, "cpu", 10)
+	var b strings.Builder
+	tl.Dump(&b, 0)
+	got := b.String()
+	want := "time                cpu a_very_long_source_name\n" +
+		"0               10.0000                  5.0000\n" +
+		"10               1.0000                  0.0000\n"
+	if got != want {
+		t.Fatalf("Timeline.Dump golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Every row must be the same width now that headers size the columns.
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[0]) {
+			t.Fatalf("row %d width %d != header width %d:\n%s",
+				i, len(lines[i]), len(lines[0]), got)
+		}
 	}
 }
 

@@ -86,9 +86,16 @@ func (t *Timeline) Series(source string) []float64 {
 // milliseconds for the first column (0 disables the conversion and prints
 // the raw bucket start cycle).
 func (t *Timeline) Dump(w io.Writer, cyclesPerMS float64) {
+	// Column widths track the source names so headers and values stay
+	// aligned even for names longer than the 12-char value format.
+	widths := make([]int, len(t.sources))
 	fmt.Fprintf(w, "%-10s", "time")
-	for _, s := range t.sources {
-		fmt.Fprintf(w, " %12s", s)
+	for si, s := range t.sources {
+		widths[si] = len(s)
+		if widths[si] < 12 {
+			widths[si] = 12
+		}
+		fmt.Fprintf(w, " %*s", widths[si], s)
 	}
 	fmt.Fprintln(w)
 	for b := range t.buckets {
@@ -103,7 +110,7 @@ func (t *Timeline) Dump(w io.Writer, cyclesPerMS float64) {
 			if t.buckets[b] != nil {
 				v = t.buckets[b][si]
 			}
-			fmt.Fprintf(w, " %12.4f", float64(v)/float64(t.BucketCycles))
+			fmt.Fprintf(w, " %*.4f", widths[si], float64(v)/float64(t.BucketCycles))
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Pre-PR gate: formatting, vet, and the full test suite under the race
+# detector. Run from the repository root:
+#
+#	scripts/check.sh
+#
+# Everything must pass before sending a PR (see README "Observability
+# and tooling").
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+echo "ok"
+
+echo "== go vet =="
+go vet ./...
+echo "ok"
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "all checks passed"
