@@ -21,6 +21,7 @@ import (
 	"emerald/internal/exp"
 	"emerald/internal/geom"
 	"emerald/internal/gpu"
+	"emerald/internal/par"
 	"emerald/internal/soc"
 )
 
@@ -492,9 +493,27 @@ func BenchmarkFrameW1(b *testing.B) {
 	benchmarkFrame(b, geom.W1Sibenik)
 }
 
+// BenchmarkFrameW3Par4 is BenchmarkFrameW3 on the parallel tick engine
+// with 4 workers — the speedup guard for the -workers flag
+// (scripts/check.sh demands >= 1.5x over the sequential run). Results
+// are bit-identical to BenchmarkFrameW3; only wall clock changes.
+func BenchmarkFrameW3Par4(b *testing.B) {
+	benchmarkFrameWorkers(b, geom.W3Cube, 4)
+}
+
 func benchmarkFrame(b *testing.B, workload int) {
 	b.Helper()
+	benchmarkFrameWorkers(b, workload, 1)
+}
+
+func benchmarkFrameWorkers(b *testing.B, workload, workers int) {
+	b.Helper()
 	sys := NewStandaloneGPU(nil)
+	if workers > 1 {
+		pool := par.NewPool(workers)
+		defer pool.Close()
+		sys.SetParallel(pool)
+	}
 	ctx := NewGL(sys)
 	scene, err := geom.DFSLWorkload(workload)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"emerald/internal/emtrace"
 	"emerald/internal/exp"
+	"emerald/internal/par"
 )
 
 func main() {
@@ -27,11 +28,17 @@ func main() {
 	traceFile := flag.String("trace-events", "", "write a Chrome/Perfetto trace-event JSON file covering every run")
 	traceStart := flag.Uint64("trace-start", 0, "drop trace events before this cycle")
 	traceFrames := flag.Int("trace-frames", 0, "stop tracing after this many frames (0 = all)")
+	workers := flag.Int("workers", par.DefaultWorkers(), "worker threads for the parallel tick engine (1 = sequential; results are identical)")
 	flag.Parse()
 
 	opt := exp.Quick()
 	if *scale == "paper" {
 		opt = exp.Paper()
+	}
+	if *workers > 1 {
+		pool := par.NewPool(*workers)
+		defer pool.Close()
+		opt.Pool = pool
 	}
 	var tr *emtrace.Tracer
 	if *traceFile != "" {

@@ -19,6 +19,7 @@ import (
 	"emerald/internal/gl"
 	"emerald/internal/gpu"
 	"emerald/internal/mathx"
+	"emerald/internal/par"
 	"emerald/internal/shader"
 	"emerald/internal/stats"
 )
@@ -26,6 +27,7 @@ import (
 // options carries the run configuration from flags.
 type options struct {
 	workload, frames, w, h, wt int
+	workers                    int
 	dump, dumpStats            string
 	statsJSON                  string
 	traceFile                  string
@@ -40,6 +42,7 @@ func main() {
 	flag.IntVar(&opt.w, "w", 192, "viewport width")
 	flag.IntVar(&opt.h, "h", 144, "viewport height")
 	flag.IntVar(&opt.wt, "wt", 1, "work-tile granularity (1..10)")
+	flag.IntVar(&opt.workers, "workers", par.DefaultWorkers(), "worker threads for the parallel tick engine (1 = sequential; results are identical)")
 	flag.StringVar(&opt.dump, "dump", "", "write the final framebuffer to this PPM file")
 	flag.StringVar(&opt.dumpStats, "stats", "", "print counters whose name contains this substring")
 	flag.StringVar(&opt.statsJSON, "stats-json", "", "write all counters and distributions as JSON to this file")
@@ -76,6 +79,11 @@ func run(opt options) error {
 	reg := stats.NewRegistry()
 	s := gpu.DefaultStandalone(reg)
 	s.GPU.SetWT(wt)
+	if opt.workers > 1 {
+		pool := par.NewPool(opt.workers)
+		defer pool.Close()
+		s.SetParallel(pool)
+	}
 	var tr *emtrace.Tracer
 	if opt.traceFile != "" {
 		tr = emtrace.New(0)

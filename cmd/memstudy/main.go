@@ -17,6 +17,7 @@ import (
 
 	"emerald/internal/emtrace"
 	"emerald/internal/exp"
+	"emerald/internal/par"
 	"emerald/internal/stats"
 )
 
@@ -28,11 +29,17 @@ func main() {
 	traceStart := flag.Uint64("trace-start", 0, "drop trace events before this cycle")
 	traceFrames := flag.Int("trace-frames", 0, "stop tracing after this many frames (0 = all)")
 	statsJSON := flag.String("stats-json", "", "write all counters and distributions as JSON to this file")
+	workers := flag.Int("workers", par.DefaultWorkers(), "worker threads for the parallel tick engine (1 = sequential; results are identical)")
 	flag.Parse()
 
 	opt := exp.Quick()
 	if *scale == "paper" {
 		opt = exp.Paper()
+	}
+	if *workers > 1 {
+		pool := par.NewPool(*workers)
+		defer pool.Close()
+		opt.Pool = pool
 	}
 	var tr *emtrace.Tracer
 	if *traceFile != "" {

@@ -3,6 +3,7 @@ package dram
 import (
 	"emerald/internal/emtrace"
 	"emerald/internal/mem"
+	"emerald/internal/par"
 	"emerald/internal/stats"
 )
 
@@ -124,6 +125,29 @@ type Controller struct {
 	reg       *stats.Registry
 	rejected  *stats.Counter
 	totalBusy uint64
+
+	// Parallel tick engine state: when armed via SetParallel, Tick runs
+	// the per-channel work as one shard per channel on the worker pool.
+	// Channels share no mutable state (the scheduler's cross-channel
+	// tallies are atomic), so any interleaving yields the sequential
+	// result bit for bit.
+	group     *par.Group
+	tickCycle uint64
+}
+
+// SetParallel arms the worker pool for per-channel parallel ticking.
+// A nil pool (or pool of size 1) keeps the sequential path.
+func (c *Controller) SetParallel(p *par.Pool) {
+	if p == nil || p.Size() <= 1 {
+		c.group = nil
+		return
+	}
+	tasks := make([]func(), len(c.Channels))
+	for i, ch := range c.Channels {
+		ch := ch
+		tasks[i] = func() { c.tickChannel(ch, c.tickCycle) }
+	}
+	c.group = par.NewGroup(p, tasks)
 }
 
 // NewController builds a DRAM controller. reg may be nil.
@@ -219,12 +243,20 @@ func (c *Controller) QueuedRequests() int {
 }
 
 // Tick advances the DRAM by one controller cycle: completes in-flight
-// transfers and issues at most one new transaction per channel.
+// transfers and issues at most one new transaction per channel. With
+// SetParallel armed, channels tick concurrently (one shard each);
+// otherwise they tick in channel order. Both paths compute identical
+// state.
 func (c *Controller) Tick(cycle uint64) {
 	c.sched.Tick(cycle)
-	for _, ch := range c.Channels {
-		c.tickChannel(ch, cycle)
+	if c.group == nil || c.QueuedRequests() == 0 {
+		for _, ch := range c.Channels {
+			c.tickChannel(ch, cycle)
+		}
+		return
 	}
+	c.tickCycle = cycle
+	c.group.Run()
 }
 
 func (c *Controller) tickChannel(ch *Channel, cycle uint64) {
@@ -239,7 +271,15 @@ func (c *Controller) tickChannel(ch *Channel, cycle uint64) {
 	}
 	ch.inService = kept
 
-	if len(ch.Queue) == 0 || ch.busFree > cycle {
+	// Command/data-bus overlap (bank-level parallelism): a command may
+	// issue while an earlier transfer still occupies the data bus, as
+	// long as the bus frees up by this request's own data phase. TCL is
+	// the minimum command latency, so gating on it guarantees any pick
+	// is issuable — the scheduler's (possibly stateful) Pick is never
+	// called speculatively — and the bus is never reserved ahead of an
+	// in-progress burst, which previously head-of-line-blocked ready
+	// banks behind a single transfer's full command+data latency.
+	if len(ch.Queue) == 0 || ch.busFree > cycle+c.cfg.Timing.TCL {
 		return
 	}
 	idx := c.sched.Pick(ch, cycle)
@@ -247,16 +287,18 @@ func (c *Controller) tickChannel(ch *Channel, cycle uint64) {
 		return
 	}
 	r := ch.Queue[idx]
-	ch.Queue = append(ch.Queue[:idx], ch.Queue[idx+1:]...)
-
 	loc := ch.mapping.Decode(r.Addr)
 	bk := &ch.banks[loc.Rank][loc.Bank]
-	t := c.cfg.Timing
-
-	start := cycle
-	if bk.readyAt > start {
-		start = bk.readyAt
+	if bk.readyAt > cycle {
+		// FR-FCFS semantics: never issue to a bank that cannot accept a
+		// command now (defensive — the bundled schedulers filter on
+		// BankReady already, so a well-behaved Pick never lands here).
+		return
 	}
+	ch.Queue = append(ch.Queue[:idx], ch.Queue[idx+1:]...)
+
+	t := c.cfg.Timing
+	start := cycle
 	var cmdLatency uint64
 	switch {
 	case bk.openRow == int64(loc.Row):
@@ -283,11 +325,16 @@ func (c *Controller) tickChannel(ch *Channel, cycle uint64) {
 	if burst == 0 {
 		burst = 1
 	}
+	// The gate above ensures busFree <= start+cmdLatency, so the data
+	// phase begins right after the command phase with no bus conflict.
 	dataStart := start + cmdLatency
+	if dataStart < ch.busFree {
+		dataStart = ch.busFree
+	}
 	finish := dataStart + burst
 
 	bk.readyAt = finish
-	ch.busFree = dataStart + burst // bus serializes data transfers
+	ch.busFree = finish // the data bus serializes transfers
 
 	r.DoneAt = finish // Done flag set when cycle reaches finish
 	ch.inService = append(ch.inService, r)

@@ -281,3 +281,45 @@ func TestMappingString(t *testing.T) {
 		t.Fatalf("line-striped = %q", s)
 	}
 }
+
+// TestBankBurstsOverlap pins down the head-of-line fix: a request to a
+// ready bank is admitted while another bank's data burst still occupies
+// the channel bus, hiding its activate/CAS latency, so bursts from two
+// banks land back-to-back on the bus. The old controller refused to
+// issue anything until the bus was idle, serializing command and data
+// phases across banks.
+func TestBankBurstsOverlap(t *testing.T) {
+	c := testController(1)
+	rowBytes := uint64(c.cfg.Geometry.RowBytes())
+	r1 := &mem.Request{Addr: 0, Size: 64}             // bank 0, row 0 (closed)
+	r2 := &mem.Request{Addr: rowBytes, Size: 64}      // bank 1, row 0 (closed)
+	r3 := &mem.Request{Addr: 64, Size: 64}            // bank 0, row hit
+	r4 := &mem.Request{Addr: rowBytes + 64, Size: 64} // bank 1, row hit
+	reqs := []*mem.Request{r1, r2, r3, r4}
+	for _, r := range reqs {
+		if !c.Push(r) {
+			t.Fatal("push rejected")
+		}
+	}
+	run(t, c, reqs, 1000)
+
+	// LPDDR3-1333: tRCD 18, tCL 15, burst(64B) 13.
+	// r1: closed bank, ACT+CAS 33 + burst 13 -> done at 46.
+	// r2: admitted at cycle 31 (busFree 46 <= 31+tCL) while r1's burst
+	//     still occupies the bus; ACT+CAS overlaps it, data starts at
+	//     64 -> done at 77. Bus-blocking admission would give 92.
+	// r3: bank 0 row hit, admitted at 62; CAS overlaps r2's burst and
+	//     its data follows back-to-back at 77 -> done at 90.
+	if r1.DoneAt != 46 {
+		t.Fatalf("r1.DoneAt = %d, want 46", r1.DoneAt)
+	}
+	if r2.DoneAt != 77 {
+		t.Fatalf("r2.DoneAt = %d, want 77 (command latency hidden under r1's burst)", r2.DoneAt)
+	}
+	if r3.DoneAt != 90 {
+		t.Fatalf("r3.DoneAt = %d, want 90 (burst back-to-back after r2's)", r3.DoneAt)
+	}
+	if burst := r3.DoneAt - r2.DoneAt; burst != 13 {
+		t.Fatalf("r3 burst gap = %d cycles, want exactly one 13-cycle burst", burst)
+	}
+}

@@ -1,9 +1,14 @@
 package dram
 
 // Scheduler selects the next request a channel should service. Pick
-// returns an index into ch.Queue, or -1 to idle this cycle. Schedulers
-// may keep cross-channel state; Tick is called once per controller cycle
-// before any Pick.
+// returns an index into ch.Queue, or -1 to idle this cycle, and must
+// only return requests whose bank is ready (ch.BankReady) — the
+// controller refuses to issue to a busy bank. Schedulers may keep
+// cross-channel state; Tick is called once per controller cycle before
+// any Pick, on the coordinator. Under the parallel tick engine, Pick
+// runs concurrently for different channels, so any mutable
+// cross-channel state it touches must be commutative and atomic (see
+// sched.DASH's bandwidth tallies).
 type Scheduler interface {
 	Pick(ch *Channel, cycle uint64) int
 	Tick(cycle uint64)

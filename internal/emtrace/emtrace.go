@@ -26,7 +26,10 @@
 // without allocating.
 package emtrace
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Standard source names used across the simulator's hardware models.
 const (
@@ -73,14 +76,21 @@ func (e Event) End() uint64 { return e.Cycle + e.Dur }
 // below is safe (and cheap) to call on nil, so models hold a bare
 // *Tracer field with no guard at the call sites beyond Active().
 //
-// Tracer is not safe for concurrent use, matching the simulator's
-// single-threaded determinism contract.
+// Event *emission* is safe from concurrent tick-engine shards: emit
+// serializes ring writes under a mutex. Control methods (SetStart,
+// SetEnabled, FrameMark, Events, ...) must stay on the coordinator —
+// they run in serialized tick phases by construction. Note that with
+// -workers > 1 the interleaving of same-cycle events from different
+// shards follows the host schedule, so the emit-order sequence numbers
+// (and thus same-cycle tie-breaking in Events) are only deterministic
+// in single-worker runs; cycle timestamps are deterministic always.
 type Tracer struct {
 	on       bool
 	start    uint64 // ROI: events strictly before this cycle are skipped
 	frameCap int    // ROI: stop after this many FrameMark calls (0 = off)
 	frames   int
 
+	mu      sync.Mutex // guards the ring buffer fields below
 	buf     []Event
 	next    int // ring write position
 	wrapped bool
@@ -154,6 +164,8 @@ func (t *Tracer) Active(cycle uint64) bool {
 
 // emit appends ev to the ring, overwriting the oldest event when full.
 func (t *Tracer) emit(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, ev)
 		t.seq = append(t.seq, t.seqN)

@@ -44,6 +44,7 @@ func NewCS2Renderer(scene *geom.Scene, opt Options) (*CS2Renderer, error) {
 	if opt.Trace != nil {
 		s.AttachTracer(opt.Trace)
 	}
+	s.SetParallel(opt.Pool)
 	r := &CS2Renderer{
 		S: s, Ctx: ctx, Scene: scene, Reg: reg,
 		aspect: float32(opt.CS2Width) / float32(opt.CS2Height),

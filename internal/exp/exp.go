@@ -12,6 +12,8 @@ import (
 	"emerald/internal/dram"
 	"emerald/internal/emtrace"
 	"emerald/internal/geom"
+	"emerald/internal/mem"
+	"emerald/internal/par"
 	"emerald/internal/sched"
 	"emerald/internal/soc"
 	"emerald/internal/stats"
@@ -47,6 +49,12 @@ type Options struct {
 	// system the harness builds (unless a run supplies its own registry,
 	// as TimelineRun does).
 	Stats *stats.Registry
+
+	// Pool, when non-nil with more than one worker, arms the
+	// deterministic parallel tick engine on every system the harness
+	// builds (see internal/par and the -workers flag on the cmd tools).
+	// Results are bit-identical regardless of worker count.
+	Pool *par.Pool
 }
 
 // Quick returns bench-friendly scaling.
@@ -143,6 +151,7 @@ func buildSoC(model int, cfg MemConfig, dataRateMbps int, opt Options, reg *stat
 	if opt.Trace != nil {
 		s.AttachTracer(opt.Trace)
 	}
+	s.SetParallel(opt.Pool)
 	return s, nil
 }
 
@@ -294,6 +303,11 @@ func TimelineRun(model int, cfg MemConfig, dataRateMbps int, opt Options, bucket
 		return nil, err
 	}
 	tl := stats.NewTimeline(bucket)
+	// Pin the column order up front: under the parallel engine the DRAM
+	// channel shards record concurrently, so first-seen source order
+	// would otherwise depend on thread interleaving.
+	tl.Register(mem.ClientCPU.String(), mem.ClientGPU.String(),
+		mem.ClientDisplay.String(), mem.ClientDMA.String())
 	s.DRAM.Timeline = tl
 	if err := s.Run(opt.BudgetCycles); err != nil {
 		return nil, err

@@ -242,8 +242,11 @@ func (e *vsEnv) ConstBase() uint64   { return e.d.call.UniformBase }
 func (e *vsEnv) SharedMem() []byte   { return nil }
 func (e *vsEnv) Memory() *mem.Memory { return e.g.Mem }
 func (e *vsEnv) Retired(w *simt.Warp) {
+	// Runs in the shard of the core that executed the warp: completed is
+	// single-writer (one core runs the whole batch) and read only by the
+	// serial front end after the barrier; the draw-wide gauge is atomic.
 	e.b.completed = true
-	e.d.vsOutstanding--
+	e.d.vsOutstanding.Add(-1)
 }
 
 // fsEnv is the warp environment for fragment shading: varyings from the

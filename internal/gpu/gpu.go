@@ -2,12 +2,14 @@ package gpu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"emerald/internal/cache"
 	"emerald/internal/emtrace"
 	"emerald/internal/gfx"
 	"emerald/internal/interconnect"
 	"emerald/internal/mem"
+	"emerald/internal/par"
 	"emerald/internal/raster"
 	"emerald/internal/shader"
 	"emerald/internal/simt"
@@ -83,6 +85,13 @@ type GPU struct {
 	blockSeq int
 	cycle    uint64
 
+	// clusterGroup, when armed via SetParallel, runs the per-cluster
+	// shards (cores + raster pipeline) on the worker pool; nil ticks the
+	// clusters inline in cluster order. Both orders compute identical
+	// state: a cluster shard touches only state it owns, plus atomic
+	// gauges and the shared functional memory at shard-disjoint bytes.
+	clusterGroup *par.Group
+
 	// trace, when armed via AttachTracer, receives draw/kernel spans and
 	// per-cluster setup/raster/fragment-shading phase spans.
 	trace *emtrace.Tracer
@@ -118,13 +127,17 @@ type drawState struct {
 	nextAssemble int
 	launchCore   int
 
-	vsOutstanding    int
-	tasksOutstanding int
+	// The outstanding/progress gauges are updated from cluster shards
+	// (warp-retirement callbacks) while the front end reads them in the
+	// serial phase; additions commute, so atomics keep them exact and
+	// worker-count-independent.
+	vsOutstanding    atomic.Int64
+	tasksOutstanding atomic.Int64
 
 	primSeq uint32
 
-	fragsLaunched int64
-	fragsShaded   int64
+	fragsLaunched atomic.Int64
+	fragsShaded   atomic.Int64
 
 	startCycle uint64
 	onDone     func(cycles uint64)
@@ -191,6 +204,22 @@ func (g *GPU) AttachTracer(t *emtrace.Tracer) {
 	}
 }
 
+// SetParallel arms the worker pool: each cluster becomes one shard of
+// the parallel tick phase. A nil pool (or pool of size 1) restores the
+// inline path.
+func (g *GPU) SetParallel(p *par.Pool) {
+	if p == nil || p.Size() <= 1 {
+		g.clusterGroup = nil
+		return
+	}
+	tasks := make([]func(), len(g.clusters))
+	for i, cl := range g.clusters {
+		cl := cl
+		tasks[i] = func() { g.tickClusterShard(cl) }
+	}
+	g.clusterGroup = par.NewGroup(p, tasks)
+}
+
 // SetWT changes the work-tile granularity (between draws/frames only).
 func (g *GPU) SetWT(wt int) {
 	g.screenMap = gfx.NewScreenMap(g.Cfg.Clusters, g.Cfg.CoresPerCluster, wt)
@@ -241,8 +270,8 @@ func (g *GPU) DrawProgress() float64 {
 	}
 	geom := float64(d.nextAssemble) / float64(len(d.batches)+1)
 	var frag float64
-	if d.fragsLaunched > 0 {
-		frag = float64(d.fragsShaded) / float64(d.fragsLaunched)
+	if launched := d.fragsLaunched.Load(); launched > 0 {
+		frag = float64(d.fragsShaded.Load()) / float64(launched)
 	}
 	return 0.3*geom + 0.7*frag*geom
 }
@@ -278,7 +307,12 @@ func (g *GPU) l2Sink(r *mem.Request) bool {
 	}
 }
 
-// Tick advances the whole GPU one core cycle.
+// Tick advances the whole GPU one core cycle. It runs as three phases:
+// a serialized memory-side exchange (L2 completions, L2 tick, miss
+// drain, cluster NoC), the per-cluster shard phase (parallel when
+// SetParallel armed a pool, inline otherwise), and the serialized draw
+// front end / kernel dispatch, which observe the shards' results only
+// after the phase barrier.
 func (g *GPU) Tick(cycle uint64) {
 	g.cycle = cycle
 
@@ -306,24 +340,39 @@ func (g *GPU) Tick(cycle uint64) {
 
 	g.noc.Tick(cycle)
 
-	for _, cl := range g.clusters {
-		for _, core := range cl.cores {
-			core.Tick(cycle)
-			// Core L1 miss traffic into the cluster's NoC port.
-			port := g.noc.Port(cl.id)
-			for !port.Full() {
-				r := core.Out.Pop()
-				if r == nil {
-					break
-				}
-				port.Push(r)
-			}
+	if g.clusterGroup != nil {
+		g.clusterGroup.Run()
+	} else {
+		for _, cl := range g.clusters {
+			g.tickClusterShard(cl)
 		}
-		g.tickClusterGraphics(cl, cycle)
 	}
 
 	g.tickDrawFrontEnd(cycle)
 	g.tickKernels(cycle)
+}
+
+// tickClusterShard advances one cluster for the cycle most recently
+// passed to Tick: its SIMT cores (draining L1 miss traffic into the
+// cluster's own NoC port) and its raster pipeline. This is the unit of
+// parallelism of the tick engine; everything it mutates is owned by
+// this cluster except the atomic draw/kernel gauges, the (locked)
+// tracer, and shard-disjoint framebuffer bytes in functional memory.
+func (g *GPU) tickClusterShard(cl *cluster) {
+	cycle := g.cycle
+	for _, core := range cl.cores {
+		core.Tick(cycle)
+		// Core L1 miss traffic into the cluster's NoC port.
+		port := g.noc.Port(cl.id)
+		for !port.Full() {
+			r := core.Out.Pop()
+			if r == nil {
+				break
+			}
+			port.Push(r)
+		}
+	}
+	g.tickClusterGraphics(cl, cycle)
 }
 
 // RunUntilIdle ticks the GPU with an ideal memory (completing Out

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"emerald/internal/emtrace"
 	"emerald/internal/mem"
@@ -22,9 +23,11 @@ type Kernel struct {
 }
 
 type kernelState struct {
-	k           Kernel
-	nextBlock   int
-	outstanding int // warps in flight
+	k         Kernel
+	nextBlock int
+	// outstanding counts warps in flight; decremented from cluster
+	// shards at warp retirement, so it is atomic.
+	outstanding atomic.Int64
 	onDone      func(cycles uint64)
 	startCycle  uint64
 	started     bool
@@ -47,7 +50,7 @@ func (e *kernelEnv) CAddr(int) uint64     { return 0 }
 func (e *kernelEnv) ConstBase() uint64    { return e.ks.k.ParamBase }
 func (e *kernelEnv) SharedMem() []byte    { return e.shared }
 func (e *kernelEnv) Memory() *mem.Memory  { return e.g.Mem }
-func (e *kernelEnv) Retired(w *simt.Warp) { e.ks.outstanding-- }
+func (e *kernelEnv) Retired(w *simt.Warp) { e.ks.outstanding.Add(-1) }
 
 // LaunchKernel queues a compute kernel; onDone (optional) fires when the
 // grid completes, with the cycles it occupied the GPU.
@@ -91,7 +94,7 @@ func (g *GPU) tickKernels(cycle uint64) {
 		}
 	}
 
-	if ks.nextBlock >= ks.k.Blocks && ks.outstanding == 0 {
+	if ks.nextBlock >= ks.k.Blocks && ks.outstanding.Load() == 0 {
 		g.kernels = g.kernels[1:]
 		g.trace.Span1(emtrace.SrcGPU, "frontend", ks.k.Prog.Name,
 			ks.startCycle, cycle, emtrace.Arg{Key: "blocks", Val: int64(ks.k.Blocks)})
@@ -129,7 +132,7 @@ func (g *GPU) dispatchBlock(core *simt.Core, ks *kernelState, blockIdx, warps in
 			continue
 		}
 		if _, err := core.Launch(ks.k.Prog, env, blockID, mask, specials, nil); err == nil {
-			ks.outstanding++
+			ks.outstanding.Add(1)
 		}
 	}
 }

@@ -69,7 +69,7 @@ func (g *GPU) tickDrawFrontEnd(cycle uint64) {
 		g.drawCyclesD.Sample(float64(cycle - d.startCycle))
 		g.trace.Span2(emtrace.SrcGPU, "frontend", "draw", d.startCycle, cycle,
 			emtrace.Arg{Key: "prims", Val: int64(d.primSeq)},
-			emtrace.Arg{Key: "frags", Val: d.fragsShaded})
+			emtrace.Arg{Key: "frags", Val: d.fragsShaded.Load()})
 		if d.onDone != nil {
 			d.onDone(cycle - d.startCycle)
 		}
@@ -101,7 +101,7 @@ func (g *GPU) launchVSBatch(core *simt.Core, d *drawState, batchIdx int) {
 		}
 	}
 	if _, err := core.Launch(d.call.VS, env, -1, mask, specials, nil); err == nil {
-		d.vsOutstanding++
+		d.vsOutstanding.Add(1)
 		b.launched = true
 		g.vsWarpsC.Inc()
 	}
@@ -178,7 +178,7 @@ func (g *GPU) ovbAddr(batchIdx, lane, slot int) uint64 {
 // drawComplete reports whether every pipeline stage has drained.
 func (g *GPU) drawComplete(d *drawState) bool {
 	if d.nextLaunch < len(d.batches) || d.nextAssemble < len(d.batches) ||
-		d.vsOutstanding > 0 || d.tasksOutstanding > 0 {
+		d.vsOutstanding.Load() > 0 || d.tasksOutstanding.Load() > 0 {
 		return false
 	}
 	for _, cl := range g.clusters {
@@ -342,8 +342,11 @@ type tileTask struct {
 	started   uint64 // launch cycle, for the fragment-shading span
 }
 
+// warpRetired runs inside the owning cluster's shard (every warp of a
+// tile task launches on one core), so the task fields are shard-local;
+// only the draw-wide gauges cross shards and those are atomic.
 func (t *tileTask) warpRetired(frags int) {
-	t.d.fragsShaded += int64(frags)
+	t.d.fragsShaded.Add(int64(frags))
 	t.g.fragsShadedC.Add(int64(frags))
 	t.remaining--
 	if t.remaining > 0 {
@@ -352,7 +355,7 @@ func (t *tileTask) warpRetired(frags int) {
 	t.g.trace.Span1(emtrace.SrcGPU, t.cl.track, "fs_tile", t.started, t.g.cycle,
 		emtrace.Arg{Key: "frags", Val: int64(t.frags)})
 	t.cl.tc.Complete(t.tx, t.ty)
-	t.d.tasksOutstanding--
+	t.d.tasksOutstanding.Add(-1)
 	// Safe Hi-Z update: full-tile opaque depth-written coverage only.
 	if t.g.Cfg.HiZ && t.cl.hiz != nil && t.fullCover &&
 		t.d.call.DepthTest && t.d.call.DepthWrite && !t.d.call.Blend {
@@ -379,8 +382,8 @@ func (g *GPU) tickFSLaunch(cl *cluster, cycle uint64) {
 				remaining: warps, fullCover: t.FullCover, maxZ: t.MaxZ,
 				frags: len(t.Frags), started: cycle,
 			}
-			d.tasksOutstanding++
-			d.fragsLaunched += int64(len(t.Frags))
+			d.tasksOutstanding.Add(1)
+			d.fragsLaunched.Add(int64(len(t.Frags)))
 			for w := 0; w < warps; w++ {
 				lo := w * simt.WarpSize
 				hi := lo + simt.WarpSize

@@ -7,6 +7,7 @@ import (
 	"emerald/internal/emtrace"
 	"emerald/internal/interconnect"
 	"emerald/internal/mem"
+	"emerald/internal/par"
 	"emerald/internal/stats"
 )
 
@@ -56,6 +57,13 @@ func DefaultStandalone(reg *stats.Registry) *Standalone {
 func (s *Standalone) AttachTracer(t *emtrace.Tracer) {
 	s.GPU.AttachTracer(t)
 	s.DRAM.AttachTracer(t)
+}
+
+// SetParallel arms the deterministic parallel tick engine on the GPU
+// clusters and DRAM channels; nil restores the sequential paths.
+func (s *Standalone) SetParallel(p *par.Pool) {
+	s.GPU.SetParallel(p)
+	s.DRAM.SetParallel(p)
 }
 
 // Mem exposes the functional memory for asset upload.

@@ -9,6 +9,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the granularity of the sparse backing store.
@@ -18,13 +20,25 @@ const PageSize = 4096
 // never written return zeroes, like freshly mapped DRAM from the
 // simulator's point of view. Memory carries data only; all timing lives
 // in the cache/DRAM models.
+//
+// The page directory is safe for concurrent use: lookups read an
+// immutable map snapshot through an atomic pointer, and materializing a
+// new page copies the directory under a mutex (copy-on-insert). Page
+// *contents* carry no locks — the parallel tick engine guarantees that
+// two shards never write the same byte in the same phase (shard-owned
+// address ranges; see DESIGN.md), which the race detector verifies,
+// since distinct bytes of an array are distinct memory locations.
 type Memory struct {
-	pages map[uint64]*[PageSize]byte
+	pages atomic.Pointer[map[uint64]*[PageSize]byte]
+	mu    sync.Mutex // serializes copy-on-insert of new pages
 }
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+	m := &Memory{}
+	empty := make(map[uint64]*[PageSize]byte)
+	m.pages.Store(&empty)
+	return m
 }
 
 // Read copies len(p) bytes starting at addr into p.
@@ -47,28 +61,41 @@ func (m *Memory) Write(addr uint64, p []byte) {
 	}
 }
 
+// zeroPage backs reads of never-written pages. It is never written to,
+// so sharing one instance across goroutines is safe.
 var zeroPage [PageSize]byte
 
 func (m *Memory) pageFor(page uint64, create bool) *[PageSize]byte {
-	p, ok := m.pages[page]
+	p, ok := (*m.pages.Load())[page]
 	if !ok {
 		if !create {
 			return &zeroPage
 		}
-		p = new([PageSize]byte)
-		m.pages[page] = p
+		m.mu.Lock()
+		old := *m.pages.Load()
+		if p, ok = old[page]; !ok {
+			next := make(map[uint64]*[PageSize]byte, len(old)+1)
+			for k, v := range old {
+				next[k] = v
+			}
+			p = new([PageSize]byte)
+			next[page] = p
+			m.pages.Store(&next)
+		}
+		m.mu.Unlock()
 	}
 	return p
 }
 
 // PageCount reports how many pages have been materialized (for
 // checkpoint sizing and tests).
-func (m *Memory) PageCount() int { return len(m.pages) }
+func (m *Memory) PageCount() int { return len(*m.pages.Load()) }
 
 // Pages returns the set of materialized page indices (unordered).
 func (m *Memory) Pages() []uint64 {
-	out := make([]uint64, 0, len(m.pages))
-	for p := range m.pages {
+	pages := *m.pages.Load()
+	out := make([]uint64, 0, len(pages))
+	for p := range pages {
 		out = append(out, p)
 	}
 	return out
@@ -76,7 +103,7 @@ func (m *Memory) Pages() []uint64 {
 
 // PageData returns the raw contents of one materialized page, or nil.
 func (m *Memory) PageData(page uint64) []byte {
-	if p, ok := m.pages[page]; ok {
+	if p, ok := (*m.pages.Load())[page]; ok {
 		return p[:]
 	}
 	return nil

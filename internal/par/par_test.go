@@ -1,0 +1,103 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestInlineOrder proves the degenerate pool executes tasks in slice
+// order on the calling goroutine — the `-workers 1` determinism anchor.
+func TestInlineOrder(t *testing.T) {
+	for _, pool := range []*Pool{nil, NewPool(1)} {
+		var got []int
+		tasks := make([]func(), 8)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() { got = append(got, i) }
+		}
+		g := NewGroup(pool, tasks)
+		g.Run()
+		g.Run()
+		if len(got) != 16 {
+			t.Fatalf("ran %d tasks, want 16", len(got))
+		}
+		for i, v := range got {
+			if v != i%8 {
+				t.Fatalf("task order %v not sequential", got)
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestParallelCompletion checks every task runs exactly once per Run
+// across many reuses of the same group, with more tasks than workers.
+func TestParallelCompletion(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const tasks, rounds = 13, 200
+	counts := make([]atomic.Int64, tasks)
+	fs := make([]func(), tasks)
+	for i := range fs {
+		i := i
+		fs[i] = func() { counts[i].Add(1) }
+	}
+	g := NewGroup(p, fs)
+	for r := 0; r < rounds; r++ {
+		g.Run()
+	}
+	for i := range counts {
+		if v := counts[i].Load(); v != rounds {
+			t.Fatalf("task %d ran %d times, want %d", i, v, rounds)
+		}
+	}
+}
+
+// TestBarrierVisibility checks Run is a full barrier: shard-local
+// (non-atomic) writes made inside tasks are visible to the coordinator
+// after Run returns.
+func TestBarrierVisibility(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 8
+	vals := make([]int, n)
+	fs := make([]func(), n)
+	for i := range fs {
+		i := i
+		fs[i] = func() { vals[i]++ }
+	}
+	g := NewGroup(p, fs)
+	const rounds = 500
+	for r := 1; r <= rounds; r++ {
+		g.Run()
+		for i, v := range vals {
+			if v != r {
+				t.Fatalf("round %d: vals[%d]=%d, shard write not visible", r, i, v)
+			}
+		}
+	}
+}
+
+// TestMultipleGroups interleaves two groups on one pool, as the tick
+// engine does with its per-phase groups.
+func TestMultipleGroups(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var a, b atomic.Int64
+	ga := NewGroup(p, []func(){func() { a.Add(1) }, func() { a.Add(1) }, func() { a.Add(1) }})
+	gb := NewGroup(p, []func(){func() { b.Add(10) }, func() { b.Add(10) }})
+	for i := 0; i < 100; i++ {
+		ga.Run()
+		gb.Run()
+	}
+	if a.Load() != 300 || b.Load() != 2000 {
+		t.Fatalf("a=%d b=%d, want 300/2000", a.Load(), b.Load())
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	n := DefaultWorkers()
+	if n < 1 || n > MaxDefaultWorkers {
+		t.Fatalf("DefaultWorkers()=%d out of [1,%d]", n, MaxDefaultWorkers)
+	}
+}

@@ -8,6 +8,7 @@ package sched
 import (
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"emerald/internal/dram"
 	"emerald/internal/mem"
@@ -67,15 +68,19 @@ type DASH struct {
 
 	ips map[ipKey]*ipState
 
-	// Clustering state.
-	cpuBytes  []uint64 // bytes this quantum, per CPU core
-	ipBytes   uint64   // IP bytes this quantum (for DTB)
-	intensive []bool   // per-core: memory-intensive this quantum?
+	// Clustering state. The byte/served tallies are bumped from Pick,
+	// which the parallel tick engine calls concurrently across DRAM
+	// channel shards; additions commute, so atomics keep the quantum
+	// totals exact. Everything else is read-only during the channel
+	// phase and mutated only in Tick (coordinator).
+	cpuBytes  []atomic.Uint64 // bytes this quantum, per CPU core
+	ipBytes   atomic.Uint64   // IP bytes this quantum (for DTB)
+	intensive []bool          // per-core: memory-intensive this quantum?
 
 	// Probabilistic switching state.
 	p                  float64 // probability intensive CPU beats non-urgent IP
-	servedIntensiveCPU uint64
-	servedNonUrgentIP  uint64
+	servedIntensiveCPU atomic.Uint64
+	servedNonUrgentIP  atomic.Uint64
 	coinIsCPU          bool // this switching-window coin flip
 
 	nextSchedule, nextSwitch, nextQuantum uint64
@@ -87,13 +92,18 @@ func NewDASH(cfg DASHConfig) *DASH {
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		ips:       make(map[ipKey]*ipState),
-		cpuBytes:  make([]uint64, cfg.NumCPUs),
+		cpuBytes:  make([]atomic.Uint64, cfg.NumCPUs),
 		intensive: make([]bool, cfg.NumCPUs),
 		p:         0.5,
 	}
 	d.coinIsCPU = d.rng.Float64() < d.p
 	return d
 }
+
+// SchedulingUnit returns the configured urgency re-evaluation interval
+// in cycles — the cadence at which the SoC must refresh DASH's frame
+// progress feedback (Table 3).
+func (d *DASH) SchedulingUnit() uint64 { return d.cfg.SchedulingUnit }
 
 // Name implements dram.Scheduler.
 func (d *DASH) Name() string {
@@ -173,9 +183,10 @@ func (d *DASH) Tick(cycle uint64) {
 		d.nextSwitch = cycle + d.cfg.SwitchingUnit
 		// Balance service between intensive CPU and non-urgent IPs by
 		// steering P toward whichever was underserved.
-		if d.servedIntensiveCPU > d.servedNonUrgentIP {
+		cpu, ip := d.servedIntensiveCPU.Load(), d.servedNonUrgentIP.Load()
+		if cpu > ip {
 			d.p -= 0.05
-		} else if d.servedIntensiveCPU < d.servedNonUrgentIP {
+		} else if cpu < ip {
 			d.p += 0.05
 		}
 		if d.p < 0.05 {
@@ -184,8 +195,8 @@ func (d *DASH) Tick(cycle uint64) {
 		if d.p > 0.95 {
 			d.p = 0.95
 		}
-		d.servedIntensiveCPU = 0
-		d.servedNonUrgentIP = 0
+		d.servedIntensiveCPU.Store(0)
+		d.servedNonUrgentIP.Store(0)
 		d.coinIsCPU = d.rng.Float64() < d.p
 	}
 	if cycle >= d.nextQuantum {
@@ -199,20 +210,20 @@ func (d *DASH) Tick(cycle uint64) {
 // ClusterFactor of the clustering total form the non-intensive cluster.
 func (d *DASH) recluster() {
 	var cpuTotal uint64
-	for _, b := range d.cpuBytes {
-		cpuTotal += b
+	for i := range d.cpuBytes {
+		cpuTotal += d.cpuBytes[i].Load()
 	}
 	clusterTotal := cpuTotal
 	if d.cfg.UseSystemBW {
-		clusterTotal += d.ipBytes
+		clusterTotal += d.ipBytes.Load()
 	}
 	type coreBW struct {
 		core  int
 		bytes uint64
 	}
 	cores := make([]coreBW, len(d.cpuBytes))
-	for i, b := range d.cpuBytes {
-		cores[i] = coreBW{i, b}
+	for i := range d.cpuBytes {
+		cores[i] = coreBW{i, d.cpuBytes[i].Load()}
 	}
 	sort.Slice(cores, func(i, j int) bool { return cores[i].bytes < cores[j].bytes })
 	budget := uint64(d.cfg.ClusterFactor * float64(clusterTotal))
@@ -227,9 +238,9 @@ func (d *DASH) recluster() {
 		}
 	}
 	for i := range d.cpuBytes {
-		d.cpuBytes[i] = 0
+		d.cpuBytes[i].Store(0)
 	}
-	d.ipBytes = 0
+	d.ipBytes.Store(0)
 }
 
 // priority classes, lower wins.
@@ -280,15 +291,15 @@ func (d *DASH) Pick(ch *dram.Channel, cycle uint64) int {
 		// Bandwidth accounting for clustering and switching balance.
 		if r.Client == mem.ClientCPU {
 			if r.ClientID < len(d.cpuBytes) {
-				d.cpuBytes[r.ClientID] += uint64(r.Size)
+				d.cpuBytes[r.ClientID].Add(uint64(r.Size))
 			}
 			if r.ClientID < len(d.intensive) && d.intensive[r.ClientID] {
-				d.servedIntensiveCPU++
+				d.servedIntensiveCPU.Add(1)
 			}
 		} else {
-			d.ipBytes += uint64(r.Size)
+			d.ipBytes.Add(uint64(r.Size))
 			if bestClass != prioUrgentIP {
-				d.servedNonUrgentIP++
+				d.servedNonUrgentIP.Add(1)
 			}
 		}
 	}

@@ -388,8 +388,17 @@ func (c *Core) issueOne(cycle uint64) {
 		return
 	}
 	// Greedy-then-oldest: try the last-issued warp first, then oldest
-	// launch order; LRR just rotates.
-	order := make([]*Warp, 0, n)
+	// launch order; LRR just rotates. Candidates are visited in place:
+	// this is the hottest loop in the simulator, and materializing the
+	// candidate order allocates once per scheduler slot.
+	try := func(w *Warp) bool {
+		if !c.warpReady(w, cycle) {
+			return false
+		}
+		c.execute(w, cycle)
+		w.lastIssued = cycle
+		return true
+	}
 	if c.Cfg.GTO {
 		var greedy *Warp
 		for _, w := range c.warps {
@@ -398,28 +407,22 @@ func (c *Core) issueOne(cycle uint64) {
 				break
 			}
 		}
-		if greedy != nil {
-			order = append(order, greedy)
+		if greedy != nil && try(greedy) {
+			return
 		}
 		for _, w := range c.warps {
-			if w != greedy {
-				order = append(order, w)
+			if w != greedy && try(w) {
+				return
 			}
 		}
 	} else {
 		start := c.lastScheduled % n
-		for i := 0; i < n; i++ {
-			order = append(order, c.warps[(start+i)%n])
-		}
 		c.lastScheduled++
-	}
-	for _, w := range order {
-		if !c.warpReady(w, cycle) {
-			continue
+		for i := 0; i < n; i++ {
+			if try(c.warps[(start+i)%n]) {
+				return
+			}
 		}
-		c.execute(w, cycle)
-		w.lastIssued = cycle
-		return
 	}
 	c.issueIdle.Inc()
 	c.traceStall(cycle)

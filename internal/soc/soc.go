@@ -13,6 +13,7 @@ import (
 	"emerald/internal/interconnect"
 	"emerald/internal/mathx"
 	"emerald/internal/mem"
+	"emerald/internal/par"
 	"emerald/internal/sched"
 	"emerald/internal/shader"
 	"emerald/internal/stats"
@@ -133,6 +134,17 @@ type SoC struct {
 
 	cycle            uint64
 	nextDashFeedback uint64
+	// dashFeedbackEvery is the DASH progress-feedback cadence, derived
+	// from the scheduler's configured scheduling unit (Table 3) so
+	// parameter sweeps actually change it.
+	dashFeedbackEvery uint64
+
+	// phase1, when armed via SetParallel, runs the CPU core shards and
+	// the display shard concurrently; nil ticks them inline in shard
+	// order. Only CPU 0 (the app core) issues state-mutating syscalls —
+	// frame submission touches the GL context, GPU queue and fence, all
+	// unread by other shards until later serialized phases.
+	phase1 *par.Group
 
 	// trace, when armed via AttachTracer, receives frame submit/complete
 	// spans and blocking-syscall spans; per-CPU state below tracks a
@@ -250,8 +262,35 @@ func New(cfg Config, reg *stats.Registry) (*SoC, error) {
 		cfg.DASH.RegisterIP(mem.ClientGPU, 0, cfg.AppPeriod)
 		cfg.DASH.StartFrame(mem.ClientDisplay, 0, 0)
 		cfg.DASH.StartFrame(mem.ClientGPU, 0, 0)
+		s.dashFeedbackEvery = cfg.DASH.SchedulingUnit()
+		if s.dashFeedbackEvery == 0 {
+			s.dashFeedbackEvery = 1000
+		}
 	}
 	return s, nil
+}
+
+// SetParallel arms the deterministic parallel tick engine across the
+// whole system: CPU cores and the display become phase-1 shards, GPU
+// clusters and DRAM channels become shards of their subsystems' tick
+// phases. A nil pool (or pool of size 1) restores the inline paths,
+// which execute the exact statement order of the sequential engine;
+// see DESIGN.md for the shard-ownership argument that makes the
+// parallel schedule bit-identical.
+func (s *SoC) SetParallel(p *par.Pool) {
+	s.GPU.SetParallel(p)
+	s.DRAM.SetParallel(p)
+	if p == nil || p.Size() <= 1 {
+		s.phase1 = nil
+		return
+	}
+	tasks := make([]func(), 0, len(s.CPUs)+1)
+	for i := range s.CPUs {
+		i := i
+		tasks = append(tasks, func() { s.tickCPUShard(i) })
+	}
+	tasks = append(tasks, s.tickDisplayShard)
+	s.phase1 = par.NewGroup(p, tasks)
 }
 
 // AttachTracer arms event tracing across the whole system: GPU (and its
@@ -370,6 +409,10 @@ func (s *SoC) submitFrame() {
 	s.frameIndex++
 	s.fenceID++
 	s.fenceBusy = true
+	// The previous frame's full span is submit-to-submit.
+	if n := len(s.Frames); n > 0 {
+		s.Frames[n-1].TotalCycles = s.cycle - s.Frames[n-1].SubmitCycle
+	}
 	s.submitCycle = s.cycle
 	s.trace.Instant1(emtrace.SrcSoC, "frames", "frame_submit", s.cycle,
 		emtrace.Arg{Key: "fence", Val: int64(s.fenceID)})
@@ -389,9 +432,11 @@ func (s *SoC) completeFrame() {
 	st := FrameStats{
 		SubmitCycle: s.submitCycle,
 		GPUCycles:   s.cycle - s.submitCycle,
-	}
-	if n := len(s.Frames); n > 0 {
-		s.Frames[n-1].TotalCycles = s.submitCycle - s.Frames[n-1].SubmitCycle
+		// Provisional: submit-to-complete. The next frame's submission
+		// back-fills the real submit-to-submit span; for the run's final
+		// frame (which has no successor) this stands, so every completed
+		// frame reports a nonzero TotalCycles.
+		TotalCycles: s.cycle - s.submitCycle,
 	}
 	s.Frames = append(s.Frames, st)
 	s.framesDone++
@@ -403,23 +448,65 @@ func (s *SoC) completeFrame() {
 // Cycle returns the current system cycle.
 func (s *SoC) Cycle() uint64 { return s.cycle }
 
-// Tick advances the SoC one system cycle.
+// tickCPUShard advances CPU core i at its clock multiple and drains
+// its outbound requests into its private NoC ingress port. The shard
+// owns the core, its L1, and port i exclusively; core 0's syscalls may
+// additionally mutate SoC frame state, which no other phase-1 shard
+// reads.
+func (s *SoC) tickCPUShard(i int) {
+	c := s.cycle
+	core := s.CPUs[i]
+	for m := 0; m < s.Cfg.CPUClockMult; m++ {
+		core.Tick(c*uint64(s.Cfg.CPUClockMult) + uint64(m))
+	}
+	port := s.noc.Port(i)
+	for !port.Full() {
+		r := core.Out.Pop()
+		if r == nil {
+			break
+		}
+		port.Push(r)
+	}
+}
+
+// tickDisplayShard advances the display controller and drains its
+// requests into its private NoC ingress port. The display only reads
+// the front buffer (published by completeFrame, a later serialized
+// phase) and its own scan-out state, so it is independent of the CPU
+// shards.
+func (s *SoC) tickDisplayShard() {
+	c := s.cycle
+	s.Display.Tick(c)
+	dport := s.noc.Port(s.Cfg.NumCPUs + 1)
+	for !dport.Full() {
+		r := s.Display.Out.Pop()
+		if r == nil {
+			break
+		}
+		dport.Push(r)
+	}
+}
+
+// Tick advances the SoC one system cycle. The cycle is phase-structured
+// so independent shards can tick concurrently between serialized
+// exchange stages (see SetParallel):
+//
+//	phase 1: CPU core shards + display shard   (parallel)
+//	phase 2: GPU (internally: serial L2/NoC, parallel clusters, serial
+//	         front end), then GPU→NoC drain, NoC, DRAM (serial
+//	         scheduler tick, parallel channels)
+//	phase 3: fence resolution + DASH feedback  (coordinator)
 func (s *SoC) Tick() {
 	c := s.cycle
 
-	// CPUs run at a clock multiple.
-	for i, core := range s.CPUs {
-		for m := 0; m < s.Cfg.CPUClockMult; m++ {
-			core.Tick(c*uint64(s.Cfg.CPUClockMult) + uint64(m))
+	// Phase 1: CPUs (at their clock multiple) and display.
+	if s.phase1 != nil {
+		s.phase1.Run()
+	} else {
+		for i := range s.CPUs {
+			s.tickCPUShard(i)
 		}
-		port := s.noc.Port(i)
-		for !port.Full() {
-			r := core.Out.Pop()
-			if r == nil {
-				break
-			}
-			port.Push(r)
-		}
+		s.tickDisplayShard()
 	}
 
 	// GPU.
@@ -433,17 +520,6 @@ func (s *SoC) Tick() {
 		gport.Push(r)
 	}
 
-	// Display.
-	s.Display.Tick(c)
-	dport := s.noc.Port(s.Cfg.NumCPUs + 1)
-	for !dport.Full() {
-		r := s.Display.Out.Pop()
-		if r == nil {
-			break
-		}
-		dport.Push(r)
-	}
-
 	s.noc.Tick(c)
 	s.DRAM.Tick(c)
 
@@ -454,7 +530,7 @@ func (s *SoC) Tick() {
 
 	// DASH progress feedback (per scheduling-unit granularity).
 	if s.Cfg.DASH != nil && c >= s.nextDashFeedback {
-		s.nextDashFeedback = c + 1000
+		s.nextDashFeedback = c + s.dashFeedbackEvery
 		if s.fenceBusy {
 			s.Cfg.DASH.ReportProgress(mem.ClientGPU, 0, s.GPU.DrawProgress())
 		} else {

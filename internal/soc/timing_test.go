@@ -1,0 +1,149 @@
+package soc
+
+import (
+	"testing"
+
+	"emerald/internal/dram"
+	"emerald/internal/sched"
+	"emerald/internal/stats"
+)
+
+// TestFrameStatsTotalCyclesSet is the regression test for the
+// frame-accounting bug where only back-filled frames ever received a
+// TotalCycles: the run's final frame reported zero and silently fell
+// out of MeanFrameCycles. Every completed frame must report a nonzero
+// total span, submit-to-submit for frames with a successor and
+// submit-to-complete for the last one.
+func TestFrameStatsTotalCyclesSet(t *testing.T) {
+	cfg := smallConfig(t)
+	s, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(30_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Frames) < 2 {
+		t.Fatalf("need >= 2 frames, got %d", len(s.Frames))
+	}
+	for i, f := range s.Frames {
+		if f.TotalCycles == 0 {
+			t.Errorf("frame %d: TotalCycles unset", i)
+		}
+		if f.TotalCycles < f.GPUCycles {
+			t.Errorf("frame %d: TotalCycles %d < GPUCycles %d",
+				i, f.TotalCycles, f.GPUCycles)
+		}
+	}
+	for i := 0; i+1 < len(s.Frames); i++ {
+		want := s.Frames[i+1].SubmitCycle - s.Frames[i].SubmitCycle
+		if s.Frames[i].TotalCycles != want {
+			t.Errorf("frame %d: TotalCycles = %d, want submit-to-submit %d",
+				i, s.Frames[i].TotalCycles, want)
+		}
+	}
+}
+
+// TestDashFeedbackIntervalFollowsSchedulingUnit checks that the SoC's
+// DASH progress-feedback cadence is derived from the scheduler's
+// configured scheduling unit rather than a hardcoded constant.
+func TestDashFeedbackIntervalFollowsSchedulingUnit(t *testing.T) {
+	build := func(unit uint64) *SoC {
+		cfg := smallConfig(t)
+		dashCfg := sched.DefaultDASHConfig(cfg.NumCPUs, false)
+		dashCfg.SchedulingUnit = unit
+		dcfg, dash := sched.DASHDRAM("dram", dram.LPDDR3Geometry(2),
+			dram.LPDDR3Timing(1333), dashCfg)
+		cfg.DRAM = dcfg
+		cfg.DASH = dash
+		s, err := New(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if got := build(512).dashFeedbackEvery; got != 512 {
+		t.Errorf("dashFeedbackEvery = %d, want the configured scheduling unit 512", got)
+	}
+	if got := build(0).dashFeedbackEvery; got != 1000 {
+		t.Errorf("dashFeedbackEvery = %d, want the 1000-cycle fallback for a zero unit", got)
+	}
+}
+
+// TestDisplayDeadlineAccounting exercises both Display.Tick deadline
+// paths: periods whose scan finishes in time count as shown, starved
+// periods count as dropped (and never as shown).
+func TestDisplayDeadlineAccounting(t *testing.T) {
+	reg := stats.NewRegistry()
+	d := NewDisplay(10_000, reg)
+	d.SetFrontBuffer(testSurface())
+	cycle := uint64(0)
+	serve := func(periods int, complete bool) {
+		for end := cycle + uint64(periods)*d.Period; cycle < end; cycle++ {
+			d.Tick(cycle)
+			for {
+				r := d.Out.Pop()
+				if r == nil {
+					break
+				}
+				if complete {
+					r.Complete(cycle + 1)
+				}
+			}
+		}
+	}
+	serve(3, true)
+	shown, dropped := d.FramesShown(), d.FramesDropped()
+	if shown < 2 || dropped != 0 {
+		t.Fatalf("fast phase: shown=%d dropped=%d, want >=2 shown and 0 dropped", shown, dropped)
+	}
+	serve(3, false)
+	if d.FramesDropped() == 0 {
+		t.Fatal("starved phase produced no dropped frames")
+	}
+	// The scan straddling the transition may still complete; beyond that
+	// every starved period must be a drop, never a show.
+	if d.FramesShown() > shown+1 {
+		t.Fatalf("starved phase counted shown frames: %d -> %d", shown, d.FramesShown())
+	}
+}
+
+// TestDisplayPacingRestartsAfterDrop checks that a dropped frame
+// restarts the scan from zero — issue pacing and completion counts
+// reset — and that the display recovers (shows frames again) once
+// memory keeps up.
+func TestDisplayPacingRestartsAfterDrop(t *testing.T) {
+	reg := stats.NewRegistry()
+	d := NewDisplay(10_000, reg)
+	d.SetFrontBuffer(testSurface())
+	cycle := uint64(0)
+	for ; d.FramesDropped() == 0; cycle++ {
+		if cycle > 200_000 {
+			t.Fatal("display never dropped while starved")
+		}
+		d.Tick(cycle)
+		for d.Out.Pop() != nil {
+		}
+	}
+	if d.issued != 0 || d.completed != 0 {
+		t.Fatalf("pacing not reset after drop: issued=%d completed=%d",
+			d.issued, d.completed)
+	}
+	if len(d.inflight) != 0 {
+		t.Fatalf("inflight not cleared after drop: %d", len(d.inflight))
+	}
+	shown := d.FramesShown()
+	for end := cycle + 2*d.Period; cycle < end; cycle++ {
+		d.Tick(cycle)
+		for {
+			r := d.Out.Pop()
+			if r == nil {
+				break
+			}
+			r.Complete(cycle + 1)
+		}
+	}
+	if d.FramesShown() <= shown {
+		t.Fatal("display did not recover after a drop once memory kept up")
+	}
+}

@@ -1,6 +1,9 @@
 #!/bin/sh
-# Pre-PR gate: formatting, vet, and the full test suite under the race
-# detector. Run from the repository root:
+# Pre-PR gate: formatting, vet, the full test suite, a race-detector
+# pass (shortened: race mode pays ~20x per simulated cycle, and the
+# determinism tests honor -short), the parallel-engine determinism gate,
+# and — on machines with enough cores — the parallel speedup guard.
+# Run from the repository root:
 #
 #	scripts/check.sh
 #
@@ -23,7 +26,31 @@ echo "== go vet =="
 go vet ./...
 echo "ok"
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (short) =="
+go test -race -short ./...
+
+echo "== parallel determinism (workers 1 vs 4) =="
+go test -count=1 -run TestParallelDeterminism ./internal/exp
+
+echo "== parallel speedup guard =="
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -lt 4 ]; then
+	echo "skipped: $cores core(s) available; the 1.5x guard needs >= 4"
+else
+	out=$(go test -run '^$' -bench 'BenchmarkFrameW3$|BenchmarkFrameW3Par4$' -benchtime=5x -count=1 .)
+	echo "$out"
+	echo "$out" | awk '
+		$1 ~ /^BenchmarkFrameW3(-[0-9]+)?$/ { seq = $3 }
+		$1 ~ /^BenchmarkFrameW3Par4(-[0-9]+)?$/ { par = $3 }
+		END {
+			if (seq == "" || par == "") { print "FAIL: benchmark output missing" > "/dev/stderr"; exit 1 }
+			speedup = seq / par
+			printf "speedup at 4 workers: %.2fx\n", speedup
+			if (speedup < 1.5) { print "FAIL: parallel speedup below 1.5x" > "/dev/stderr"; exit 1 }
+		}'
+fi
 
 echo "all checks passed"
