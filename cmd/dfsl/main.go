@@ -23,7 +23,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 17|18|19|all")
-	scale := flag.String("scale", "quick", "experiment scale: quick|paper")
+	scale := flag.String("scale", "quick", "experiment scale: smoke|quick|paper")
 	workloads := flag.String("workloads", "", "comma-separated workload ids 1..6 (default all)")
 	traceFile := flag.String("trace-events", "", "write a Chrome/Perfetto trace-event JSON file covering every run")
 	traceStart := flag.Uint64("trace-start", 0, "drop trace events before this cycle")
@@ -31,9 +31,14 @@ func main() {
 	workers := flag.Int("workers", par.DefaultWorkers(), "worker threads for the parallel tick engine (1 = sequential; results are identical)")
 	flag.Parse()
 
-	opt := exp.Quick()
-	if *scale == "paper" {
-		opt = exp.Paper()
+	switch *fig {
+	case "17", "18", "19", "all":
+	default:
+		usage(fmt.Errorf("unknown figure %q (want 17|18|19|all)", *fig))
+	}
+	opt, err := exp.ByScale(*scale)
+	if err != nil {
+		usage(err)
 	}
 	if *workers > 1 {
 		pool := par.NewPool(*workers)
@@ -52,7 +57,7 @@ func main() {
 		for _, part := range strings.Split(*workloads, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || v < 1 || v > 6 {
-				fatal(fmt.Errorf("bad workload id %q", part))
+				usage(fmt.Errorf("bad workload id %q", part))
 			}
 			ws = append(ws, v)
 		}
@@ -93,7 +98,15 @@ func check(err error) {
 	}
 }
 
+// fatal reports a runtime failure (exit 1).
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dfsl:", err)
 	os.Exit(1)
+}
+
+// usage reports a bad invocation (exit 2, the CLI usage-error
+// convention shared by all four commands).
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "dfsl:", err)
+	os.Exit(2)
 }

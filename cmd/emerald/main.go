@@ -55,11 +55,16 @@ func main() {
 	if *disasm != "" {
 		p := shader.ByName(*disasm)
 		if p == nil {
+			// Usage error: exit 2, matching the other commands.
 			fmt.Fprintf(os.Stderr, "emerald: unknown shader %q (try vs_transform, fs_textured_earlyz, fs_textured_blend, fs_flat, saxpy)\n", *disasm)
-			os.Exit(1)
+			os.Exit(2)
 		}
 		fmt.Print(shader.Disassemble(p))
 		return
+	}
+	if opt.workload < 1 || opt.workload > 6 {
+		fmt.Fprintf(os.Stderr, "emerald: bad workload id %d (want 1..6)\n", opt.workload)
+		os.Exit(2)
 	}
 
 	if err := run(opt); err != nil {

@@ -1,0 +1,106 @@
+// Command emeraldd is the long-running simulation service: it accepts
+// simulation jobs over HTTP, runs them on a bounded worker pool with
+// per-job timeouts, and caches results in an on-disk content-addressed
+// store keyed by the canonical job spec (sound because simulations are
+// bit-identical — see DESIGN.md, "Simulation service").
+//
+// Usage:
+//
+//	emeraldd -addr 127.0.0.1:8321 -cache .emerald-cache
+//	emeraldd -addr 127.0.0.1:0 -jobs 4 -job-timeout 10m
+//
+// API: POST /jobs, GET /jobs/{id}, GET /results/{key}, GET /metrics,
+// GET /healthz. SIGINT/SIGTERM trigger a graceful shutdown that stops
+// accepting work and drains queued and in-flight jobs (bounded by
+// -drain-timeout, after which in-flight simulations are cancelled
+// through their contexts).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"emerald/internal/sweep"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address (port 0 picks a free port)")
+	cache := flag.String("cache", ".emerald-cache", "content-addressed result store directory")
+	jobs := flag.Int("jobs", 2, "concurrently executing jobs (each job may additionally use -workers-style tick parallelism from its spec)")
+	queue := flag.Int("queue", 1024, "maximum queued jobs")
+	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "per-job execution timeout")
+	retries := flag.Int("retries", 2, "retry attempts for transient job failures")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain budget before in-flight jobs are cancelled")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "emeraldd: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	if *jobs < 1 || *queue < 1 || *jobTimeout <= 0 {
+		fmt.Fprintln(os.Stderr, "emeraldd: -jobs and -queue must be >= 1 and -job-timeout positive")
+		os.Exit(2)
+	}
+	if err := run(*addr, *cache, *jobs, *queue, *jobTimeout, *retries, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "emeraldd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cache string, jobs, queue int, jobTimeout time.Duration, retries int, drainTimeout time.Duration) error {
+	store, err := sweep.NewStore(cache)
+	if err != nil {
+		return err
+	}
+	runner := sweep.NewRunner(store, sweep.RunnerConfig{
+		Workers:    jobs,
+		QueueDepth: queue,
+		JobTimeout: jobTimeout,
+		MaxRetries: retries,
+	})
+	srv := &http.Server{Handler: sweep.NewServer(runner, store).Handler()}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The actual address, on stdout: scripts parse this to find a
+	// daemon started with port 0.
+	fmt.Printf("emeraldd: listening on %s (cache %s, %d job workers)\n",
+		ln.Addr(), store.Dir(), jobs)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "emeraldd: shutting down, draining jobs...")
+
+	// Stop accepting HTTP first, then drain the runner.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "emeraldd: http shutdown:", err)
+	}
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelDrain()
+	if err := runner.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "emeraldd: drained cleanly")
+	return nil
+}

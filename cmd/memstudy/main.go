@@ -23,7 +23,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 9|10|11|12|13|14|all")
-	scale := flag.String("scale", "quick", "experiment scale: quick|paper")
+	scale := flag.String("scale", "quick", "experiment scale: smoke|quick|paper")
 	models := flag.String("models", "", "comma-separated model ids (1=chair 2=cube 3=mask 4=triangles; default all)")
 	traceFile := flag.String("trace-events", "", "write a Chrome/Perfetto trace-event JSON file covering every run")
 	traceStart := flag.Uint64("trace-start", 0, "drop trace events before this cycle")
@@ -32,9 +32,14 @@ func main() {
 	workers := flag.Int("workers", par.DefaultWorkers(), "worker threads for the parallel tick engine (1 = sequential; results are identical)")
 	flag.Parse()
 
-	opt := exp.Quick()
-	if *scale == "paper" {
-		opt = exp.Paper()
+	switch *fig {
+	case "9", "10", "11", "12", "13", "14", "all":
+	default:
+		usage(fmt.Errorf("unknown figure %q (want 9|10|11|12|13|14|all)", *fig))
+	}
+	opt, err := exp.ByScale(*scale)
+	if err != nil {
+		usage(err)
 	}
 	if *workers > 1 {
 		pool := par.NewPool(*workers)
@@ -56,7 +61,7 @@ func main() {
 		for _, part := range strings.Split(*models, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || v < 1 || v > 4 {
-				fatal(fmt.Errorf("bad model id %q", part))
+				usage(fmt.Errorf("bad model id %q", part))
 			}
 			ms = append(ms, v)
 		}
@@ -127,7 +132,15 @@ func check(err error) {
 	}
 }
 
+// fatal reports a runtime failure (exit 1).
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "memstudy:", err)
 	os.Exit(1)
+}
+
+// usage reports a bad invocation (exit 2, the CLI usage-error
+// convention shared by all four commands).
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "memstudy:", err)
+	os.Exit(2)
 }

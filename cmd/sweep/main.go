@@ -1,0 +1,130 @@
+// Command sweep reproduces the paper's figure tables through a running
+// emeraldd service instead of sequential in-process runs: it expands
+// the requested figures into the config matrices of Tables 6/8, submits
+// one job per unique simulation point, polls to completion, and
+// aggregates the results through the same internal/exp table builders
+// cmd/memstudy and cmd/dfsl use — so stdout is byte-identical to the
+// sequential CLIs on the same points, and a re-run is served entirely
+// from the daemon's content-addressed cache.
+//
+// Usage:
+//
+//	sweep -addr http://127.0.0.1:8321 -fig all
+//	sweep -fig 9,11 -scale quick -models 1,3
+//	sweep -fig 19 -scale smoke -workloads 2,5
+//
+// Tables go to stdout; the cache summary goes to stderr so cold/warm
+// stdouts can be diffed byte-for-byte.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"emerald/internal/sweep"
+)
+
+// sweepable lists the figures the service can regenerate, in print
+// order. 10, 14 and 18 need timelines or per-system counter isolation
+// and stay on the sequential CLIs.
+var sweepable = []string{"9", "11", "12", "13", "17", "19"}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8321", "emeraldd base URL")
+	fig := flag.String("fig", "all", "figures to regenerate: comma-separated from 9|11|12|13|17|19, or all")
+	scale := flag.String("scale", "quick", "experiment scale: smoke|quick|paper")
+	models := flag.String("models", "", "comma-separated model ids (1=chair 2=cube 3=mask 4=triangles; default all)")
+	workloads := flag.String("workloads", "", "comma-separated workload ids 1..6 (default all)")
+	configs := flag.String("configs", "", "comma-separated memory configs (BAS,DCB,DTB,HMC; default all)")
+	workers := flag.Int("workers", 0, "per-job tick-engine workers (0 = daemon default; results are identical)")
+	poll := flag.Duration("poll", 100*time.Millisecond, "job poll interval")
+	timeout := flag.Duration("timeout", 30*time.Minute, "overall sweep deadline")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		usageErr(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
+	}
+	req := sweep.FigureRequest{Scale: *scale, Workers: *workers}
+	if *fig == "all" {
+		req.Figs = sweepable
+	} else {
+		for _, f := range splitList(*fig) {
+			if !contains(sweepable, f) {
+				usageErr(fmt.Errorf("figure %q is not sweepable (want one of %s, or all)",
+					f, strings.Join(sweepable, "|")))
+			}
+			req.Figs = append(req.Figs, f)
+		}
+	}
+	var err error
+	if req.Models, err = parseIDs(*models, 1, 4, "model"); err != nil {
+		usageErr(err)
+	}
+	if req.Workloads, err = parseIDs(*workloads, 1, 6, "workload"); err != nil {
+		usageErr(err)
+	}
+	req.Configs = splitList(*configs)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := &sweep.Client{Base: strings.TrimRight(*addr, "/")}
+	start := time.Now()
+	fs, err := sweep.RunFigures(ctx, c, req, *poll)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	for i, f := range fs.Figures {
+		f.Table.Write(os.Stdout)
+		if i < len(fs.Figures)-1 {
+			fmt.Println()
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweep: cache %d/%d hits (%.1f%%), %d figure(s) in %s\n",
+		fs.CacheHits(), len(fs.Jobs),
+		100*float64(fs.CacheHits())/float64(max(len(fs.Jobs), 1)),
+		len(fs.Figures), time.Since(start).Round(time.Millisecond))
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseIDs parses a comma-separated id list bounded to [lo, hi].
+func parseIDs(s string, lo, hi int, what string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil || v < lo || v > hi {
+			return nil, fmt.Errorf("bad %s id %q", what, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func usageErr(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(2)
+}

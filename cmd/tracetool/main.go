@@ -182,7 +182,9 @@ func doTimeline(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: tracetool timeline [-source s] [-width n] events.json")
+		// Usage error: exit 2, matching the other commands.
+		fmt.Fprintln(os.Stderr, "tracetool: usage: tracetool timeline [-source s] [-width n] events.json")
+		os.Exit(2)
 	}
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {

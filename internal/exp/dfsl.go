@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -28,6 +29,7 @@ type CS2Renderer struct {
 	aspect float32
 	budget uint64
 	trace  *emtrace.Tracer
+	ctx    context.Context
 }
 
 // NewCS2Renderer builds the standalone system for one workload.
@@ -50,6 +52,7 @@ func NewCS2Renderer(scene *geom.Scene, opt Options) (*CS2Renderer, error) {
 		aspect: float32(opt.CS2Width) / float32(opt.CS2Height),
 		budget: opt.BudgetCycles,
 		trace:  opt.Trace,
+		ctx:    opt.Ctx,
 	}
 	ctx.Viewport(opt.CS2Width, opt.CS2Height)
 	var err error
@@ -88,7 +91,7 @@ func (r *CS2Renderer) RenderFrame(wt int, advance bool) (uint64, error) {
 	if err := r.Ctx.DrawMesh(r.mesh); err != nil {
 		return 0, err
 	}
-	if _, err := r.S.RunUntilIdle(r.budget); err != nil {
+	if _, err := r.S.RunUntilIdleCtx(r.ctx, r.budget); err != nil {
 		return 0, err
 	}
 	if advance {
@@ -126,37 +129,39 @@ func (r *CS2Renderer) WTSweep(maxWT int) ([]uint64, error) {
 	return out, nil
 }
 
+// RunWTSweep runs one workload's WT sweep (Figure 17's unit of work):
+// per-WT frame execution cycles for sizes 1..opt.MaxWT.
+func RunWTSweep(workload int, opt Options) ([]uint64, error) {
+	scene, err := geom.DFSLWorkload(workload)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewCS2Renderer(scene, opt)
+	if err != nil {
+		return nil, err
+	}
+	times, err := r.WTSweep(opt.MaxWT)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", scene.Name, err)
+	}
+	return times, nil
+}
+
 // Fig17 reproduces Figure 17: frame execution time for WT sizes 1..MaxWT
 // per workload, normalized to WT=1.
 func Fig17(opt Options, workloads []int) (*stats.Table, error) {
 	if len(workloads) == 0 {
 		workloads = allWorkloads()
 	}
-	headers := []string{"workload"}
-	for wt := 1; wt <= opt.MaxWT; wt++ {
-		headers = append(headers, fmt.Sprintf("WT%d", wt))
-	}
-	t := stats.NewTable("Figure 17: frame time vs WT size (normalized to WT=1)", headers...)
+	sweeps := make(map[int][]uint64)
 	for _, w := range workloads {
-		scene, err := geom.DFSLWorkload(w)
+		times, err := RunWTSweep(w, opt)
 		if err != nil {
 			return nil, err
 		}
-		r, err := NewCS2Renderer(scene, opt)
-		if err != nil {
-			return nil, err
-		}
-		times, err := r.WTSweep(opt.MaxWT)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", scene.Name, err)
-		}
-		row := []any{scene.Name}
-		for _, c := range times {
-			row = append(row, float64(c)/float64(times[0]))
-		}
-		t.AddRow(row...)
+		sweeps[w] = times
 	}
-	return t, nil
+	return Fig17Table(workloads, sweeps, opt.MaxWT), nil
 }
 
 // Fig18 reproduces Figure 18: W1 execution time and L1 cache misses
@@ -230,100 +235,73 @@ func Fig19(opt Options, workloads []int) (*stats.Table, map[int]map[DFSLPolicy]f
 	// Pass 1: per-workload WT sweeps to determine SOPT.
 	sweeps := make(map[int][]uint64)
 	for _, w := range workloads {
-		scene, err := geom.DFSLWorkload(w)
-		if err != nil {
-			return nil, nil, err
-		}
-		r, err := NewCS2Renderer(scene, opt)
-		if err != nil {
-			return nil, nil, err
-		}
-		times, err := r.WTSweep(opt.MaxWT)
+		times, err := RunWTSweep(w, opt)
 		if err != nil {
 			return nil, nil, err
 		}
 		sweeps[w] = times
 	}
-	sopt := 1
-	best := 0.0
-	for wt := 1; wt <= opt.MaxWT; wt++ {
-		sum := 0.0
-		for _, times := range sweeps {
-			sum += float64(times[wt-1]) / float64(times[0])
-		}
-		if sopt == 1 && wt == 1 || sum < best {
-			best = sum
-			sopt = wt
-		}
-	}
+	sopt := SOPTFromSweeps(sweeps, opt.MaxWT)
 
 	// Pass 2: run each policy over an identical frame sequence.
-	evalFrames := opt.MaxWT // DFSL evaluation phase length
-	totalFrames := evalFrames + opt.DFSLRunFrames
-
-	run := func(w int, policy DFSLPolicy) (float64, error) {
-		scene, err := geom.DFSLWorkload(w)
-		if err != nil {
-			return 0, err
-		}
-		r, err := NewCS2Renderer(scene, opt)
-		if err != nil {
-			return 0, err
-		}
-		ctrl := gpu.NewDFSL(1, opt.MaxWT, opt.DFSLRunFrames)
-		// One untimed warmup frame so cold caches do not contaminate the
-		// first evaluation phase (all policies get the same treatment).
-		if _, err := r.RenderFrame(1, true); err != nil {
-			return 0, err
-		}
-		var sum float64
-		for f := 0; f < totalFrames; f++ {
-			wt := 1
-			switch policy {
-			case MLB:
-				wt = 1
-			case MLC:
-				wt = opt.MaxWT
-			case SOPT:
-				wt = sopt
-			case DFSL:
-				wt = ctrl.NextWT()
-			}
-			cycles, err := r.RenderFrame(wt, true)
-			if err != nil {
-				return 0, err
-			}
-			if policy == DFSL {
-				ctrl.ObserveFrame(cycles)
-			}
-			sum += float64(cycles)
-		}
-		return sum / float64(totalFrames), nil
-	}
-
-	t := stats.NewTable(
-		fmt.Sprintf("Figure 19: frame speedup vs MLB (SOPT=WT%d, eval %d + run %d frames)",
-			sopt, evalFrames, opt.DFSLRunFrames),
-		"workload", "MLB", "MLC", "SOPT", "DFSL")
 	raw := make(map[int]map[DFSLPolicy]float64)
 	for _, w := range workloads {
 		raw[w] = make(map[DFSLPolicy]float64)
-		var mlb float64
-		row := []any{workloadName(w)}
-		for _, p := range []DFSLPolicy{MLB, MLC, SOPT, DFSL} {
-			avg, err := run(w, p)
+		for _, p := range AllDFSLPolicies() {
+			avg, err := RunCS2Policy(w, p, sopt, opt)
 			if err != nil {
 				return nil, nil, fmt.Errorf("%s/%s: %w", workloadName(w), p, err)
 			}
 			raw[w][p] = avg
-			if p == MLB {
-				mlb = avg
-			}
-			row = append(row, mlb/avg) // speedup vs MLB
 		}
-		t.AddRow(row...)
 	}
-	return t, raw, nil
+	return Fig19Table(workloads, raw, sopt, opt.MaxWT, opt.DFSLRunFrames), raw, nil
+}
+
+// RunCS2Policy runs one workload under one Figure 19 policy (Figure
+// 19's unit of work) and returns the average frame execution cycles
+// over the evaluation + run phases. sopt is the static WT used when
+// policy is SOPT (ignored otherwise).
+func RunCS2Policy(workload int, policy DFSLPolicy, sopt int, opt Options) (float64, error) {
+	scene, err := geom.DFSLWorkload(workload)
+	if err != nil {
+		return 0, err
+	}
+	r, err := NewCS2Renderer(scene, opt)
+	if err != nil {
+		return 0, err
+	}
+	evalFrames := opt.MaxWT // DFSL evaluation phase length
+	totalFrames := evalFrames + opt.DFSLRunFrames
+	ctrl := gpu.NewDFSL(1, opt.MaxWT, opt.DFSLRunFrames)
+	// One untimed warmup frame so cold caches do not contaminate the
+	// first evaluation phase (all policies get the same treatment).
+	if _, err := r.RenderFrame(1, true); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for f := 0; f < totalFrames; f++ {
+		wt := 1
+		switch policy {
+		case MLB:
+			wt = 1
+		case MLC:
+			wt = opt.MaxWT
+		case SOPT:
+			wt = sopt
+		case DFSL:
+			wt = ctrl.NextWT()
+		}
+		cycles, err := r.RenderFrame(wt, true)
+		if err != nil {
+			return 0, err
+		}
+		if policy == DFSL {
+			ctrl.ObserveFrame(cycles)
+		}
+		sum += float64(cycles)
+	}
+	return sum / float64(totalFrames), nil
 }
 
 func allWorkloads() []int {

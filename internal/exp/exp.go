@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"emerald/internal/dram"
@@ -55,6 +56,12 @@ type Options struct {
 	// builds (see internal/par and the -workers flag on the cmd tools).
 	// Results are bit-identical regardless of worker count.
 	Pool *par.Pool
+
+	// Ctx, when non-nil, cancels in-flight simulations: the run loops
+	// poll it every ~1k simulated cycles, so a timeout or cancel stops
+	// the tick loop mid-frame (used by the sweep service's per-job
+	// timeouts). Nil means run to completion or budget.
+	Ctx context.Context
 }
 
 // Quick returns bench-friendly scaling.
@@ -71,6 +78,22 @@ func Quick() Options {
 	}
 }
 
+// Smoke returns the smallest sensible scaling — one measured frame per
+// cell at a quarter of Quick's resolution — for service smoke tests and
+// CI gates where wall time matters more than fidelity.
+func Smoke() Options {
+	return Options{
+		Width: 64, Height: 48,
+		Frames: 1, WarmupFrames: 1,
+		DisplayPeriod: 70_000, AppPeriod: 140_000,
+		RegularMbps: 1333, HighMbps: 266,
+		CS2Width: 96, CS2Height: 72,
+		MaxWT:         4,
+		DFSLRunFrames: 8,
+		BudgetCycles:  100_000_000,
+	}
+}
+
 // Paper returns paper-scale parameters (slow; for cmd tools).
 func Paper() Options {
 	return Options{
@@ -83,6 +106,21 @@ func Paper() Options {
 		DFSLRunFrames: 100,
 		BudgetCycles:  4_000_000_000,
 	}
+}
+
+// ByScale maps a scale name to its Options preset. It is the one
+// parser behind the CLIs' -scale flags and the sweep service's
+// Spec.Scale field, so every entry point accepts the same names.
+func ByScale(name string) (Options, error) {
+	switch name {
+	case "smoke":
+		return Smoke(), nil
+	case "quick":
+		return Quick(), nil
+	case "paper":
+		return Paper(), nil
+	}
+	return Options{}, fmt.Errorf("exp: unknown scale %q (want smoke|quick|paper)", name)
 }
 
 // MemConfig identifies a Case Study I memory configuration (Table 6).
@@ -162,7 +200,7 @@ func RunCaseStudyI(model int, cfg MemConfig, dataRateMbps int, opt Options) (soc
 	if err != nil {
 		return soc.Results{}, err
 	}
-	if err := s.Run(opt.BudgetCycles); err != nil {
+	if err := s.RunCtx(opt.Ctx, opt.BudgetCycles); err != nil {
 		return soc.Results{}, fmt.Errorf("%s/%s: %w", cfg, s.Cfg.Scene.Name, err)
 	}
 	return s.Results(cfg.String()), nil
@@ -204,19 +242,7 @@ func Fig09(opt Options, models []int) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := stats.NewTable("Figure 9: normalized GPU execution time (regular load)",
-		"model", "BAS", "DCB", "DTB", "HMC")
-	for _, m := range sortedModels(res) {
-		bas := res[m][BAS].MeanGPUCycles
-		norm := func(c MemConfig) float64 {
-			if bas == 0 {
-				return 0
-			}
-			return res[m][c].MeanGPUCycles / bas
-		}
-		t.AddRow(modelName(m), norm(BAS), norm(DCB), norm(DTB), norm(HMC))
-	}
-	return t, nil
+	return Fig09Table(res), nil
 }
 
 // Fig11 reproduces Figure 11: HMC row-buffer hit rate and bytes accessed
@@ -226,20 +252,7 @@ func Fig11(opt Options, models []int) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := stats.NewTable("Figure 11: HMC row locality normalized to BAS",
-		"model", "rowbuffer_hit_rate", "bytes_per_activation")
-	for _, m := range sortedModels(res) {
-		bas, hmc := res[m][BAS], res[m][HMC]
-		hr, ba := 0.0, 0.0
-		if bas.RowHitRate > 0 {
-			hr = hmc.RowHitRate / bas.RowHitRate
-		}
-		if bas.BytesPerAct > 0 {
-			ba = hmc.BytesPerAct / bas.BytesPerAct
-		}
-		t.AddRow(modelName(m), hr, ba)
-	}
-	return t, nil
+	return Fig11Table(res), nil
 }
 
 // Fig12 reproduces Figure 12: total frame time and GPU rendering time
@@ -249,23 +262,7 @@ func Fig12(opt Options, models []int) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := stats.NewTable("Figure 12: normalized execution time (high load)",
-		"model", "config", "total_frame_time", "gpu_render_time")
-	for _, m := range sortedModels(res) {
-		bas := res[m][BAS]
-		for _, c := range AllMemConfigs() {
-			r := res[m][c]
-			tf, tg := 0.0, 0.0
-			if bas.MeanFrameCycles > 0 {
-				tf = r.MeanFrameCycles / bas.MeanFrameCycles
-			}
-			if bas.MeanGPUCycles > 0 {
-				tg = r.MeanGPUCycles / bas.MeanGPUCycles
-			}
-			t.AddRow(modelName(m), c.String(), tf, tg)
-		}
-	}
-	return t, nil
+	return Fig12Table(res), nil
 }
 
 // Fig13 reproduces Figure 13: display requests serviced relative to BAS
@@ -276,19 +273,7 @@ func Fig13(opt Options, models []int) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := stats.NewTable("Figure 13: display requests serviced relative to BAS",
-		"model", "BAS", "DCB", "DTB", "HMC")
-	for _, m := range sortedModels(res) {
-		bas := float64(res[m][BAS].DisplayServed)
-		norm := func(c MemConfig) float64 {
-			if bas == 0 {
-				return 0
-			}
-			return float64(res[m][c].DisplayServed) / bas
-		}
-		t.AddRow(modelName(m), norm(BAS), norm(DCB), norm(DTB), norm(HMC))
-	}
-	return t, nil
+	return Fig13Table(res), nil
 }
 
 // TimelineRun runs one cell with a bandwidth timeline attached and
@@ -309,7 +294,7 @@ func TimelineRun(model int, cfg MemConfig, dataRateMbps int, opt Options, bucket
 	tl.Register(mem.ClientCPU.String(), mem.ClientGPU.String(),
 		mem.ClientDisplay.String(), mem.ClientDMA.String())
 	s.DRAM.Timeline = tl
-	if err := s.Run(opt.BudgetCycles); err != nil {
+	if err := s.RunCtx(opt.Ctx, opt.BudgetCycles); err != nil {
 		return nil, err
 	}
 	return tl, nil

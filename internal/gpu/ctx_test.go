@@ -1,0 +1,54 @@
+package gpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"emerald/internal/shader"
+)
+
+// An already-cancelled context must stop RunUntilIdleCtx at the first
+// poll point (every 1024 cycles), leaving the queued draw unfinished.
+func TestRunUntilIdleCtxCancelled(t *testing.T) {
+	s := testStandalone()
+	const vp = 64
+	clearTargets(s, vp, 0)
+	idx := uploadQuad(s, 0)
+	uploadIdentityUniforms(s, [4]float32{1, 0, 0, 1}, 1)
+	if err := s.GPU.SubmitDraw(quadCall(s, idx, shader.FSFlat, vp), nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := s.Cycle()
+	_, err := s.RunUntilIdleCtx(ctx, 3_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunUntilIdleCtx = %v, want context.Canceled", err)
+	}
+	if s.Cycle()-start >= 2048 {
+		t.Fatalf("cancelled run advanced %d cycles, want < 2048", s.Cycle()-start)
+	}
+	if !s.Busy() {
+		t.Fatal("cancelled run drained the GPU anyway")
+	}
+}
+
+// A nil context must behave exactly like RunUntilIdle.
+func TestRunUntilIdleCtxNil(t *testing.T) {
+	s := testStandalone()
+	const vp = 32
+	clearTargets(s, vp, 0)
+	idx := uploadQuad(s, 0)
+	uploadIdentityUniforms(s, [4]float32{1, 0, 0, 1}, 1)
+	if err := s.GPU.SubmitDraw(quadCall(s, idx, shader.FSFlat, vp), nil); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := s.RunUntilIdleCtx(nil, 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 || s.Busy() {
+		t.Fatalf("run did not drain (cycles=%d busy=%v)", cycles, s.Busy())
+	}
+}

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"emerald/internal/dram"
@@ -96,8 +97,25 @@ func (s *Standalone) Busy() bool {
 
 // RunUntilIdle ticks until quiescent, returning elapsed cycles.
 func (s *Standalone) RunUntilIdle(budget uint64) (uint64, error) {
+	return s.RunUntilIdleCtx(context.Background(), budget)
+}
+
+// ctxCheckMask gates how often RunUntilIdleCtx polls the context: every
+// 1024 simulated cycles, cheap against a tick but prompt enough for
+// job timeouts to stop a stuck simulation mid-frame.
+const ctxCheckMask = 1<<10 - 1
+
+// RunUntilIdleCtx is RunUntilIdle with cancellation: the context is
+// polled every 1024 simulated cycles, so a per-job timeout or cancel
+// actually stops the tick loop instead of waiting out the budget.
+func (s *Standalone) RunUntilIdleCtx(ctx context.Context, budget uint64) (uint64, error) {
 	start := s.cycle
 	for s.cycle-start < budget {
+		if ctx != nil && s.cycle&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return s.cycle - start, fmt.Errorf("gpu: run cancelled at cycle %d: %w", s.cycle, err)
+			}
+		}
 		s.Tick()
 		if !s.Busy() {
 			return s.cycle - start, nil

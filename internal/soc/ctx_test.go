@@ -1,0 +1,57 @@
+package soc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// An already-cancelled context must stop the run at the first poll
+// point: the tick loop checks ctx every 1024 cycles, so the SoC cannot
+// advance past the first check window.
+func TestRunCtxAlreadyCancelled(t *testing.T) {
+	s, err := New(smallConfig(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = s.RunCtx(ctx, 30_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	if s.Cycle() >= 2048 {
+		t.Fatalf("cancelled run advanced %d cycles, want < 2048", s.Cycle())
+	}
+}
+
+// A deadline expiring mid-simulation must cancel the tick loop well
+// before the frame target completes.
+func TestRunCtxTimeoutMidRun(t *testing.T) {
+	cfg := smallConfig(t)
+	s, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err = s.RunCtx(ctx, 30_000_000)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunCtx = %v, want context.DeadlineExceeded", err)
+	}
+	if len(s.Frames) >= cfg.Frames+cfg.WarmupFrames {
+		t.Fatalf("run finished all %d frames despite the deadline", len(s.Frames))
+	}
+}
+
+// A nil context must behave exactly like Run.
+func TestRunCtxNil(t *testing.T) {
+	s, err := New(smallConfig(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunCtx(nil, 30_000_000); err != nil {
+		t.Fatal(err)
+	}
+}

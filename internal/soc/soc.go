@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"context"
 	"fmt"
 
 	"emerald/internal/cpu"
@@ -546,9 +547,28 @@ func (s *SoC) Tick() {
 // Run simulates until Frames+WarmupFrames app frames have completed (or
 // the budget expires), returning an error on timeout.
 func (s *SoC) Run(budget uint64) error {
+	return s.RunCtx(context.Background(), budget)
+}
+
+// ctxCheckMask gates how often the run loops poll the context: every
+// 1024 simulated cycles, cheap against the cost of a tick but prompt
+// enough (sub-millisecond wall time) for job timeouts to take effect
+// mid-simulation.
+const ctxCheckMask = 1<<10 - 1
+
+// RunCtx is Run with cancellation: the context is polled every 1024
+// simulated cycles, so a per-job timeout or cancel actually stops the
+// tick loop instead of waiting out the cycle budget.
+func (s *SoC) RunCtx(ctx context.Context, budget uint64) error {
 	target := s.Cfg.Frames + s.Cfg.WarmupFrames
 	start := s.cycle
 	for s.cycle-start < budget {
+		if ctx != nil && s.cycle&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("soc: run cancelled at cycle %d (%d/%d frames): %w",
+					s.cycle, s.framesDone, target, err)
+			}
+		}
 		s.Tick()
 		if s.framesDone >= target {
 			return nil

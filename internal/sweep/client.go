@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks to an emeraldd instance over HTTP.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:8321".
+	Base string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// readError turns a non-2xx response into an error carrying the body.
+func readError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	return fmt.Errorf("sweep: %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+// Submit posts one job spec and returns the job snapshot (which is
+// already terminal when the submit was served from cache).
+func (c *Client) Submit(ctx context.Context, spec Spec) (Job, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return Job{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.Base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return Job{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return Job{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return Job{}, readError(resp)
+	}
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return Job{}, err
+	}
+	return job, nil
+}
+
+// getJSON fetches path into v.
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Job fetches one job snapshot.
+func (c *Client) Job(ctx context.Context, id string) (Job, error) {
+	var job Job
+	err := c.getJSON(ctx, "/jobs/"+id, &job)
+	return job, err
+}
+
+// Result fetches and decodes the stored result for key.
+func (c *Client) Result(ctx context.Context, key string) (*Result, error) {
+	var res Result
+	if err := c.getJSON(ctx, "/results/"+key, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Metrics fetches the service metrics.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	var m MetricsSnapshot
+	err := c.getJSON(ctx, "/metrics", &m)
+	return m, err
+}
+
+// WaitAll polls until every listed job is terminal (or ctx expires)
+// and returns the final snapshots keyed by job id. A failed job is not
+// an error here — callers inspect the snapshots.
+func (c *Client) WaitAll(ctx context.Context, ids []string, poll time.Duration) (map[string]Job, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	final := make(map[string]Job, len(ids))
+	pending := append([]string(nil), ids...)
+	for len(pending) > 0 {
+		next := pending[:0]
+		for _, id := range pending {
+			job, err := c.Job(ctx, id)
+			if err != nil {
+				return nil, err
+			}
+			if job.Terminal() {
+				final[id] = job
+			} else {
+				next = append(next, id)
+			}
+		}
+		pending = next
+		if len(pending) == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("sweep: %d job(s) still pending: %w", len(pending), ctx.Err())
+		case <-time.After(poll):
+		}
+	}
+	return final, nil
+}

@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"emerald/internal/exp"
+	"emerald/internal/par"
+)
+
+// Execute is the built-in executor: it runs the simulation a spec
+// describes, honoring ctx through the tick loops (internal/exp threads
+// it into soc.RunCtx / Standalone.RunUntilIdleCtx), and returns the
+// result keyed by the spec's canonical form. The spec must already be
+// validated.
+func Execute(ctx context.Context, spec Spec) (*Result, error) {
+	opt, err := ScaleOptions(spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+	opt.Ctx = ctx
+	if spec.Workers > 1 {
+		pool := par.NewPool(spec.Workers)
+		defer pool.Close()
+		opt.Pool = pool
+	}
+
+	res := &Result{Spec: spec.Canonical()}
+	switch spec.Kind {
+	case KindCS1:
+		cfg, err := exp.ParseMemConfig(spec.Config)
+		if err != nil {
+			return nil, err
+		}
+		r, err := exp.RunCaseStudyI(spec.Model, cfg, spec.Mbps, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.CS1 = &r
+
+	case KindCS2Sweep:
+		times, err := exp.RunWTSweep(spec.Workload, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Cycles = times
+
+	case KindCS2Policy:
+		policy, err := exp.ParseDFSLPolicy(spec.Policy)
+		if err != nil {
+			return nil, err
+		}
+		avg, err := exp.RunCS2Policy(spec.Workload, policy, spec.SOPT, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.AvgCycles = avg
+
+	default:
+		return nil, fmt.Errorf("sweep: unknown job kind %q", spec.Kind)
+	}
+	return res, nil
+}

@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"sync"
+
+	"emerald/internal/stats"
+)
+
+// metrics aggregates service-level observability: queue depth,
+// in-flight count, cache hit rate, retry/failure tallies and per-job
+// latency quantiles. Latencies feed an internal/stats log2 histogram;
+// stats.Distribution is not safe for concurrent use, so every update
+// funnels through the mutex here (job completion is orders of
+// magnitude rarer than simulated cycles — contention is irrelevant).
+type metrics struct {
+	mu         sync.Mutex
+	queueDepth int64
+	inflight   int64
+	cacheHits  int64
+	cacheMiss  int64
+	done       int64
+	failed     int64
+	retries    int64
+	latencyMS  stats.Distribution
+}
+
+// MetricsSnapshot is the JSON shape served by GET /metrics.
+type MetricsSnapshot struct {
+	QueueDepth   int64   `json:"queue_depth"`
+	Inflight     int64   `json:"inflight"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	JobsDone     int64   `json:"jobs_done"`
+	JobsFailed   int64   `json:"jobs_failed"`
+	Retries      int64   `json:"retries"`
+
+	LatencyMS LatencySummary `json:"latency_ms"`
+}
+
+// LatencySummary reports per-job wall-time quantiles in milliseconds,
+// computed from the log2 histogram (cache hits are excluded: they are
+// served inline at submit time and would drown the simulation signal).
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+func (m *metrics) enqueued() { m.mu.Lock(); m.queueDepth++; m.mu.Unlock() }
+func (m *metrics) cacheHit() { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *metrics) cacheMissed() {
+	m.mu.Lock()
+	m.cacheMiss++
+	m.mu.Unlock()
+}
+
+func (m *metrics) started() {
+	m.mu.Lock()
+	m.queueDepth--
+	m.inflight++
+	m.mu.Unlock()
+}
+
+func (m *metrics) retried() { m.mu.Lock(); m.retries++; m.mu.Unlock() }
+
+// finished records a job leaving the running state. latencyMS < 0
+// skips the histogram (used when the terminal state is not a real
+// execution, e.g. a late cache hit).
+func (m *metrics) finished(ok bool, latencyMS float64) {
+	m.mu.Lock()
+	m.inflight--
+	if ok {
+		m.done++
+	} else {
+		m.failed++
+	}
+	if latencyMS >= 0 {
+		m.latencyMS.Sample(latencyMS)
+	}
+	m.mu.Unlock()
+}
+
+// snapshot returns a consistent copy for /metrics.
+func (m *metrics) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		QueueDepth:  m.queueDepth,
+		Inflight:    m.inflight,
+		CacheHits:   m.cacheHits,
+		CacheMisses: m.cacheMiss,
+		JobsDone:    m.done,
+		JobsFailed:  m.failed,
+		Retries:     m.retries,
+		LatencyMS: LatencySummary{
+			Count: m.latencyMS.Count(),
+			Mean:  m.latencyMS.Mean(),
+			P50:   m.latencyMS.Quantile(0.50),
+			P95:   m.latencyMS.Quantile(0.95),
+			P99:   m.latencyMS.Quantile(0.99),
+			Max:   m.latencyMS.Max(),
+		},
+	}
+	if total := m.cacheHits + m.cacheMiss; total > 0 {
+		s.CacheHitRate = float64(m.cacheHits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,376 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrTransient marks a failure worth retrying. The built-in executor's
+// failures are deterministic (a spec that times out once times out
+// again), so only errors wrapped with this sentinel — e.g. from a
+// future remote/distributed executor — trigger the retry path.
+var ErrTransient = errors.New("transient failure")
+
+// errQueueFull is returned by Submit when the bounded queue is at
+// capacity; the HTTP layer maps it to 503.
+var errQueueFull = errors.New("sweep: job queue full")
+
+// errClosed is returned by Submit after Shutdown has begun.
+var errClosed = errors.New("sweep: runner shutting down")
+
+// JobState is a job's lifecycle stage.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is a point-in-time snapshot of one submitted job, as returned by
+// Submit/Job and serialized over the HTTP API.
+type Job struct {
+	ID    string   `json:"id"`
+	Spec  Spec     `json:"spec"`
+	Key   string   `json:"key"`
+	State JobState `json:"state"`
+	// Cached reports the result came from the content-addressed store
+	// without running a simulation.
+	Cached   bool   `json:"cached"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+}
+
+// Terminal reports whether the job has finished (done or failed).
+func (j Job) Terminal() bool { return j.State == JobDone || j.State == JobFailed }
+
+// job is the runner's mutable record behind Job snapshots.
+type job struct {
+	mu sync.Mutex
+	j  Job
+}
+
+func (jb *job) snapshot() Job {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	return jb.j
+}
+
+func (jb *job) update(f func(*Job)) {
+	jb.mu.Lock()
+	f(&jb.j)
+	jb.mu.Unlock()
+}
+
+// Exec runs one job's simulation. Implementations must honor ctx — the
+// runner threads its per-job timeout through here into the simulation
+// tick loops.
+type Exec func(ctx context.Context, spec Spec) (*Result, error)
+
+// RunnerConfig parameterizes the runner. Zero fields take defaults.
+type RunnerConfig struct {
+	// Workers is the number of concurrently executing jobs (default 2).
+	// Distinct from Spec.Workers, which parallelizes ticks inside one
+	// simulation.
+	Workers int
+	// QueueDepth bounds the queued-job backlog (default 1024).
+	QueueDepth int
+	// JobTimeout bounds one execution attempt (default 15 min).
+	JobTimeout time.Duration
+	// MaxRetries is how many times a transient failure re-executes
+	// after the first attempt (default 2).
+	MaxRetries int
+	// RetryBase is the first backoff delay; attempt n waits
+	// RetryBase<<(n-1) plus up to 50% jitter, capped at RetryMax
+	// (defaults 100ms / 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Exec overrides the executor (default Execute; tests inject
+	// failures here).
+	Exec Exec
+}
+
+func (c RunnerConfig) withDefaults() RunnerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 15 * time.Minute
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 5 * time.Second
+	}
+	if c.Exec == nil {
+		c.Exec = Execute
+	}
+	return c
+}
+
+// Runner owns the job queue, the worker pool and the job registry. All
+// methods are safe for concurrent use.
+type Runner struct {
+	cfg   RunnerConfig
+	store *Store
+	met   *metrics
+
+	baseCtx context.Context // cancelled only on forced shutdown
+	abort   context.CancelFunc
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+	closed bool
+}
+
+// NewRunner builds a runner over the given store and starts its
+// workers.
+func NewRunner(store *Store, cfg RunnerConfig) *Runner {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Runner{
+		cfg:     cfg,
+		store:   store,
+		met:     &metrics{},
+		baseCtx: ctx,
+		abort:   cancel,
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	return r
+}
+
+// Submit validates and registers a job. A content-addressed cache hit
+// completes the job immediately (Cached=true) without queueing; a miss
+// enqueues it for the worker pool.
+func (r *Runner) Submit(spec Spec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	key := spec.Key()
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return Job{}, errClosed
+	}
+	r.nextID++
+	jb := &job{j: Job{
+		ID:          fmt.Sprintf("j%d", r.nextID),
+		Spec:        spec,
+		Key:         key,
+		State:       JobQueued,
+		SubmittedAt: time.Now(),
+	}}
+	r.jobs[jb.j.ID] = jb
+	r.mu.Unlock()
+
+	if _, ok, err := r.store.Get(key); err == nil && ok {
+		r.met.cacheHit()
+		jb.update(func(j *Job) {
+			j.State = JobDone
+			j.Cached = true
+			j.FinishedAt = time.Now()
+		})
+		return jb.snapshot(), nil
+	}
+	r.met.cacheMissed()
+
+	select {
+	case r.queue <- jb:
+		r.met.enqueued()
+	default:
+		jb.update(func(j *Job) {
+			j.State = JobFailed
+			j.Error = errQueueFull.Error()
+			j.FinishedAt = time.Now()
+		})
+		return jb.snapshot(), errQueueFull
+	}
+	return jb.snapshot(), nil
+}
+
+// Job returns a snapshot of the job with the given id.
+func (r *Runner) Job(id string) (Job, bool) {
+	r.mu.Lock()
+	jb, ok := r.jobs[id]
+	r.mu.Unlock()
+	if !ok {
+		return Job{}, false
+	}
+	return jb.snapshot(), true
+}
+
+// Jobs returns snapshots of every registered job (unordered).
+func (r *Runner) Jobs() []Job {
+	r.mu.Lock()
+	out := make([]Job, 0, len(r.jobs))
+	for _, jb := range r.jobs {
+		out = append(out, jb.snapshot())
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Metrics returns the current service metrics.
+func (r *Runner) Metrics() MetricsSnapshot { return r.met.snapshot() }
+
+// Shutdown stops accepting submissions and drains the queue: workers
+// finish every queued and in-flight job, then exit. If ctx expires
+// first, in-flight jobs are cancelled through their contexts and the
+// drain completes with ctx's error.
+func (r *Runner) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.queue)
+	}
+	r.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		r.abort() // cancel in-flight simulations mid-tick-loop
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until it is closed and empty (graceful
+// shutdown) or the base context is aborted (forced shutdown).
+func (r *Runner) worker() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.baseCtx.Done():
+			return
+		case jb, ok := <-r.queue:
+			if !ok {
+				return
+			}
+			r.runJob(jb)
+		}
+	}
+}
+
+// runJob executes one job with cache re-check, panic isolation,
+// per-attempt timeout and bounded retry.
+func (r *Runner) runJob(jb *job) {
+	r.met.started()
+	start := time.Now()
+	jb.update(func(j *Job) {
+		j.State = JobRunning
+		j.StartedAt = start
+	})
+	key := jb.snapshot().Key
+
+	// A concurrent job with the same key may have completed while this
+	// one sat in the queue; serve it from the store instead of
+	// recomputing.
+	if _, ok, err := r.store.Get(key); err == nil && ok {
+		jb.update(func(j *Job) {
+			j.State = JobDone
+			j.Cached = true
+			j.FinishedAt = time.Now()
+		})
+		r.met.finished(true, -1)
+		return
+	}
+
+	var lastErr error
+attempts:
+	for attempt := 0; attempt <= r.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			r.met.retried()
+			select {
+			case <-time.After(backoff(r.cfg.RetryBase, r.cfg.RetryMax, attempt)):
+			case <-r.baseCtx.Done():
+				lastErr = fmt.Errorf("sweep: retry abandoned: %w", r.baseCtx.Err())
+				break attempts
+			}
+		}
+		jb.update(func(j *Job) { j.Attempts++ })
+		res, err := r.execOnce(jb.snapshot().Spec)
+		if err == nil {
+			if _, err = r.store.Put(key, res); err == nil {
+				jb.update(func(j *Job) {
+					j.State = JobDone
+					j.FinishedAt = time.Now()
+				})
+				r.met.finished(true, float64(time.Since(start))/float64(time.Millisecond))
+				return
+			}
+		}
+		lastErr = err
+		if !errors.Is(err, ErrTransient) || r.baseCtx.Err() != nil {
+			break
+		}
+	}
+	jb.update(func(j *Job) {
+		j.State = JobFailed
+		j.Error = lastErr.Error()
+		j.FinishedAt = time.Now()
+	})
+	r.met.finished(false, float64(time.Since(start))/float64(time.Millisecond))
+}
+
+// execOnce runs one attempt under the per-job timeout, converting a
+// panic in the simulator into a job-level error so a poisoned job
+// cannot take down the daemon or its worker.
+func (r *Runner) execOnce(spec Spec) (res *Result, err error) {
+	ctx, cancel := context.WithTimeout(r.baseCtx, r.cfg.JobTimeout)
+	defer cancel()
+	defer func() {
+		if p := recover(); p != nil {
+			buf := make([]byte, 4<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = fmt.Errorf("sweep: job panicked: %v\n%s", p, buf)
+		}
+	}()
+	return r.cfg.Exec(ctx, spec)
+}
+
+// backoff computes the delay before retry attempt n (1-based):
+// base<<(n-1) capped at ceil, plus up to 50% jitter so a herd of
+// retrying jobs decorrelates.
+func backoff(base, ceil time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	if d > ceil || d <= 0 { // <= 0 guards shift overflow
+		d = ceil
+	}
+	return d + rand.N(d/2+1)
+}

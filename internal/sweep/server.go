@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Server is the HTTP surface over a Runner and its Store:
+//
+//	POST /jobs           submit a Spec; 202 with the job snapshot
+//	                     (200 when served from cache at submit)
+//	GET  /jobs/{id}      one job snapshot
+//	GET  /jobs           every job snapshot
+//	GET  /results/{key}  the stored result, byte-for-byte
+//	GET  /metrics        queue/cache/latency metrics
+//	GET  /healthz        liveness probe
+type Server struct {
+	runner *Runner
+	store  *Store
+}
+
+// NewServer wires the HTTP surface.
+func NewServer(runner *Runner, store *Store) *Server {
+	return &Server{runner: runner, store: store}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /results/{key}", s.handleResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best effort: headers are out
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, fmt.Sprintf("bad job spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	job, err := s.runner.Submit(spec)
+	switch {
+	case err == nil:
+		if job.Cached {
+			writeJSON(w, http.StatusOK, job)
+		} else {
+			writeJSON(w, http.StatusAccepted, job)
+		}
+	case err == errQueueFull || err == errClosed:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.runner.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.runner.Job(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		http.Error(w, "malformed result key", http.StatusBadRequest)
+		return
+	}
+	data, ok, err := s.store.Get(key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !ok {
+		http.Error(w, "no such result", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck // best effort
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.runner.Metrics())
+}

@@ -1,0 +1,124 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is the on-disk content-addressed result cache: one JSON file
+// per result, named by the spec's SHA-256 key. Writes go through a
+// temp file + rename so concurrent readers never observe a partial
+// result, and a cache hit returns the stored bytes unmodified —
+// byte-for-byte identical across lookups.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: create store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validKey reports whether key looks like a SHA-256 hex digest. Keys
+// become file names, so this also guards against path traversal.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get returns the stored result bytes for key, or ok=false on a miss.
+func (s *Store) Get(key string) (data []byte, ok bool, err error) {
+	if !validKey(key) {
+		return nil, false, fmt.Errorf("sweep: malformed result key %q", key)
+	}
+	data, err = os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("sweep: read result %s: %w", key, err)
+	}
+	return data, true, nil
+}
+
+// GetResult decodes the stored result for key.
+func (s *Store) GetResult(key string) (*Result, bool, error) {
+	data, ok, err := s.Get(key)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, false, fmt.Errorf("sweep: corrupt result %s: %w", key, err)
+	}
+	return &r, true, nil
+}
+
+// Put stores a result under key and returns the exact bytes written
+// (the canonical JSON encoding served by every future Get). The write
+// is atomic: a rename replaces any concurrent writer's work with an
+// identical payload, so last-writer-wins is harmless.
+func (s *Store) Put(key string, r *Result) ([]byte, error) {
+	if !validKey(key) {
+		return nil, fmt.Errorf("sweep: malformed result key %q", key)
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("sweep: marshal result: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return nil, fmt.Errorf("sweep: store result: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return nil, fmt.Errorf("sweep: store result: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, fmt.Errorf("sweep: store result: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		return nil, fmt.Errorf("sweep: store result: %w", err)
+	}
+	return data, nil
+}
+
+// Len counts stored results.
+func (s *Store) Len() (int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if name, found := strings.CutSuffix(e.Name(), ".json"); found && validKey(name) {
+			n++
+		}
+	}
+	return n, nil
+}

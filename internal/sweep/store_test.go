@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+
+	"emerald/internal/soc"
+)
+
+func testResult() *Result {
+	return &Result{
+		Spec: Spec{Kind: KindCS1, Scale: "smoke", Model: 2, Config: "BAS", Mbps: 1333}.Canonical(),
+		CS1:  &soc.Results{MeanGPUCycles: 123456.5, DisplayServed: 42},
+	}
+}
+
+// A stored result must come back byte-for-byte on every Get, and
+// decode to the same values.
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testResult()
+	key := r.Spec.Key()
+
+	if _, ok, err := st.Get(key); err != nil || ok {
+		t.Fatalf("Get on empty store = (%v, %v), want miss", ok, err)
+	}
+	written, err := st.Put(key, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, ok, err := st.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = (%v, %v)", ok, err)
+	}
+	got2, _, _ := st.Get(key)
+	if !bytes.Equal(written, got1) || !bytes.Equal(got1, got2) {
+		t.Fatal("stored bytes are not identical across lookups")
+	}
+	dec, ok, err := st.GetResult(key)
+	if err != nil || !ok {
+		t.Fatalf("GetResult = (%v, %v)", ok, err)
+	}
+	if dec.CS1 == nil || dec.CS1.MeanGPUCycles != r.CS1.MeanGPUCycles {
+		t.Fatalf("decoded result = %+v, want %+v", dec.CS1, r.CS1)
+	}
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = (%d, %v), want 1", n, err)
+	}
+}
+
+// Malformed keys (wrong length, path traversal) must be rejected, not
+// turned into file paths.
+func TestStoreRejectsBadKeys(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "abc", "../../etc/passwd", string(make([]byte, 64))} {
+		if _, _, err := st.Get(key); err == nil {
+			t.Errorf("Get(%q) accepted a malformed key", key)
+		}
+		if _, err := st.Put(key, testResult()); err == nil {
+			t.Errorf("Put(%q) accepted a malformed key", key)
+		}
+	}
+}
+
+func BenchmarkStoreRoundTrip(b *testing.B) {
+	st, err := NewStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := testResult()
+	key := r.Spec.Key()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Put(key, r); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok, err := st.Get(key); err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}

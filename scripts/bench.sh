@@ -1,0 +1,36 @@
+#!/bin/sh
+# Benchmark recorder for the sweep service layer: runs the
+# internal/sweep benchmarks (spec hashing, store round-trip, cached
+# submit) and records the results as JSON in BENCH_sweep.json, so perf
+# regressions in the job-submission hot path show up in review diffs.
+# Run from the repository root:
+#
+#	scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_sweep.json
+raw=$(go test -run '^$' -bench 'BenchmarkSpecKey|BenchmarkStoreRoundTrip|BenchmarkRunnerCached' \
+	-benchmem -benchtime=1000x -count=1 ./internal/sweep)
+echo "$raw"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
+	BEGIN {
+		printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, gover
+		n = 0
+	}
+	$1 ~ /^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		if (n++) printf ","
+		printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
+		for (i = 5; i < NF; i += 2) {
+			if ($(i+1) == "B/op") printf ", \"bytes_per_op\": %s", $i
+			if ($(i+1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
+		}
+		printf "}"
+	}
+	END { printf "\n  ]\n}\n" }
+' >"$out"
+echo "wrote $out"

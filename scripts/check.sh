@@ -53,4 +53,54 @@ else
 		}'
 fi
 
+echo "== sweep service smoke test =="
+# Start emeraldd on a loopback port, run a tiny two-point sweep cold,
+# rerun it warm, and require (a) the warm run to be 100% cache hits and
+# (b) its stdout to be byte-identical to the cold run.
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+	if [ -n "$daemon_pid" ]; then
+		kill "$daemon_pid" 2>/dev/null || true
+		wait "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+go build -o "$tmp/emeraldd" ./cmd/emeraldd
+go build -o "$tmp/sweep" ./cmd/sweep
+"$tmp/emeraldd" -addr 127.0.0.1:0 -cache "$tmp/cache" >"$tmp/daemon.log" 2>&1 &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+	addr=$(awk '/listening on/ { print $4; exit }' "$tmp/daemon.log" 2>/dev/null || true)
+	[ -n "$addr" ] && break
+	sleep 0.1
+done
+if [ -z "$addr" ]; then
+	echo "FAIL: emeraldd never reported its address" >&2
+	cat "$tmp/daemon.log" >&2
+	exit 1
+fi
+sweep_args="-addr http://$addr -fig 9 -scale smoke -models 2 -configs BAS,DCB"
+"$tmp/sweep" $sweep_args >"$tmp/cold.out" 2>"$tmp/cold.err"
+"$tmp/sweep" $sweep_args >"$tmp/warm.out" 2>"$tmp/warm.err"
+if ! grep -q "cache 0/2" "$tmp/cold.err"; then
+	echo "FAIL: cold sweep was not 0/2 cache hits:" >&2
+	cat "$tmp/cold.err" >&2
+	exit 1
+fi
+if ! grep -q "cache 2/2 hits (100.0%)" "$tmp/warm.err"; then
+	echo "FAIL: warm sweep was not 100% cache hits:" >&2
+	cat "$tmp/warm.err" >&2
+	exit 1
+fi
+if ! cmp -s "$tmp/cold.out" "$tmp/warm.out"; then
+	echo "FAIL: warm sweep output differs from cold:" >&2
+	diff "$tmp/cold.out" "$tmp/warm.out" >&2 || true
+	exit 1
+fi
+cat "$tmp/warm.err"
+echo "ok"
+
 echo "all checks passed"
