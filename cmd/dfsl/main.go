@@ -29,6 +29,8 @@ func main() {
 	traceStart := flag.Uint64("trace-start", 0, "drop trace events before this cycle")
 	traceFrames := flag.Int("trace-frames", 0, "stop tracing after this many frames (0 = all)")
 	workers := flag.Int("workers", par.DefaultWorkers(), "worker threads for the parallel tick engine (1 = sequential; results are identical)")
+	watchdog := flag.Uint64("watchdog", 0, "abort after this many cycles without forward progress, with a diagnostic dump (0 = off)")
+	guard := flag.Bool("guard", false, "run cycle-level microarchitectural invariant checks (MSHR leaks, SIMT stack balance, DRAM/NoC legality)")
 	flag.Parse()
 
 	switch *fig {
@@ -40,6 +42,8 @@ func main() {
 	if err != nil {
 		usage(err)
 	}
+	opt.WatchdogCycles = *watchdog
+	opt.Guard = *guard
 	if *workers > 1 {
 		pool := par.NewPool(*workers)
 		defer pool.Close()

@@ -18,6 +18,7 @@ import (
 	"emerald/internal/geom"
 	"emerald/internal/gl"
 	"emerald/internal/gpu"
+	"emerald/internal/guard"
 	"emerald/internal/mathx"
 	"emerald/internal/par"
 	"emerald/internal/shader"
@@ -33,6 +34,8 @@ type options struct {
 	traceFile                  string
 	traceStart                 uint64
 	traceFrames                int
+	watchdog                   uint64
+	guard                      bool
 }
 
 func main() {
@@ -49,6 +52,8 @@ func main() {
 	flag.StringVar(&opt.traceFile, "trace-events", "", "write a Chrome/Perfetto trace-event JSON file")
 	flag.Uint64Var(&opt.traceStart, "trace-start", 0, "drop trace events before this cycle")
 	flag.IntVar(&opt.traceFrames, "trace-frames", 0, "stop tracing after this many frames (0 = all)")
+	flag.Uint64Var(&opt.watchdog, "watchdog", 0, "abort after this many cycles without forward progress, with a diagnostic dump (0 = off)")
+	flag.BoolVar(&opt.guard, "guard", false, "run cycle-level microarchitectural invariant checks (MSHR leaks, SIMT stack balance, DRAM/NoC legality)")
 	disasm := flag.String("disasm", "", "disassemble a built-in shader by name (e.g. vs_transform) and exit")
 	flag.Parse()
 
@@ -96,6 +101,10 @@ func run(opt options) error {
 		tr.SetFrameLimit(opt.traceFrames)
 		s.AttachTracer(tr)
 	}
+	if opt.guard {
+		s.AttachGuard(guard.NewChecker())
+	}
+	s.SetWatchdog(opt.watchdog)
 	ctx := gl.NewContext(s.Mem(), 0x1000_0000, 256<<20)
 	ctx.Submit = func(call *gpu.DrawCall) error { return s.GPU.SubmitDraw(call, nil) }
 	ctx.OnClearDepth = s.GPU.ClearHiZ

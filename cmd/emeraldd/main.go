@@ -9,11 +9,18 @@
 //	emeraldd -addr 127.0.0.1:8321 -cache .emerald-cache
 //	emeraldd -addr 127.0.0.1:0 -jobs 4 -job-timeout 10m
 //
-// API: POST /jobs, GET /jobs/{id}, GET /results/{key}, GET /metrics,
-// GET /healthz. SIGINT/SIGTERM trigger a graceful shutdown that stops
-// accepting work and drains queued and in-flight jobs (bounded by
-// -drain-timeout, after which in-flight simulations are cancelled
-// through their contexts).
+// API: POST /jobs, GET /jobs/{id}, DELETE /jobs/{id}, GET
+// /results/{key}, GET /metrics, GET /healthz{,/live,/ready}.
+//
+// Crash safety: accepted jobs are recorded in a write-ahead journal
+// (fsynced before POST /jobs acknowledges) and requeued on restart, so
+// a kill -9 mid-sweep loses nothing — deterministic simulation makes a
+// requeue equivalent to a resume, and already-stored results complete
+// as cache hits. SIGINT/SIGTERM trigger a graceful shutdown that
+// drains queued and in-flight jobs while the HTTP surface keeps
+// answering status (readiness reports "draining"); the drain is
+// bounded by -drain-timeout, after which in-flight simulations are
+// cancelled through their contexts.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -34,11 +42,14 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8321", "listen address (port 0 picks a free port)")
 	cache := flag.String("cache", ".emerald-cache", "content-addressed result store directory")
+	journal := flag.String("journal", "auto", "job journal path for crash recovery (\"auto\" = <cache>/journal.wal, \"off\" disables)")
 	jobs := flag.Int("jobs", 2, "concurrently executing jobs (each job may additionally use -workers-style tick parallelism from its spec)")
 	queue := flag.Int("queue", 1024, "maximum queued jobs")
 	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "per-job execution timeout")
 	retries := flag.Int("retries", 2, "retry attempts for transient job failures")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain budget before in-flight jobs are cancelled")
+	watchdog := flag.Uint64("watchdog", 5_000_000, "abort a job's simulation after this many cycles without forward progress (0 disables)")
+	guardOn := flag.Bool("guard", false, "run cycle-level microarchitectural invariant checks in every job")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -49,33 +60,75 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emeraldd: -jobs and -queue must be >= 1 and -job-timeout positive")
 		os.Exit(2)
 	}
-	if err := run(*addr, *cache, *jobs, *queue, *jobTimeout, *retries, *drainTimeout); err != nil {
+	cfg := daemonConfig{
+		addr: *addr, cache: *cache, journal: *journal,
+		jobs: *jobs, queue: *queue,
+		jobTimeout: *jobTimeout, retries: *retries, drainTimeout: *drainTimeout,
+		watchdog: *watchdog, guard: *guardOn,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "emeraldd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cache string, jobs, queue int, jobTimeout time.Duration, retries int, drainTimeout time.Duration) error {
-	store, err := sweep.NewStore(cache)
+type daemonConfig struct {
+	addr, cache, journal     string
+	jobs, queue              int
+	jobTimeout, drainTimeout time.Duration
+	retries                  int
+	watchdog                 uint64
+	guard                    bool
+}
+
+func run(cfg daemonConfig) error {
+	store, err := sweep.NewStore(cfg.cache)
 	if err != nil {
 		return err
 	}
+
+	// Open the journal and learn which jobs a previous process accepted
+	// but never finished.
+	var (
+		journal *sweep.Journal
+		pending []sweep.PendingJob
+	)
+	switch cfg.journal {
+	case "off":
+	case "auto":
+		cfg.journal = filepath.Join(store.Dir(), "journal.wal")
+		fallthrough
+	default:
+		if journal, pending, err = sweep.OpenJournal(cfg.journal); err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
+
 	runner := sweep.NewRunner(store, sweep.RunnerConfig{
-		Workers:    jobs,
-		QueueDepth: queue,
-		JobTimeout: jobTimeout,
-		MaxRetries: retries,
+		Workers:    cfg.jobs,
+		QueueDepth: cfg.queue,
+		JobTimeout: cfg.jobTimeout,
+		MaxRetries: cfg.retries,
+		Watchdog:   cfg.watchdog,
+		Guard:      cfg.guard,
+		Journal:    journal,
 	})
+	if len(pending) > 0 {
+		requeued, cached := runner.Recover(pending)
+		fmt.Fprintf(os.Stderr, "emeraldd: recovered %d incomplete job(s) from journal (%d requeued, %d already cached)\n",
+			len(pending), requeued, cached)
+	}
 	srv := &http.Server{Handler: sweep.NewServer(runner, store).Handler()}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
 	// The actual address, on stdout: scripts parse this to find a
 	// daemon started with port 0.
 	fmt.Printf("emeraldd: listening on %s (cache %s, %d job workers)\n",
-		ln.Addr(), store.Dir(), jobs)
+		ln.Addr(), store.Dir(), cfg.jobs)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -90,16 +143,21 @@ func run(addr, cache string, jobs, queue int, jobTimeout time.Duration, retries 
 	}
 	fmt.Fprintln(os.Stderr, "emeraldd: shutting down, draining jobs...")
 
-	// Stop accepting HTTP first, then drain the runner.
+	// Drain the runner while HTTP stays up: new submissions get 503 +
+	// Retry-After, readiness reports "draining", and status endpoints
+	// keep answering until the last job finishes. Only then does the
+	// HTTP server close.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancelDrain()
+	drainErr := runner.Shutdown(drainCtx)
+
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelHTTP()
 	if err := srv.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "emeraldd: http shutdown:", err)
 	}
-	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
-	defer cancelDrain()
-	if err := runner.Shutdown(drainCtx); err != nil {
-		return fmt.Errorf("drain incomplete: %w", err)
+	if drainErr != nil {
+		return fmt.Errorf("drain incomplete: %w", drainErr)
 	}
 	fmt.Fprintln(os.Stderr, "emeraldd: drained cleanly")
 	return nil

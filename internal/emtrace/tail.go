@@ -1,0 +1,28 @@
+package emtrace
+
+import "fmt"
+
+// TailLines renders the most recent n recorded events as text lines —
+// the "what was the machine last seen doing" section of a watchdog
+// diagnostic bundle. Nil tracer or an empty buffer yields nil.
+func (t *Tracer) TailLines(n int) []string {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	evs := t.Events()
+	if len(evs) == 0 {
+		return nil
+	}
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	lines := make([]string, 0, len(evs))
+	for _, e := range evs {
+		if e.Kind == KindInstant {
+			lines = append(lines, fmt.Sprintf("@%d %s/%s %s", e.Cycle, e.Source, e.Track, e.Name))
+		} else {
+			lines = append(lines, fmt.Sprintf("@%d..%d %s/%s %s", e.Cycle, e.End(), e.Source, e.Track, e.Name))
+		}
+	}
+	return lines
+}

@@ -10,6 +10,7 @@ import (
 	"emerald/internal/geom"
 	"emerald/internal/gl"
 	"emerald/internal/gpu"
+	"emerald/internal/guard"
 	"emerald/internal/mathx"
 	"emerald/internal/shader"
 	"emerald/internal/stats"
@@ -46,6 +47,10 @@ func NewCS2Renderer(scene *geom.Scene, opt Options) (*CS2Renderer, error) {
 	if opt.Trace != nil {
 		s.AttachTracer(opt.Trace)
 	}
+	if opt.guardOn() {
+		s.AttachGuard(guard.NewChecker())
+	}
+	s.SetWatchdog(opt.WatchdogCycles)
 	s.SetParallel(opt.Pool)
 	r := &CS2Renderer{
 		S: s, Ctx: ctx, Scene: scene, Reg: reg,

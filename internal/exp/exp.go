@@ -9,10 +9,12 @@ package exp
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"emerald/internal/dram"
 	"emerald/internal/emtrace"
 	"emerald/internal/geom"
+	"emerald/internal/guard"
 	"emerald/internal/mem"
 	"emerald/internal/par"
 	"emerald/internal/sched"
@@ -62,7 +64,28 @@ type Options struct {
 	// the tick loop mid-frame (used by the sweep service's per-job
 	// timeouts). Nil means run to completion or budget.
 	Ctx context.Context
+
+	// WatchdogCycles, when non-zero, arms the forward-progress watchdog
+	// on every system the harness builds: a run with no instruction
+	// retired, no memory byte moved and no frame progressed for this
+	// many cycles aborts with a guard.NoProgressError carrying a
+	// diagnostic bundle instead of burning the cycle budget.
+	WatchdogCycles uint64
+
+	// Guard, when true, attaches a guard.Checker to every system the
+	// harness builds, running the microarchitectural invariant probes
+	// (MSHR accounting, SIMT stack shape, DRAM bank legality, NoC
+	// credits) each cycle. Also enabled by EMERALD_GUARD=1 in the
+	// environment, the hook CI uses to run the test suite checked.
+	Guard bool
 }
+
+// guardEnv force-enables invariant checking for every harness-built
+// system (EMERALD_GUARD=1) without plumbing a flag through each test.
+var guardEnv = os.Getenv("EMERALD_GUARD") == "1"
+
+// guardOn reports whether this run should attach an invariant checker.
+func (o Options) guardOn() bool { return o.Guard || guardEnv }
 
 // Quick returns bench-friendly scaling.
 func Quick() Options {
@@ -189,6 +212,10 @@ func buildSoC(model int, cfg MemConfig, dataRateMbps int, opt Options, reg *stat
 	if opt.Trace != nil {
 		s.AttachTracer(opt.Trace)
 	}
+	if opt.guardOn() {
+		s.AttachGuard(guard.NewChecker())
+	}
+	s.SetWatchdog(opt.WatchdogCycles)
 	s.SetParallel(opt.Pool)
 	return s, nil
 }

@@ -1,0 +1,57 @@
+package gpu
+
+import (
+	"fmt"
+
+	"emerald/internal/guard"
+)
+
+// AttachGuard registers invariant probes across the GPU: the L2's MSHR
+// accounting, the cluster NoC's credit conservation, and every SIMT
+// core's reconvergence-stack and L1 invariants. Safe with a nil
+// checker.
+func (g *GPU) AttachGuard(gc *guard.Checker) {
+	g.L2.AttachGuard(gc, "l2")
+	g.noc.AttachGuard(gc)
+	for _, cl := range g.clusters {
+		for _, core := range cl.cores {
+			core.AttachGuard(gc)
+		}
+	}
+}
+
+// Progress returns a monotone progress signature for the watchdog: it
+// changes whenever any SIMT core issues an instruction, a fragment is
+// shaded, or a draw retires. All terms are atomic counters, safe to
+// read from the run-loop coordinator.
+func (g *GPU) Progress() uint64 {
+	var sig int64
+	for _, cl := range g.clusters {
+		for _, core := range cl.cores {
+			sig += core.Instructions()
+		}
+	}
+	sig += g.fragsShadedC.Value() + g.drawsDone.Value()
+	return uint64(sig)
+}
+
+// diagWarpLines caps per-core warp detail in watchdog bundles.
+const diagWarpLines = 8
+
+// Diagnose appends the GPU's stuck state to a watchdog bundle: front
+// end occupancy, cluster NoC credits, and per-core warp/LSU state for
+// every core still holding work.
+func (g *GPU) Diagnose(d *guard.Diag, cycle uint64) {
+	front := fmt.Sprintf("activeDraw=%v queuedDraws=%d kernels=%d l2Events=%d l2Mshrs=%d outQueue=%d",
+		g.draw != nil, len(g.drawQueue), len(g.kernels), len(g.l2Events),
+		g.L2.PendingMisses(), g.Out.Len())
+	d.Add("gpu front end", []string{front})
+	d.Add("gpu noc", g.noc.Diagnose(cycle))
+	for _, cl := range g.clusters {
+		for _, core := range cl.cores {
+			if lines := core.Diagnose(cycle, diagWarpLines); lines != nil {
+				d.Add(fmt.Sprintf("core%d_%d", cl.id, core.Cfg.ID), lines)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"emerald/internal/dram"
 	"emerald/internal/emtrace"
+	"emerald/internal/guard"
 	"emerald/internal/interconnect"
 	"emerald/internal/mem"
 	"emerald/internal/par"
@@ -22,6 +23,14 @@ type Standalone struct {
 
 	sysNoC *interconnect.Crossbar
 	cycle  uint64
+
+	// guard, when armed via AttachGuard, runs invariant probes at the
+	// end of every Tick (nil costs one branch). watchdog is the
+	// forward-progress window in cycles (0 = off). trace is kept for
+	// the watchdog bundle's emtrace tail.
+	guard    *guard.Checker
+	watchdog uint64
+	trace    *emtrace.Tracer
 }
 
 // NewStandalone builds the standalone-mode system. dramCfg may omit
@@ -56,9 +65,27 @@ func DefaultStandalone(reg *stats.Registry) *Standalone {
 
 // AttachTracer arms event tracing across the GPU and DRAM.
 func (s *Standalone) AttachTracer(t *emtrace.Tracer) {
+	s.trace = t
 	s.GPU.AttachTracer(t)
 	s.DRAM.AttachTracer(t)
 }
+
+// AttachGuard arms invariant checking across GPU, system NoC and DRAM.
+// Probes run at the end of every Tick — the quiesce point where no
+// tick-engine shard is mutating state — so checking stays race-clean
+// under -workers.
+func (s *Standalone) AttachGuard(g *guard.Checker) {
+	s.guard = g
+	s.GPU.AttachGuard(g)
+	s.sysNoC.AttachGuard(g)
+	s.DRAM.AttachGuard(g)
+}
+
+// SetWatchdog arms the forward-progress watchdog: RunUntilIdleCtx
+// aborts with a guard.NoProgressError when no instruction issues, no
+// fragment shades, no draw retires and no DRAM byte moves for window
+// cycles (clamped to guard.MinWatchdogWindow; 0 disables).
+func (s *Standalone) SetWatchdog(window uint64) { s.watchdog = guard.ClampWindow(window) }
 
 // SetParallel arms the deterministic parallel tick engine on the GPU
 // clusters and DRAM channels; nil restores the sequential paths.
@@ -87,6 +114,7 @@ func (s *Standalone) Tick() {
 	}
 	s.sysNoC.Tick(c)
 	s.DRAM.Tick(c)
+	s.guard.Tick(c)
 	s.cycle++
 }
 
@@ -105,15 +133,26 @@ func (s *Standalone) RunUntilIdle(budget uint64) (uint64, error) {
 // job timeouts to stop a stuck simulation mid-frame.
 const ctxCheckMask = 1<<10 - 1
 
-// RunUntilIdleCtx is RunUntilIdle with cancellation: the context is
-// polled every 1024 simulated cycles, so a per-job timeout or cancel
-// actually stops the tick loop instead of waiting out the budget.
+// RunUntilIdleCtx is RunUntilIdle with cancellation and self-diagnosis:
+// every 1024 simulated cycles it polls the context, checks any attached
+// guard for invariant violations, and samples the forward-progress
+// watchdog, so a per-job timeout, corrupt state, or a wedged machine
+// stops the tick loop instead of waiting out the budget.
 func (s *Standalone) RunUntilIdleCtx(ctx context.Context, budget uint64) (uint64, error) {
 	start := s.cycle
+	wd := guard.NewWatchdog(s.watchdog)
 	for s.cycle-start < budget {
-		if ctx != nil && s.cycle&ctxCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return s.cycle - start, fmt.Errorf("gpu: run cancelled at cycle %d: %w", s.cycle, err)
+		if s.cycle&ctxCheckMask == 0 {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return s.cycle - start, fmt.Errorf("gpu: run cancelled at cycle %d: %w", s.cycle, err)
+				}
+			}
+			if err := s.guard.Err(); err != nil {
+				return s.cycle - start, fmt.Errorf("gpu: aborted at cycle %d: %w", s.cycle, err)
+			}
+			if stalled, window := wd.Check(s.cycle, s.progressSig()); stalled {
+				return s.cycle - start, s.noProgress(window)
 			}
 		}
 		s.Tick()
@@ -122,6 +161,22 @@ func (s *Standalone) RunUntilIdleCtx(ctx context.Context, budget uint64) (uint64
 		}
 	}
 	return s.cycle - start, fmt.Errorf("gpu: standalone system not idle after %d cycles", budget)
+}
+
+// progressSig sums the system's monotone progress counters; flat
+// across a watchdog window means nothing anywhere is advancing.
+func (s *Standalone) progressSig() uint64 {
+	return s.GPU.Progress() + uint64(s.DRAM.TotalBytes())
+}
+
+// noProgress builds the watchdog abort with its diagnostic bundle.
+func (s *Standalone) noProgress(window uint64) error {
+	d := guard.Diag{Cycle: s.cycle, Window: window}
+	s.GPU.Diagnose(&d, s.cycle)
+	d.Add("sys_noc", s.sysNoC.Diagnose(s.cycle))
+	d.Add("dram", s.DRAM.Diagnose(s.cycle))
+	d.Add("emtrace tail", s.trace.TailLines(16))
+	return &guard.NoProgressError{Diag: d}
 }
 
 // RenderDraw submits one draw call and runs it to completion, returning

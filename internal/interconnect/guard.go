@@ -1,0 +1,45 @@
+package interconnect
+
+import (
+	"fmt"
+	"strings"
+
+	"emerald/internal/guard"
+)
+
+// AttachGuard registers the crossbar's credit-conservation invariants:
+// the in-flight flit buffer never exceeds its credit pool (4 flits per
+// unit of width — the bound Tick enforces to backpressure a blocked
+// sink) and no port queue overruns its depth. Safe with a nil checker.
+func (x *Crossbar) AttachGuard(g *guard.Checker) {
+	g.Register("noc", x.cfg.Name, x.checkInvariants)
+}
+
+func (x *Crossbar) checkInvariants(cycle uint64) error {
+	if credits := 4 * x.cfg.Width; len(x.inflight) > credits {
+		return fmt.Errorf("%d flits in flight, credit limit %d", len(x.inflight), credits)
+	}
+	for i, p := range x.ports {
+		if p.Len() > x.cfg.Depth {
+			return fmt.Errorf("port %d holds %d requests, depth %d", i, p.Len(), x.cfg.Depth)
+		}
+	}
+	return nil
+}
+
+// Diagnose renders the crossbar's occupancy as one line for a watchdog
+// bundle (nil when idle).
+func (x *Crossbar) Diagnose(cycle uint64) []string {
+	if !x.Busy() {
+		return nil
+	}
+	var occ strings.Builder
+	for i, p := range x.ports {
+		if i > 0 {
+			occ.WriteByte(' ')
+		}
+		fmt.Fprintf(&occ, "p%d=%d", i, p.Len())
+	}
+	return []string{fmt.Sprintf("%s: inflight=%d/%d ports: %s",
+		x.cfg.Name, len(x.inflight), 4*x.cfg.Width, occ.String())}
+}

@@ -11,6 +11,7 @@ import (
 	"emerald/internal/gfx"
 	"emerald/internal/gl"
 	"emerald/internal/gpu"
+	"emerald/internal/guard"
 	"emerald/internal/interconnect"
 	"emerald/internal/mathx"
 	"emerald/internal/mem"
@@ -154,6 +155,12 @@ type SoC struct {
 	sysStart  []uint64
 	sysCode   []int32
 	cpuTracks []string
+
+	// guard, when armed via AttachGuard, runs invariant probes at the
+	// end of every Tick (nil costs one branch). watchdog is the
+	// forward-progress window in cycles (0 = off).
+	guard    *guard.Checker
+	watchdog uint64
 }
 
 // noSysStart marks "no blocked syscall pending" in SoC.sysStart.
@@ -312,6 +319,28 @@ func (s *SoC) AttachTracer(t *emtrace.Tracer) {
 		s.cpuTracks[i] = fmt.Sprintf("cpu%d", i)
 	}
 }
+
+// AttachGuard arms invariant checking across the whole system: the
+// GPU (L2, cluster NoC, SIMT cores and their L1s), the system NoC,
+// DRAM, and every CPU core's cache hierarchy. Probes run at the end of
+// every Tick — the coordinator quiesce point, after all tick-engine
+// shards have synchronized — so checking stays race-clean under
+// -workers.
+func (s *SoC) AttachGuard(g *guard.Checker) {
+	s.guard = g
+	s.GPU.AttachGuard(g)
+	s.noc.AttachGuard(g)
+	s.DRAM.AttachGuard(g)
+	for _, c := range s.CPUs {
+		c.AttachGuard(g)
+	}
+}
+
+// SetWatchdog arms the forward-progress watchdog: RunCtx aborts with a
+// guard.NoProgressError when no CPU or GPU instruction retires, no
+// DRAM byte moves, no frame completes and no display line is served
+// for window cycles (clamped to guard.MinWatchdogWindow; 0 disables).
+func (s *SoC) SetWatchdog(window uint64) { s.watchdog = guard.ClampWindow(window) }
 
 // backBuffer returns the current render target.
 func (s *SoC) backBuffer() gfx.Surface {
@@ -541,6 +570,7 @@ func (s *SoC) Tick() {
 		s.Cfg.DASH.ReportProgress(mem.ClientDisplay, 0, s.Display.Progress())
 	}
 
+	s.guard.Tick(c)
 	s.cycle++
 }
 
@@ -556,17 +586,29 @@ func (s *SoC) Run(budget uint64) error {
 // mid-simulation.
 const ctxCheckMask = 1<<10 - 1
 
-// RunCtx is Run with cancellation: the context is polled every 1024
-// simulated cycles, so a per-job timeout or cancel actually stops the
-// tick loop instead of waiting out the cycle budget.
+// RunCtx is Run with cancellation and self-diagnosis: every 1024
+// simulated cycles it polls the context, checks any attached guard for
+// invariant violations, and samples the forward-progress watchdog, so
+// a per-job timeout, corrupt state, or a wedged machine stops the tick
+// loop instead of waiting out the cycle budget.
 func (s *SoC) RunCtx(ctx context.Context, budget uint64) error {
 	target := s.Cfg.Frames + s.Cfg.WarmupFrames
 	start := s.cycle
+	wd := guard.NewWatchdog(s.watchdog)
 	for s.cycle-start < budget {
-		if ctx != nil && s.cycle&ctxCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("soc: run cancelled at cycle %d (%d/%d frames): %w",
+		if s.cycle&ctxCheckMask == 0 {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("soc: run cancelled at cycle %d (%d/%d frames): %w",
+						s.cycle, s.framesDone, target, err)
+				}
+			}
+			if err := s.guard.Err(); err != nil {
+				return fmt.Errorf("soc: aborted at cycle %d (%d/%d frames): %w",
 					s.cycle, s.framesDone, target, err)
+			}
+			if stalled, window := wd.Check(s.cycle, s.progressSig()); stalled {
+				return s.noProgress(window)
 			}
 		}
 		s.Tick()
@@ -575,6 +617,37 @@ func (s *SoC) RunCtx(ctx context.Context, budget uint64) error {
 		}
 	}
 	return fmt.Errorf("soc: %d/%d frames after %d cycles", s.framesDone, target, budget)
+}
+
+// progressSig sums the system's monotone progress counters: CPU and
+// GPU instructions, DRAM bytes, display service and completed frames.
+// Flat across a watchdog window means nothing anywhere is advancing.
+func (s *SoC) progressSig() uint64 {
+	var sig int64
+	for _, c := range s.CPUs {
+		sig += c.Instructions()
+	}
+	sig += s.DRAM.TotalBytes() + s.Display.Served() + int64(s.framesDone)
+	return uint64(sig) + s.GPU.Progress()
+}
+
+// noProgress builds the watchdog abort with its diagnostic bundle:
+// per-CPU state, GPU front end and per-core warp detail, NoC credits,
+// DRAM queue occupancy and the emtrace tail when tracing is armed.
+func (s *SoC) noProgress(window uint64) error {
+	d := guard.Diag{Cycle: s.cycle, Window: window}
+	cpuLines := make([]string, 0, len(s.CPUs)+1)
+	cpuLines = append(cpuLines, fmt.Sprintf("frames=%d/%d fenceBusy=%v",
+		s.framesDone, s.Cfg.Frames+s.Cfg.WarmupFrames, s.fenceBusy))
+	for _, c := range s.CPUs {
+		cpuLines = append(cpuLines, c.Diagnose(s.cycle))
+	}
+	d.Add("soc", cpuLines)
+	s.GPU.Diagnose(&d, s.cycle)
+	d.Add("sys_noc", s.noc.Diagnose(s.cycle))
+	d.Add("dram", s.DRAM.Diagnose(s.cycle))
+	d.Add("emtrace tail", s.trace.TailLines(16))
+	return &guard.NoProgressError{Diag: d}
 }
 
 // Results summarizes the run for the Case Study I figures, skipping

@@ -1,0 +1,272 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blockSvc is a store/runner/server trio whose single worker blocks
+// inside Exec until release is closed, counting executions.
+type blockSvc struct {
+	r       *Runner
+	ts      *httptest.Server
+	release chan struct{}
+	started chan struct{}
+	calls   atomic.Int64
+}
+
+func newBlockSvc(t *testing.T, queueDepth int) *blockSvc {
+	t.Helper()
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &blockSvc{
+		release: make(chan struct{}),
+		started: make(chan struct{}, 64),
+	}
+	s.r = NewRunner(st, RunnerConfig{
+		Workers:    1,
+		QueueDepth: queueDepth,
+		Exec: func(ctx context.Context, spec Spec) (*Result, error) {
+			s.calls.Add(1)
+			s.started <- struct{}{}
+			select {
+			case <-s.release:
+			case <-ctx.Done():
+			}
+			return okExec(ctx, spec)
+		},
+	})
+	s.ts = httptest.NewServer(NewServer(s.r, st).Handler())
+	t.Cleanup(func() {
+		s.ts.Close()
+		select {
+		case <-s.release:
+		default:
+			close(s.release)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.r.Shutdown(ctx) //nolint:errcheck
+	})
+	return s
+}
+
+func (s *blockSvc) waitStarted(t *testing.T) {
+	t.Helper()
+	select {
+	case <-s.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never started the job")
+	}
+}
+
+// Cancel must move a queued job to terminal canceled, refuse running or
+// finished jobs, and never execute the canceled work.
+func TestRunnerCancelQueuedJob(t *testing.T) {
+	s := newBlockSvc(t, 8)
+
+	running, err := s.r.Submit(wlSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.waitStarted(t) // the single worker is now pinned on job 1
+	queued, err := s.r.Submit(wlSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := s.r.Cancel(queued.ID)
+	if err != nil || j.State != JobCanceled || !j.Terminal() {
+		t.Fatalf("Cancel(queued) = (%+v, %v), want terminal canceled", j, err)
+	}
+	if _, err := s.r.Cancel(queued.ID); !errors.Is(err, errNotCancelable) {
+		t.Fatalf("second Cancel = %v, want not-cancelable", err)
+	}
+	if _, err := s.r.Cancel(running.ID); !errors.Is(err, errNotCancelable) {
+		t.Fatalf("Cancel(running) = %v, want not-cancelable", err)
+	}
+	if _, err := s.r.Cancel("j999"); !errors.Is(err, errNoSuchJob) {
+		t.Fatalf("Cancel(unknown) = %v, want no-such-job", err)
+	}
+
+	close(s.release)
+	waitTerminal(t, s.r, running.ID)
+	// The canceled job stays terminal and its simulation never ran.
+	if j, _ := s.r.Job(queued.ID); j.State != JobCanceled {
+		t.Fatalf("canceled job = %+v, want it to stay canceled", j)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.r.Metrics().QueueDepth != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth stuck at %d", s.r.Metrics().QueueDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := s.calls.Load(); n != 1 {
+		t.Fatalf("exec ran %d times, want 1 (canceled job must not run)", n)
+	}
+	if m := s.r.Metrics(); m.JobsCanceled != 1 {
+		t.Fatalf("jobs_canceled = %d, want 1", m.JobsCanceled)
+	}
+}
+
+func postSpec(t *testing.T, base string, spec Spec) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func doRequest(t *testing.T, method, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// readBody drains and closes the response body.
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// The HTTP surface: liveness always up, readiness reflecting queue
+// pressure and drain state, 503 + Retry-After on a full queue, and
+// DELETE driving the cancel state machine.
+func TestServerHealthCancelAndBackpressure(t *testing.T) {
+	s := newBlockSvc(t, 1)
+
+	for _, path := range []string{"/healthz", "/healthz/live", "/healthz/ready"} {
+		resp := doRequest(t, http.MethodGet, s.ts.URL+path)
+		if body := readBody(t, resp); resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d %q, want 200", path, resp.StatusCode, body)
+		}
+	}
+
+	// Pin the worker, fill the one queue slot.
+	resp := postSpec(t, s.ts.URL, wlSpec(1))
+	if readBody(t, resp); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 1 = %d, want 202", resp.StatusCode)
+	}
+	s.waitStarted(t)
+	resp = postSpec(t, s.ts.URL, wlSpec(2))
+	var queued Job
+	if err := json.NewDecoder(resp.Body).Decode(&queued); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Queue full: POST 503 with Retry-After, readiness 503 "queue full".
+	resp = postSpec(t, s.ts.URL, wlSpec(3))
+	if body := readBody(t, resp); resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("submit to full queue = %d %q (Retry-After %q), want 503 with Retry-After",
+			resp.StatusCode, body, resp.Header.Get("Retry-After"))
+	}
+	resp = doRequest(t, http.MethodGet, s.ts.URL+"/healthz/ready")
+	if body := readBody(t, resp); resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "queue full") {
+		t.Fatalf("ready under full queue = %d %q, want 503 queue full", resp.StatusCode, body)
+	}
+
+	// DELETE: 200 canceled, then 409, then 404 for unknowns.
+	resp = doRequest(t, http.MethodDelete, s.ts.URL+"/jobs/"+queued.ID)
+	var canceled Job
+	if err := json.NewDecoder(resp.Body).Decode(&canceled); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || canceled.State != JobCanceled {
+		t.Fatalf("DELETE queued job = %d %+v, want 200 canceled", resp.StatusCode, canceled)
+	}
+	resp = doRequest(t, http.MethodDelete, s.ts.URL+"/jobs/"+queued.ID)
+	if readBody(t, resp); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE canceled job = %d, want 409", resp.StatusCode)
+	}
+	resp = doRequest(t, http.MethodDelete, s.ts.URL+"/jobs/j999")
+	if readBody(t, resp); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job = %d, want 404", resp.StatusCode)
+	}
+
+	// Graceful shutdown: readiness flips to draining while the worker
+	// finishes, and new submissions are refused with Retry-After.
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- s.r.Shutdown(ctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.r.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("runner never reported draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp = doRequest(t, http.MethodGet, s.ts.URL+"/healthz/ready")
+	if body := readBody(t, resp); resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("ready while draining = %d %q, want 503 draining", resp.StatusCode, body)
+	}
+	resp = postSpec(t, s.ts.URL, wlSpec(4))
+	if body := readBody(t, resp); resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("submit while draining = %d %q, want 503 with Retry-After", resp.StatusCode, body)
+	}
+
+	close(s.release)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain = %v", err)
+	}
+	// Liveness stays up even after the drain.
+	resp = doRequest(t, http.MethodGet, s.ts.URL+"/healthz")
+	if readBody(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("liveness after drain = %d, want 200", resp.StatusCode)
+	}
+}
+
+// A forced shutdown must leave no job stuck in the queued state.
+func TestRunnerForcedShutdownCancelsQueued(t *testing.T) {
+	s := newBlockSvc(t, 8)
+	if _, err := s.r.Submit(wlSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.waitStarted(t)
+	queued, err := s.r.Submit(wlSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.r.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+	j, _ := s.r.Job(queued.ID)
+	if j.State != JobCanceled || !j.Terminal() {
+		t.Fatalf("abandoned job = %+v, want terminal canceled", j)
+	}
+}

@@ -8,17 +8,42 @@ import (
 	"emerald/internal/par"
 )
 
-// Execute is the built-in executor: it runs the simulation a spec
-// describes, honoring ctx through the tick loops (internal/exp threads
-// it into soc.RunCtx / Standalone.RunUntilIdleCtx), and returns the
-// result keyed by the spec's canonical form. The spec must already be
+// ExecConfig parameterizes the built-in executor's hardening: both
+// knobs thread through exp.Options into every simulation it runs.
+type ExecConfig struct {
+	// Watchdog is the forward-progress window in cycles; a simulation
+	// flat for that long aborts with guard.ErrNoProgress and a
+	// diagnostic bundle (0 = off).
+	Watchdog uint64
+	// Guard attaches the microarchitectural invariant checker.
+	Guard bool
+}
+
+// Executor returns the built-in executor with the given hardening.
+func Executor(cfg ExecConfig) Exec {
+	return func(ctx context.Context, spec Spec) (*Result, error) {
+		return execute(ctx, spec, cfg)
+	}
+}
+
+// Execute is the built-in executor with default hardening (no
+// watchdog, no guard): it runs the simulation a spec describes,
+// honoring ctx through the tick loops (internal/exp threads it into
+// soc.RunCtx / Standalone.RunUntilIdleCtx), and returns the result
+// keyed by the spec's canonical form. The spec must already be
 // validated.
 func Execute(ctx context.Context, spec Spec) (*Result, error) {
+	return execute(ctx, spec, ExecConfig{})
+}
+
+func execute(ctx context.Context, spec Spec, cfg ExecConfig) (*Result, error) {
 	opt, err := ScaleOptions(spec.Scale)
 	if err != nil {
 		return nil, err
 	}
 	opt.Ctx = ctx
+	opt.WatchdogCycles = cfg.Watchdog
+	opt.Guard = cfg.Guard
 	if spec.Workers > 1 {
 		pool := par.NewPool(spec.Workers)
 		defer pool.Close()

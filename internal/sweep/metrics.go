@@ -20,6 +20,7 @@ type metrics struct {
 	cacheMiss  int64
 	done       int64
 	failed     int64
+	cancels    int64
 	retries    int64
 	latencyMS  stats.Distribution
 }
@@ -33,6 +34,7 @@ type MetricsSnapshot struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	JobsDone     int64   `json:"jobs_done"`
 	JobsFailed   int64   `json:"jobs_failed"`
+	JobsCanceled int64   `json:"jobs_canceled"`
 	Retries      int64   `json:"retries"`
 
 	LatencyMS LatencySummary `json:"latency_ms"`
@@ -67,6 +69,13 @@ func (m *metrics) started() {
 
 func (m *metrics) retried() { m.mu.Lock(); m.retries++; m.mu.Unlock() }
 
+// canceled counts a queued job reaching the terminal canceled state.
+func (m *metrics) canceled() { m.mu.Lock(); m.cancels++; m.mu.Unlock() }
+
+// dropped records a queue slot consumed without execution (a canceled
+// job reaching a worker, or the shutdown drain).
+func (m *metrics) dropped() { m.mu.Lock(); m.queueDepth--; m.mu.Unlock() }
+
 // finished records a job leaving the running state. latencyMS < 0
 // skips the histogram (used when the terminal state is not a real
 // execution, e.g. a late cache hit).
@@ -89,13 +98,14 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := MetricsSnapshot{
-		QueueDepth:  m.queueDepth,
-		Inflight:    m.inflight,
-		CacheHits:   m.cacheHits,
-		CacheMisses: m.cacheMiss,
-		JobsDone:    m.done,
-		JobsFailed:  m.failed,
-		Retries:     m.retries,
+		QueueDepth:   m.queueDepth,
+		Inflight:     m.inflight,
+		CacheHits:    m.cacheHits,
+		CacheMisses:  m.cacheMiss,
+		JobsDone:     m.done,
+		JobsFailed:   m.failed,
+		JobsCanceled: m.cancels,
+		Retries:      m.retries,
 		LatencyMS: LatencySummary{
 			Count: m.latencyMS.Count(),
 			Mean:  m.latencyMS.Mean(),

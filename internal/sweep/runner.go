@@ -23,15 +23,23 @@ var errQueueFull = errors.New("sweep: job queue full")
 // errClosed is returned by Submit after Shutdown has begun.
 var errClosed = errors.New("sweep: runner shutting down")
 
+// errNoSuchJob is returned by Cancel for an unknown job id.
+var errNoSuchJob = errors.New("sweep: no such job")
+
+// errNotCancelable is returned by Cancel when the job has already
+// started or finished — only queued jobs can be canceled.
+var errNotCancelable = errors.New("sweep: job is not queued")
+
 // JobState is a job's lifecycle stage.
 type JobState string
 
 // Job lifecycle states.
 const (
-	JobQueued  JobState = "queued"
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
 )
 
 // Job is a point-in-time snapshot of one submitted job, as returned by
@@ -46,14 +54,19 @@ type Job struct {
 	Cached   bool   `json:"cached"`
 	Attempts int    `json:"attempts"`
 	Error    string `json:"error,omitempty"`
+	// Recovered marks a job requeued from the journal after a crash.
+	Recovered bool `json:"recovered,omitempty"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at"`
 	FinishedAt  time.Time `json:"finished_at"`
 }
 
-// Terminal reports whether the job has finished (done or failed).
-func (j Job) Terminal() bool { return j.State == JobDone || j.State == JobFailed }
+// Terminal reports whether the job has finished (done, failed or
+// canceled).
+func (j Job) Terminal() bool {
+	return j.State == JobDone || j.State == JobFailed || j.State == JobCanceled
+}
 
 // job is the runner's mutable record behind Job snapshots.
 type job struct {
@@ -96,9 +109,20 @@ type RunnerConfig struct {
 	// (defaults 100ms / 5s).
 	RetryBase time.Duration
 	RetryMax  time.Duration
-	// Exec overrides the executor (default Execute; tests inject
-	// failures here).
+	// Exec overrides the executor (default Executor with the Watchdog
+	// and Guard fields below; tests inject failures here).
 	Exec Exec
+	// Watchdog is the forward-progress window in cycles threaded into
+	// the default executor's simulations (0 = off; ignored when Exec is
+	// set).
+	Watchdog uint64
+	// Guard attaches the microarchitectural invariant checker in the
+	// default executor's simulations (ignored when Exec is set).
+	Guard bool
+	// Journal, when non-nil, records job lifecycle transitions to the
+	// durable write-ahead log so a crashed daemon can requeue
+	// incomplete jobs on restart.
+	Journal *Journal
 }
 
 func (c RunnerConfig) withDefaults() RunnerConfig {
@@ -123,7 +147,7 @@ func (c RunnerConfig) withDefaults() RunnerConfig {
 		c.RetryMax = 5 * time.Second
 	}
 	if c.Exec == nil {
-		c.Exec = Execute
+		c.Exec = Executor(ExecConfig{Watchdog: c.Watchdog, Guard: c.Guard})
 	}
 	return c
 }
@@ -131,9 +155,10 @@ func (c RunnerConfig) withDefaults() RunnerConfig {
 // Runner owns the job queue, the worker pool and the job registry. All
 // methods are safe for concurrent use.
 type Runner struct {
-	cfg   RunnerConfig
-	store *Store
-	met   *metrics
+	cfg     RunnerConfig
+	store   *Store
+	met     *metrics
+	journal *Journal // nil when journaling is off (all methods nil-safe)
 
 	baseCtx context.Context // cancelled only on forced shutdown
 	abort   context.CancelFunc
@@ -156,6 +181,7 @@ func NewRunner(store *Store, cfg RunnerConfig) *Runner {
 		cfg:     cfg,
 		store:   store,
 		met:     &metrics{},
+		journal: cfg.Journal,
 		baseCtx: ctx,
 		abort:   cancel,
 		queue:   make(chan *job, cfg.QueueDepth),
@@ -204,6 +230,16 @@ func (r *Runner) Submit(spec Spec) (Job, error) {
 	}
 	r.met.cacheMissed()
 
+	// Journal the accept (fsynced) before the job becomes runnable: once
+	// Submit acknowledges, the job survives kill -9.
+	if err := r.journal.Accept(jb.j.ID, spec); err != nil {
+		jb.update(func(j *Job) {
+			j.State = JobFailed
+			j.Error = err.Error()
+			j.FinishedAt = time.Now()
+		})
+		return jb.snapshot(), err
+	}
 	select {
 	case r.queue <- jb:
 		r.met.enqueued()
@@ -213,10 +249,115 @@ func (r *Runner) Submit(spec Spec) (Job, error) {
 			j.Error = errQueueFull.Error()
 			j.FinishedAt = time.Now()
 		})
+		r.journal.Fail(jb.j.ID, errQueueFull.Error())
 		return jb.snapshot(), errQueueFull
 	}
 	return jb.snapshot(), nil
 }
+
+// Cancel moves a still-queued job to the terminal canceled state; its
+// queue slot is discarded when a worker reaches it. Returns
+// errNoSuchJob for an unknown id and errNotCancelable (with the
+// current snapshot) once the job is running or terminal.
+func (r *Runner) Cancel(id string) (Job, error) {
+	r.mu.Lock()
+	jb, ok := r.jobs[id]
+	r.mu.Unlock()
+	if !ok {
+		return Job{}, errNoSuchJob
+	}
+	canceled := false
+	jb.update(func(j *Job) {
+		if j.State == JobQueued {
+			j.State = JobCanceled
+			j.FinishedAt = time.Now()
+			canceled = true
+		}
+	})
+	if !canceled {
+		return jb.snapshot(), errNotCancelable
+	}
+	r.met.canceled()
+	r.journal.Cancel(id)
+	return jb.snapshot(), nil
+}
+
+// Recover re-registers jobs the journal reports as incomplete from a
+// previous process, preserving their original IDs. A job whose result
+// landed in the store before the crash completes as a cache hit; the
+// rest are requeued — deterministic execution makes the rerun
+// equivalent to a resume. Call once at startup, before serving
+// submissions.
+func (r *Runner) Recover(pending []PendingJob) (requeued, cached int) {
+	for _, p := range pending {
+		jb := &job{j: Job{
+			ID:          p.ID,
+			Spec:        p.Spec,
+			Key:         p.Spec.Key(),
+			State:       JobQueued,
+			Recovered:   true,
+			SubmittedAt: time.Now(),
+		}}
+		r.mu.Lock()
+		if n := idNum(p.ID); n > r.nextID {
+			r.nextID = n // new submissions must not collide with recovered IDs
+		}
+		r.jobs[p.ID] = jb
+		r.mu.Unlock()
+
+		if _, ok, err := r.store.Get(jb.j.Key); err == nil && ok {
+			r.met.cacheHit()
+			jb.update(func(j *Job) {
+				j.State = JobDone
+				j.Cached = true
+				j.FinishedAt = time.Now()
+			})
+			r.journal.Done(p.ID)
+			cached++
+			continue
+		}
+		r.met.cacheMissed()
+		select {
+		case r.queue <- jb:
+			r.met.enqueued()
+			requeued++
+		default:
+			jb.update(func(j *Job) {
+				j.State = JobFailed
+				j.Error = errQueueFull.Error()
+				j.FinishedAt = time.Now()
+			})
+			r.journal.Fail(p.ID, errQueueFull.Error())
+		}
+	}
+	return requeued, cached
+}
+
+// idNum extracts the numeric part of a "j<n>" job id (0 if malformed).
+func idNum(id string) int {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0
+	}
+	n := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// Draining reports whether Shutdown has begun; the HTTP readiness
+// endpoint surfaces this as 503 "draining".
+func (r *Runner) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// QueueFull reports whether a submission would be rejected right now.
+func (r *Runner) QueueFull() bool { return len(r.queue) == cap(r.queue) }
 
 // Job returns a snapshot of the job with the given id.
 func (r *Runner) Job(id string) (Job, bool) {
@@ -266,8 +407,38 @@ func (r *Runner) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		r.abort() // cancel in-flight simulations mid-tick-loop
 		<-drained
+		r.drainCanceled()
 		return ctx.Err()
 	}
+}
+
+// drainCanceled empties the closed queue after a forced shutdown,
+// marking every job the workers never reached as canceled so nothing
+// is left queued forever. (The journal keeps their accept records
+// uncanceled on purpose: an abandoned job is exactly what restart
+// recovery should requeue.)
+func (r *Runner) drainCanceled() {
+	for jb := range r.queue {
+		r.abandon(jb)
+	}
+}
+
+// abandon marks a dequeued-but-never-run job as canceled (forced
+// shutdown reached it first).
+func (r *Runner) abandon(jb *job) {
+	abandoned := false
+	jb.update(func(j *Job) {
+		if j.State == JobQueued {
+			j.State = JobCanceled
+			j.Error = "abandoned by forced shutdown"
+			j.FinishedAt = time.Now()
+			abandoned = true
+		}
+	})
+	if abandoned {
+		r.met.canceled()
+	}
+	r.met.dropped()
 }
 
 // worker drains the queue until it is closed and empty (graceful
@@ -282,21 +453,38 @@ func (r *Runner) worker() {
 			if !ok {
 				return
 			}
+			if r.baseCtx.Err() != nil {
+				// Forced shutdown raced the dequeue: don't start new
+				// work, hand the slot to the abandonment path.
+				r.abandon(jb)
+				return
+			}
 			r.runJob(jb)
 		}
 	}
 }
 
 // runJob executes one job with cache re-check, panic isolation,
-// per-attempt timeout and bounded retry.
+// per-attempt timeout and bounded retry. A job canceled while it sat
+// in the queue is discarded here without running.
 func (r *Runner) runJob(jb *job) {
-	r.met.started()
 	start := time.Now()
+	claimed := false
 	jb.update(func(j *Job) {
-		j.State = JobRunning
-		j.StartedAt = start
+		if j.State == JobQueued {
+			j.State = JobRunning
+			j.StartedAt = start
+			claimed = true
+		}
 	})
-	key := jb.snapshot().Key
+	if !claimed { // canceled between enqueue and dequeue
+		r.met.dropped()
+		return
+	}
+	r.met.started()
+	snap := jb.snapshot()
+	key := snap.Key
+	r.journal.Start(snap.ID)
 
 	// A concurrent job with the same key may have completed while this
 	// one sat in the queue; serve it from the store instead of
@@ -307,6 +495,7 @@ func (r *Runner) runJob(jb *job) {
 			j.Cached = true
 			j.FinishedAt = time.Now()
 		})
+		r.journal.Done(snap.ID)
 		r.met.finished(true, -1)
 		return
 	}
@@ -326,11 +515,14 @@ attempts:
 		jb.update(func(j *Job) { j.Attempts++ })
 		res, err := r.execOnce(jb.snapshot().Spec)
 		if err == nil {
+			// Store first, journal second: a crash between the two
+			// requeues the job, and the rerun completes as a cache hit.
 			if _, err = r.store.Put(key, res); err == nil {
 				jb.update(func(j *Job) {
 					j.State = JobDone
 					j.FinishedAt = time.Now()
 				})
+				r.journal.Done(snap.ID)
 				r.met.finished(true, float64(time.Since(start))/float64(time.Millisecond))
 				return
 			}
@@ -345,6 +537,7 @@ attempts:
 		j.Error = lastErr.Error()
 		j.FinishedAt = time.Now()
 	})
+	r.journal.Fail(snap.ID, lastErr.Error())
 	r.met.finished(false, float64(time.Since(start))/float64(time.Millisecond))
 }
 

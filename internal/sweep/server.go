@@ -8,13 +8,16 @@ import (
 
 // Server is the HTTP surface over a Runner and its Store:
 //
-//	POST /jobs           submit a Spec; 202 with the job snapshot
-//	                     (200 when served from cache at submit)
-//	GET  /jobs/{id}      one job snapshot
-//	GET  /jobs           every job snapshot
-//	GET  /results/{key}  the stored result, byte-for-byte
-//	GET  /metrics        queue/cache/latency metrics
-//	GET  /healthz        liveness probe
+//	POST   /jobs           submit a Spec; 202 with the job snapshot
+//	                       (200 when served from cache at submit; 503
+//	                       with Retry-After when full or draining)
+//	GET    /jobs/{id}      one job snapshot
+//	DELETE /jobs/{id}      cancel a still-queued job
+//	GET    /jobs           every job snapshot
+//	GET    /results/{key}  the stored result, byte-for-byte
+//	GET    /metrics        queue/cache/latency metrics
+//	GET    /healthz        liveness probe (alias: /healthz/live)
+//	GET    /healthz/ready  readiness: 503 while draining or queue-full
 type Server struct {
 	runner *Runner
 	store  *Store
@@ -31,13 +34,38 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /results/{key}", s.handleResult)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	// Liveness answers "is the process up" — always yes if we got here.
+	// Readiness answers "should you send work" — no while draining
+	// (graceful shutdown keeps serving status until workers finish) or
+	// while the queue has no room.
+	mux.HandleFunc("GET /healthz", s.handleLive)
+	mux.HandleFunc("GET /healthz/live", s.handleLive)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	return mux
+}
+
+func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.runner.Draining():
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case s.runner.QueueFull():
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "queue full")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
 }
 
 // writeJSON writes v with the given status.
@@ -65,10 +93,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		} else {
 			writeJSON(w, http.StatusAccepted, job)
 		}
-	case err == errQueueFull || err == errClosed:
+	case err == errQueueFull:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case err == errClosed:
+		w.Header().Set("Retry-After", "5")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.runner.Cancel(r.PathValue("id"))
+	switch err {
+	case nil:
+		writeJSON(w, http.StatusOK, job)
+	case errNoSuchJob:
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errNotCancelable:
+		// The job already started or finished; report its state so the
+		// client can tell which.
+		writeJSON(w, http.StatusConflict, job)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 

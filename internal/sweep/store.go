@@ -1,6 +1,9 @@
 package sweep
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -13,8 +16,37 @@ import (
 // temp file + rename so concurrent readers never observe a partial
 // result, and a cache hit returns the stored bytes unmodified —
 // byte-for-byte identical across lookups.
+//
+// Every file carries an integrity footer (a trailing comment line with
+// the payload's length and SHA-256) written by Put and verified by
+// Get. A file that fails verification — bit rot, truncation, a
+// foreign write — reads as a cache miss rather than serving garbage;
+// the next Put simply overwrites it.
 type Store struct {
 	dir string
+}
+
+// footerPrefix opens the integrity footer line appended after the JSON
+// payload. '#' is not valid JSON, so a footer-less decoder would choke
+// loudly rather than silently accept a stripped file.
+const footerPrefix = "# emerald-store v1 "
+
+// footerFor renders the integrity footer line for a payload.
+func footerFor(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	return fmt.Appendf(nil, "%slen=%d sha256=%s\n", footerPrefix, len(payload), hex.EncodeToString(sum[:]))
+}
+
+// verifyFooter splits a stored file into its payload by locating and
+// checking the integrity footer. ok=false means the file is corrupt,
+// truncated, or predates footers — treat as a miss.
+func verifyFooter(data []byte) (payload []byte, ok bool) {
+	i := bytes.LastIndex(data, []byte("\n"+footerPrefix))
+	if i < 0 {
+		return nil, false
+	}
+	payload = data[:i+1] // the payload's own trailing newline
+	return payload, bytes.Equal(data[i+1:], footerFor(payload))
 }
 
 // NewStore opens (creating if needed) a store rooted at dir.
@@ -49,7 +81,10 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+".json")
 }
 
-// Get returns the stored result bytes for key, or ok=false on a miss.
+// Get returns the stored result payload for key (the exact bytes Put
+// returned, without the integrity footer), or ok=false on a miss. A
+// file whose footer is missing or fails verification is a miss, not an
+// error: corruption must never masquerade as a result.
 func (s *Store) Get(key string) (data []byte, ok bool, err error) {
 	if !validKey(key) {
 		return nil, false, fmt.Errorf("sweep: malformed result key %q", key)
@@ -61,7 +96,11 @@ func (s *Store) Get(key string) (data []byte, ok bool, err error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("sweep: read result %s: %w", key, err)
 	}
-	return data, true, nil
+	payload, valid := verifyFooter(data)
+	if !valid {
+		return nil, false, nil
+	}
+	return payload, true, nil
 }
 
 // GetResult decodes the stored result for key.
@@ -77,10 +116,11 @@ func (s *Store) GetResult(key string) (*Result, bool, error) {
 	return &r, true, nil
 }
 
-// Put stores a result under key and returns the exact bytes written
-// (the canonical JSON encoding served by every future Get). The write
-// is atomic: a rename replaces any concurrent writer's work with an
-// identical payload, so last-writer-wins is harmless.
+// Put stores a result under key and returns the canonical JSON payload
+// served by every future Get (the on-disk file additionally carries
+// the integrity footer). The write is atomic: a rename replaces any
+// concurrent writer's work with an identical payload, so
+// last-writer-wins is harmless.
 func (s *Store) Put(key string, r *Result) ([]byte, error) {
 	if !validKey(key) {
 		return nil, fmt.Errorf("sweep: malformed result key %q", key)
@@ -96,6 +136,10 @@ func (s *Store) Put(key string, r *Result) ([]byte, error) {
 	}
 	defer os.Remove(tmp.Name()) // no-op after successful rename
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return nil, fmt.Errorf("sweep: store result: %w", err)
+	}
+	if _, err := tmp.Write(footerFor(data)); err != nil {
 		tmp.Close()
 		return nil, fmt.Errorf("sweep: store result: %w", err)
 	}

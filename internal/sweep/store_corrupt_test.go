@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// corruptStore writes a result, mutates its on-disk bytes with mutate,
+// and returns the store plus the key.
+func corruptStore(t *testing.T, mutate func([]byte) []byte) (*Store, string) {
+	t.Helper()
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testResult()
+	key := r.Spec.Key()
+	if _, err := st.Put(key, r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(st.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.path(key), mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return st, key
+}
+
+// mustMiss asserts that a corrupted entry reads as a clean miss — no
+// payload, no error — and that a fresh Put repopulates it.
+func mustMiss(t *testing.T, st *Store, key, what string) {
+	t.Helper()
+	data, ok, err := st.Get(key)
+	if err != nil {
+		t.Fatalf("%s: Get returned error %v, want a silent miss", what, err)
+	}
+	if ok || data != nil {
+		t.Fatalf("%s: Get = (%q, %v), want a miss", what, data, ok)
+	}
+	written, err := st.Put(key, testResult())
+	if err != nil {
+		t.Fatalf("%s: Put after corruption = %v", what, err)
+	}
+	got, ok, err := st.Get(key)
+	if err != nil || !ok || !bytes.Equal(written, got) {
+		t.Fatalf("%s: store did not heal after rewrite (ok=%v err=%v)", what, ok, err)
+	}
+}
+
+// A single flipped bit in the payload must fail the SHA-256 footer and
+// read as a miss, never as a (subtly wrong) result.
+func TestStoreBitFlipReadsAsMiss(t *testing.T) {
+	st, key := corruptStore(t, func(data []byte) []byte {
+		data[len(data)/3] ^= 0x01
+		return data
+	})
+	mustMiss(t, st, key, "bit flip")
+}
+
+// A truncated file — a crash mid-write that somehow bypassed the
+// atomic rename, or filesystem damage — must read as a miss.
+func TestStoreTruncationReadsAsMiss(t *testing.T) {
+	st, key := corruptStore(t, func(data []byte) []byte {
+		return data[:len(data)/2]
+	})
+	mustMiss(t, st, key, "truncation")
+}
+
+// Stripping the footer (a legacy or hand-edited file) must read as a
+// miss: without the footer there is nothing vouching for the payload.
+func TestStoreMissingFooterReadsAsMiss(t *testing.T) {
+	st, key := corruptStore(t, func(data []byte) []byte {
+		i := bytes.LastIndex(data, []byte("\n"+footerPrefix))
+		return data[:i+1]
+	})
+	mustMiss(t, st, key, "missing footer")
+}
+
+// A footer whose recorded length disagrees with the payload must fail
+// even if the file otherwise parses.
+func TestStoreTamperedFooterReadsAsMiss(t *testing.T) {
+	st, key := corruptStore(t, func(data []byte) []byte {
+		return bytes.Replace(data, []byte("len="), []byte("len=9"), 1)
+	})
+	mustMiss(t, st, key, "tampered footer")
+}

@@ -67,21 +67,25 @@ cleanup() {
 	rm -rf "$tmp"
 }
 trap cleanup EXIT
+# wait_addr <logfile>: poll for the daemon's listen address.
+wait_addr() {
+	addr=""
+	for _ in $(seq 1 50); do
+		addr=$(awk '/listening on/ { print $4; exit }' "$1" 2>/dev/null || true)
+		[ -n "$addr" ] && break
+		sleep 0.1
+	done
+	if [ -z "$addr" ]; then
+		echo "FAIL: emeraldd never reported its address" >&2
+		cat "$1" >&2
+		exit 1
+	fi
+}
 go build -o "$tmp/emeraldd" ./cmd/emeraldd
 go build -o "$tmp/sweep" ./cmd/sweep
 "$tmp/emeraldd" -addr 127.0.0.1:0 -cache "$tmp/cache" >"$tmp/daemon.log" 2>&1 &
 daemon_pid=$!
-addr=""
-for _ in $(seq 1 50); do
-	addr=$(awk '/listening on/ { print $4; exit }' "$tmp/daemon.log" 2>/dev/null || true)
-	[ -n "$addr" ] && break
-	sleep 0.1
-done
-if [ -z "$addr" ]; then
-	echo "FAIL: emeraldd never reported its address" >&2
-	cat "$tmp/daemon.log" >&2
-	exit 1
-fi
+wait_addr "$tmp/daemon.log"
 sweep_args="-addr http://$addr -fig 9 -scale smoke -models 2 -configs BAS,DCB"
 "$tmp/sweep" $sweep_args >"$tmp/cold.out" 2>"$tmp/cold.err"
 "$tmp/sweep" $sweep_args >"$tmp/warm.out" 2>"$tmp/warm.err"
@@ -101,6 +105,56 @@ if ! cmp -s "$tmp/cold.out" "$tmp/warm.out"; then
 	exit 1
 fi
 cat "$tmp/warm.err"
+# Stop the first daemon before the crash-recovery scenario below.
+kill "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+echo "ok"
+
+echo "== crash recovery smoke test =="
+# Start a journaling daemon on a fresh cache, kill -9 it mid-sweep,
+# restart it on the same cache + journal, and require the resumed
+# sweep to (a) succeed, (b) report 100% coverage (zero lost jobs), and
+# (c) produce tables byte-identical to the uninterrupted run above.
+"$tmp/emeraldd" -addr 127.0.0.1:0 -cache "$tmp/crashcache" >"$tmp/crash1.log" 2>&1 &
+daemon_pid=$!
+wait_addr "$tmp/crash1.log"
+crash_args="-addr http://$addr -fig 9 -scale smoke -models 2 -configs BAS,DCB"
+"$tmp/sweep" $crash_args >"$tmp/interrupted.out" 2>"$tmp/interrupted.err" &
+sweep_pid=$!
+sleep 0.5
+kill -9 "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+wait "$sweep_pid" 2>/dev/null || true # the client dies with the daemon
+"$tmp/emeraldd" -addr 127.0.0.1:0 -cache "$tmp/crashcache" >"$tmp/crash2.log" 2>&1 &
+daemon_pid=$!
+wait_addr "$tmp/crash2.log"
+grep "recovered" "$tmp/crash2.log" || echo "(nothing was in flight at the kill)"
+crash_args="-addr http://$addr -fig 9 -scale smoke -models 2 -configs BAS,DCB"
+if ! "$tmp/sweep" $crash_args >"$tmp/resumed.out" 2>"$tmp/resumed.err"; then
+	echo "FAIL: post-crash sweep did not complete:" >&2
+	cat "$tmp/resumed.err" >&2
+	cat "$tmp/crash2.log" >&2
+	exit 1
+fi
+if ! grep -q "cache [0-9]*/2 hits" "$tmp/resumed.err"; then
+	echo "FAIL: post-crash sweep lost jobs:" >&2
+	cat "$tmp/resumed.err" >&2
+	exit 1
+fi
+if ! cmp -s "$tmp/cold.out" "$tmp/resumed.out"; then
+	echo "FAIL: post-crash tables differ from the uninterrupted run:" >&2
+	diff "$tmp/cold.out" "$tmp/resumed.out" >&2 || true
+	exit 1
+fi
+cat "$tmp/resumed.err"
+echo "ok"
+
+echo "== guarded test run (EMERALD_GUARD=1, short) =="
+# Re-run the end-to-end simulation tests with the invariant checker
+# armed: every probe must hold on the real machine under test load.
+EMERALD_GUARD=1 go test -short -count=1 ./internal/exp/ ./internal/soc/ ./internal/gpu/
 echo "ok"
 
 echo "all checks passed"
