@@ -31,6 +31,7 @@ func main() {
 	workers := flag.Int("workers", par.DefaultWorkers(), "worker threads for the parallel tick engine (1 = sequential; results are identical)")
 	watchdog := flag.Uint64("watchdog", 0, "abort after this many cycles without forward progress, with a diagnostic dump (0 = off)")
 	guard := flag.Bool("guard", false, "run cycle-level microarchitectural invariant checks (MSHR leaks, SIMT stack balance, DRAM/NoC legality)")
+	noSkip := flag.Bool("no-skip", false, "disable event-driven idle cycle-skipping (results are identical; for perf comparison/debugging)")
 	flag.Parse()
 
 	switch *fig {
@@ -44,6 +45,7 @@ func main() {
 	}
 	opt.WatchdogCycles = *watchdog
 	opt.Guard = *guard
+	opt.NoSkip = *noSkip
 	if *workers > 1 {
 		pool := par.NewPool(*workers)
 		defer pool.Close()

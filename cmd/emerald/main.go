@@ -36,6 +36,7 @@ type options struct {
 	traceFrames                int
 	watchdog                   uint64
 	guard                      bool
+	noSkip                     bool
 }
 
 func main() {
@@ -54,6 +55,7 @@ func main() {
 	flag.IntVar(&opt.traceFrames, "trace-frames", 0, "stop tracing after this many frames (0 = all)")
 	flag.Uint64Var(&opt.watchdog, "watchdog", 0, "abort after this many cycles without forward progress, with a diagnostic dump (0 = off)")
 	flag.BoolVar(&opt.guard, "guard", false, "run cycle-level microarchitectural invariant checks (MSHR leaks, SIMT stack balance, DRAM/NoC legality)")
+	flag.BoolVar(&opt.noSkip, "no-skip", false, "disable event-driven idle cycle-skipping (results are identical; for perf comparison/debugging)")
 	disasm := flag.String("disasm", "", "disassemble a built-in shader by name (e.g. vs_transform) and exit")
 	flag.Parse()
 
@@ -105,6 +107,7 @@ func run(opt options) error {
 		s.AttachGuard(guard.NewChecker())
 	}
 	s.SetWatchdog(opt.watchdog)
+	s.SetIdleSkip(!opt.noSkip)
 	ctx := gl.NewContext(s.Mem(), 0x1000_0000, 256<<20)
 	ctx.Submit = func(call *gpu.DrawCall) error { return s.GPU.SubmitDraw(call, nil) }
 	ctx.OnClearDepth = s.GPU.ClearHiZ

@@ -50,6 +50,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain budget before in-flight jobs are cancelled")
 	watchdog := flag.Uint64("watchdog", 5_000_000, "abort a job's simulation after this many cycles without forward progress (0 disables)")
 	guardOn := flag.Bool("guard", false, "run cycle-level microarchitectural invariant checks in every job")
+	noSkip := flag.Bool("no-skip", false, "disable event-driven idle cycle-skipping in every job (results are identical; for perf comparison/debugging)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -64,7 +65,7 @@ func main() {
 		addr: *addr, cache: *cache, journal: *journal,
 		jobs: *jobs, queue: *queue,
 		jobTimeout: *jobTimeout, retries: *retries, drainTimeout: *drainTimeout,
-		watchdog: *watchdog, guard: *guardOn,
+		watchdog: *watchdog, guard: *guardOn, noSkip: *noSkip,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "emeraldd:", err)
@@ -79,6 +80,7 @@ type daemonConfig struct {
 	retries                  int
 	watchdog                 uint64
 	guard                    bool
+	noSkip                   bool
 }
 
 func run(cfg daemonConfig) error {
@@ -112,6 +114,7 @@ func run(cfg daemonConfig) error {
 		MaxRetries: cfg.retries,
 		Watchdog:   cfg.watchdog,
 		Guard:      cfg.guard,
+		NoSkip:     cfg.noSkip,
 		Journal:    journal,
 	})
 	if len(pending) > 0 {

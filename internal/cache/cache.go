@@ -219,7 +219,7 @@ func (c *Cache) Access(cycle uint64, addr uint64, kind mem.Kind, waiter any) Res
 	}
 
 	// New miss: need an MSHR and room for the fill request.
-	if len(c.mshrs) >= c.cfg.MSHRs || c.Out.Full() {
+	if len(c.mshrs) >= c.cfg.MSHRs {
 		return Blocked
 	}
 	req := &mem.Request{
@@ -231,7 +231,9 @@ func (c *Cache) Access(cycle uint64, addr uint64, kind mem.Kind, waiter any) Res
 		IssuedAt: cycle,
 		Tag:      c,
 	}
-	c.Out.Push(req)
+	if !c.Out.Push(req) {
+		return Blocked // output port full: the requester retries
+	}
 	c.inflight = append(c.inflight, req)
 	m := &mshr{lineAddr: la, isWrite: kind == mem.Write}
 	if waiter != nil {
@@ -248,10 +250,7 @@ func (c *Cache) Access(cycle uint64, addr uint64, kind mem.Kind, waiter any) Res
 }
 
 func (c *Cache) enqueueWrite(cycle uint64, la uint64) bool {
-	if c.Out.Full() {
-		return false
-	}
-	c.Out.Push(&mem.Request{
+	return c.Out.Push(&mem.Request{
 		Addr:     la,
 		Size:     uint32(c.cfg.LineBytes),
 		Kind:     mem.Write,
@@ -259,7 +258,6 @@ func (c *Cache) enqueueWrite(cycle uint64, la uint64) bool {
 		ClientID: c.cfg.ClientID,
 		IssuedAt: cycle,
 	})
-	return true
 }
 
 // Tick retires completed fills, installs their lines (possibly evicting
@@ -267,9 +265,18 @@ func (c *Cache) enqueueWrite(cycle uint64, la uint64) bool {
 // drains any writebacks buffered while Out was full.
 func (c *Cache) Tick(cycle uint64) {
 	// Drain buffered writebacks first so evictions below have room.
-	for len(c.pendingWB) > 0 && !c.Out.Full() {
-		c.Out.Push(c.pendingWB[0])
-		c.pendingWB = c.pendingWB[1:]
+	// Drained slots are nilled so the backing array doesn't retain
+	// popped requests, and the array is released once empty.
+	n := 0
+	for n < len(c.pendingWB) && c.Out.Push(c.pendingWB[n]) {
+		c.pendingWB[n] = nil
+		n++
+	}
+	if n > 0 {
+		c.pendingWB = c.pendingWB[n:]
+		if len(c.pendingWB) == 0 {
+			c.pendingWB = nil
+		}
 	}
 
 	kept := c.inflight[:0]
@@ -314,17 +321,23 @@ func (c *Cache) markDirty(la uint64) {
 // install places lineAddr into its set, evicting the LRU way.
 func (c *Cache) install(cycle uint64, la uint64) {
 	set := c.sets[c.setIndex(la)]
-	victim := 0
+	// The line may already be resident in ANY way (e.g. refetched), so
+	// the full set must be scanned for the tag before a victim is
+	// chosen: stopping the tag check at the first invalid way would
+	// miss a copy in a later way and install the same tag twice.
 	for i := range set {
 		if set[i].valid && set[i].tag == la {
 			set[i].lru = cycle
-			return // already present (e.g. refetched)
+			return // already present
 		}
+	}
+	victim := -1
+	for i := range set {
 		if !set[i].valid {
 			victim = i
 			break
 		}
-		if set[i].lru < set[victim].lru {
+		if victim < 0 || set[i].lru < set[victim].lru {
 			victim = i
 		}
 	}
@@ -370,6 +383,31 @@ func (c *Cache) Contains(addr uint64) bool {
 
 // PendingMisses reports the number of live MSHRs.
 func (c *Cache) PendingMisses() int { return len(c.mshrs) }
+
+// Quiet reports whether Tick would be a no-op and no queued output is
+// waiting to drain: no buffered writebacks, no in-flight fills and an
+// empty output port. Owners use it to gate per-cycle work.
+func (c *Cache) Quiet() bool {
+	return len(c.pendingWB) == 0 && len(c.inflight) == 0 && c.Out.Len() == 0
+}
+
+// NextWake returns the earliest future cycle at which the cache's
+// state can change on its own: now if work is already actionable
+// (buffered writebacks, queued output, a completed fill to install),
+// mem.NeverWake when fully quiescent. Fills still in flight downstream
+// are covered by the component holding them (NoC/DRAM), whose own
+// NextWake bounds their completion.
+func (c *Cache) NextWake(cycle uint64) uint64 {
+	if len(c.pendingWB) > 0 || c.Out.Len() > 0 {
+		return cycle
+	}
+	for _, r := range c.inflight {
+		if r.Done {
+			return cycle
+		}
+	}
+	return mem.NeverWake
+}
 
 // Stats snapshot.
 func (c *Cache) Accesses() int64   { return c.accesses.Value() }

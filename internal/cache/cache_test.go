@@ -277,3 +277,139 @@ func TestStatsRegistry(t *testing.T) {
 		t.Fatalf("miss rate = %v, want 0.5", c.MissRate())
 	}
 }
+
+// Regression: install must scan the whole set for an already-resident
+// copy of the line before picking a victim. The old code stopped the
+// tag check at the first invalid way, so a set shaped
+// [other, invalid, la] installed la a second time.
+func TestInstallScansFullSetBeforeVictim(t *testing.T) {
+	cfg := testConfig()
+	cfg.SizeBytes = 192 // 1 set x 3 ways
+	cfg.Ways = 3
+	c := New(cfg, nil)
+
+	// Shape the set by hand: way 0 holds another line, way 1 is
+	// invalid, way 2 already holds the line being installed.
+	set := c.sets[0]
+	set[0] = line{tag: 0x000, valid: true, lru: 1}
+	set[2] = line{tag: 0x0C0, valid: true, dirty: true, lru: 2}
+
+	c.install(5, 0x0C0)
+
+	copies := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == 0x0C0 {
+			copies++
+		}
+	}
+	if copies != 1 {
+		t.Fatalf("line 0x0C0 resident in %d ways, want 1", copies)
+	}
+	if set[1].valid {
+		t.Fatal("install filled an invalid way for an already-resident line")
+	}
+	if !set[2].dirty {
+		t.Fatal("re-install clobbered the resident copy's dirty bit")
+	}
+	if set[2].lru != 5 {
+		t.Fatalf("resident copy LRU = %d, want refreshed to 5", set[2].lru)
+	}
+	if c.Evictions() != 0 {
+		t.Fatalf("evictions = %d, want 0 (nothing was displaced)", c.Evictions())
+	}
+}
+
+// Regression: draining pendingWB with pendingWB[1:] kept the popped
+// requests reachable through the backing array. Drained slots must be
+// nilled and the buffer released once empty.
+func TestPendingWBDrainReleasesRequests(t *testing.T) {
+	c := New(testConfig(), nil)
+	c.Access(0, 0x000, mem.Write, nil)
+	c.Access(0, 0x040, mem.Write, nil)
+	drain(c, 1)
+
+	// Plug the output port, then flush: both dirty writebacks must
+	// buffer in pendingWB rather than drop.
+	for c.Out.Push(&mem.Request{Addr: 0xF000, Kind: mem.Read}) {
+	}
+	c.Flush(2)
+	if len(c.pendingWB) != 2 {
+		t.Fatalf("pendingWB = %d, want 2", len(c.pendingWB))
+	}
+	if c.Writebacks() != 2 {
+		t.Fatalf("writebacks = %d, want 2", c.Writebacks())
+	}
+	backing := c.pendingWB[:2:2]
+
+	// Free one slot: exactly one buffered writeback drains, and its
+	// slot in the old backing array is released.
+	c.Out.Pop()
+	c.Tick(3)
+	if len(c.pendingWB) != 1 {
+		t.Fatalf("pendingWB after partial drain = %d, want 1", len(c.pendingWB))
+	}
+	if backing[0] != nil {
+		t.Fatal("drained writeback still referenced by the old backing array")
+	}
+
+	// Drain the rest: the buffer must be released entirely.
+	for c.Out.Pop() != nil {
+	}
+	c.Tick(4)
+	if c.pendingWB != nil {
+		t.Fatalf("pendingWB not released after full drain, len=%d", len(c.pendingWB))
+	}
+}
+
+// Regression: a new miss that cannot place its fill request (output
+// port full) must report Blocked without leaking an MSHR or an
+// inflight entry, and the retry must succeed once the port drains.
+func TestMissBlockedOnFullOutputPort(t *testing.T) {
+	c := New(testConfig(), nil)
+	for c.Out.Push(&mem.Request{Addr: 0xF000, Kind: mem.Read}) {
+	}
+	if res := c.Access(0, 0x100, mem.Read, "w"); res != Blocked {
+		t.Fatalf("miss with full output port = %v, want blocked", res)
+	}
+	if c.PendingMisses() != 0 || len(c.inflight) != 0 {
+		t.Fatalf("blocked miss leaked state: mshrs=%d inflight=%d",
+			c.PendingMisses(), len(c.inflight))
+	}
+	for c.Out.Pop() != nil {
+	}
+	if res := c.Access(1, 0x100, mem.Read, "w"); res != Miss {
+		t.Fatalf("retry after port drained = %v, want miss", res)
+	}
+	drain(c, 2)
+	if !c.Contains(0x100) {
+		t.Fatal("line not installed after retried miss")
+	}
+}
+
+// NextWake must report "actionable now" whenever Tick would do work,
+// and NeverWake only when fully quiescent.
+func TestCacheNextWake(t *testing.T) {
+	c := New(testConfig(), nil)
+	if w := c.NextWake(7); w != mem.NeverWake {
+		t.Fatalf("idle cache NextWake = %d, want NeverWake", w)
+	}
+	c.Access(0, 0x100, mem.Read, nil)
+	if w := c.NextWake(0); w != 0 {
+		t.Fatalf("cache with queued fill NextWake = %d, want 0", w)
+	}
+	r := c.Out.Pop()
+	if w := c.NextWake(1); w != mem.NeverWake {
+		t.Fatalf("fill in flight downstream: NextWake = %d, want NeverWake (downstream covers it)", w)
+	}
+	r.Complete(2)
+	if w := c.NextWake(3); w != 3 {
+		t.Fatalf("completed fill awaiting install: NextWake = %d, want 3", w)
+	}
+	c.Tick(3)
+	if w := c.NextWake(4); w != mem.NeverWake {
+		t.Fatalf("quiescent after install: NextWake = %d, want NeverWake", w)
+	}
+	if !c.Quiet() {
+		t.Fatal("cache not Quiet after install")
+	}
+}

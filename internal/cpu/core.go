@@ -58,6 +58,10 @@ type Core struct {
 	halted     bool
 	stallUntil uint64
 	waitingMem bool
+	// sleepUntil is a voluntary park deadline (CPU cycles) set by the
+	// SysHandler (yield/vsync-wait); it extends the stall window of the
+	// in-flight sys instruction so idle loops stop burning cycles.
+	sleepUntil uint64
 
 	// codeBase is the synthetic address of the program text for L1I
 	// accesses.
@@ -128,10 +132,65 @@ func (c *Core) Reset() {
 	c.halted = false
 	c.waitingMem = false
 	c.stallUntil = 0
+	c.sleepUntil = 0
+}
+
+// SleepUntil parks the core until the given CPU cycle. It must be
+// called from inside the SysHandler: the deadline is folded into the
+// current instruction's stall window when it retires or retries.
+func (c *Core) SleepUntil(cycle uint64) { c.sleepUntil = cycle }
+
+// quiet reports whether this cycle's Tick would only burn a stall
+// cycle: the pipeline cannot issue and no cache in the hierarchy has
+// actionable work. The gate is applied unconditionally (with or
+// without idle skipping) so simulation results never depend on the
+// skip mode.
+func (c *Core) quiet(cycle uint64) bool {
+	if !(c.halted || c.waitingMem || c.stallUntil > cycle) {
+		return false
+	}
+	return c.Out.Len() == 0 &&
+		c.L1I.NextWake(cycle) > cycle &&
+		c.L1D.NextWake(cycle) > cycle &&
+		c.L2.NextWake(cycle) > cycle
+}
+
+// NextWake returns the earliest future CPU cycle at which the core's
+// state can change on its own: now when it can issue or a cache has
+// actionable work, the stall deadline when sleeping or executing a
+// multi-cycle op, and mem.NeverWake when halted or blocked on a memory
+// fill whose completion is accounted for downstream (NoC/DRAM).
+func (c *Core) NextWake(cycle uint64) uint64 {
+	if c.Out.Len() > 0 {
+		return cycle
+	}
+	w := c.L1I.NextWake(cycle)
+	if v := c.L1D.NextWake(cycle); v < w {
+		w = v
+	}
+	if v := c.L2.NextWake(cycle); v < w {
+		w = v
+	}
+	if w <= cycle {
+		return cycle
+	}
+	if c.halted || c.waitingMem {
+		return w // possibly NeverWake
+	}
+	if c.stallUntil > cycle {
+		if c.stallUntil < w {
+			w = c.stallUntil
+		}
+		return w
+	}
+	return cycle
 }
 
 // Tick advances the core one CPU cycle.
 func (c *Core) Tick(cycle uint64) {
+	if c.quiet(cycle) {
+		return
+	}
 	// Cache maintenance + miss plumbing every cycle.
 	c.L1I.Tick(cycle)
 	c.L1D.Tick(cycle)
@@ -143,8 +202,10 @@ func (c *Core) Tick(cycle uint64) {
 		if r == nil {
 			break
 		}
+		if !c.Out.Push(r) {
+			break // output port full: retry next cycle
+		}
 		c.L2.Out.Pop()
-		c.Out.Push(r)
 	}
 
 	if c.halted || c.waitingMem {
@@ -183,12 +244,10 @@ func (c *Core) drainTo(q *mem.Queue) {
 			return
 		}
 		if r.Kind == mem.Write {
-			q.Pop()
-			if res := c.L2.Access(0, r.Addr, mem.Write, nil); res == cache.Blocked {
-				// Drop-in retry: re-push at the back.
-				q.Push(r)
-				return
+			if c.L2.Access(0, r.Addr, mem.Write, nil) == cache.Blocked {
+				return // left at the front: retried next cycle
 			}
+			q.Pop()
 			r.Done = true
 			continue
 		}
@@ -293,6 +352,10 @@ func (c *Core) execute(in Instr, cycle uint64) {
 		if !done {
 			c.sysCalls.Add(-1) // retried, count once
 			c.stallUntil = cycle + 1
+			if c.sleepUntil > c.stallUntil {
+				c.stallUntil = c.sleepUntil
+			}
+			c.sleepUntil = 0
 			return
 		}
 		r[1] = ret
@@ -309,4 +372,8 @@ func (c *Core) execute(in Instr, cycle uint64) {
 	if cost > 1 {
 		c.stallUntil = cycle + cost - 1
 	}
+	if c.sleepUntil > c.stallUntil && c.sleepUntil > cycle {
+		c.stallUntil = c.sleepUntil
+	}
+	c.sleepUntil = 0
 }

@@ -353,6 +353,32 @@ func (c *Controller) tickChannel(ch *Channel, cycle uint64) {
 // Drained reports whether no requests are queued or in flight.
 func (c *Controller) Drained() bool { return c.QueuedRequests() == 0 }
 
+// NextWake returns the earliest future cycle at which the controller's
+// state can change on its own: now when any channel has queued
+// requests, the earliest in-service completion or scheduler deadline
+// otherwise, and mem.NeverWake when fully drained (with a stateless
+// scheduler).
+func (c *Controller) NextWake(cycle uint64) uint64 {
+	w := c.sched.NextWake(cycle)
+	if w <= cycle {
+		return cycle
+	}
+	for _, ch := range c.Channels {
+		if len(ch.Queue) > 0 {
+			return cycle
+		}
+		for _, r := range ch.inService {
+			if r.DoneAt <= cycle {
+				return cycle
+			}
+			if r.DoneAt < w {
+				w = r.DoneAt
+			}
+		}
+	}
+	return w
+}
+
 // RowHitRate returns rowHits / (all row outcomes) across channels.
 func (c *Controller) RowHitRate() float64 {
 	var hits, total int64

@@ -1,5 +1,7 @@
 package dram
 
+import "emerald/internal/mem"
+
 // Scheduler selects the next request a channel should service. Pick
 // returns an index into ch.Queue, or -1 to idle this cycle, and must
 // only return requests whose bank is ready (ch.BankReady) — the
@@ -9,9 +11,14 @@ package dram
 // runs concurrently for different channels, so any mutable
 // cross-channel state it touches must be commutative and atomic (see
 // sched.DASH's bandwidth tallies).
+// NextWake reports the earliest future cycle at which Tick would do
+// something (deadline-driven schedulers return their next deadline;
+// stateless ones return mem.NeverWake), letting the tick loops skip
+// quiescent stretches without missing a scheduling event.
 type Scheduler interface {
 	Pick(ch *Channel, cycle uint64) int
 	Tick(cycle uint64)
+	NextWake(cycle uint64) uint64
 	Name() string
 }
 
@@ -28,6 +35,9 @@ func (f *FRFCFS) Name() string { return "FR-FCFS" }
 
 // Tick implements Scheduler.
 func (f *FRFCFS) Tick(uint64) {}
+
+// NextWake implements Scheduler: FR-FCFS keeps no cross-cycle state.
+func (f *FRFCFS) NextWake(uint64) uint64 { return mem.NeverWake }
 
 // Pick implements Scheduler.
 func (f *FRFCFS) Pick(ch *Channel, cycle uint64) int {

@@ -23,7 +23,7 @@ import (
 
 // socStateDigest runs one Case Study I cell and hashes its observable
 // end state.
-func socStateDigest(t *testing.T, model int, cfg MemConfig, pool *par.Pool) string {
+func socStateDigest(t *testing.T, model int, cfg MemConfig, pool *par.Pool, noSkip bool) string {
 	t.Helper()
 	opt := Quick()
 	if testing.Short() {
@@ -33,6 +33,7 @@ func socStateDigest(t *testing.T, model int, cfg MemConfig, pool *par.Pool) stri
 		opt.Frames, opt.WarmupFrames = 1, 0
 	}
 	opt.Pool = pool
+	opt.NoSkip = noSkip
 	reg := stats.NewRegistry()
 	s, err := buildSoC(model, cfg, opt.RegularMbps, opt, reg)
 	if err != nil {
@@ -56,7 +57,7 @@ func socStateDigest(t *testing.T, model int, cfg MemConfig, pool *par.Pool) stri
 
 // standaloneStateDigest renders two DFSL frames on the standalone GPU
 // and hashes the observable end state.
-func standaloneStateDigest(t *testing.T, pool *par.Pool) string {
+func standaloneStateDigest(t *testing.T, pool *par.Pool, noSkip bool) string {
 	t.Helper()
 	cfg := gpu.CaseStudyIIConfig()
 	sys := gpu.NewStandalone(cfg, dram.Config{
@@ -64,6 +65,7 @@ func standaloneStateDigest(t *testing.T, pool *par.Pool) string {
 		Timing:   dram.LPDDR3Timing(1600),
 	}, nil)
 	sys.SetParallel(pool)
+	sys.SetIdleSkip(!noSkip)
 	ctx := gl.NewContext(sys.Mem(), 0x1000_0000, 256<<20)
 	ctx.Submit = func(call *gpu.DrawCall) error { return sys.GPU.SubmitDraw(call, nil) }
 	ctx.OnClearDepth = sys.GPU.ClearHiZ
@@ -126,8 +128,8 @@ func TestParallelDeterminismSoC(t *testing.T) {
 		cases = cases[:1]
 	}
 	for _, c := range cases {
-		seq := socStateDigest(t, c.model, c.cfg, nil)
-		parl := socStateDigest(t, c.model, c.cfg, pool)
+		seq := socStateDigest(t, c.model, c.cfg, nil, false)
+		parl := socStateDigest(t, c.model, c.cfg, pool, false)
 		t.Logf("%s/%s state digest: %s", modelName(c.model), c.cfg, seq)
 		if seq != parl {
 			t.Errorf("%s/%s: workers=1 digest %s != workers=4 digest %s",
@@ -141,10 +143,62 @@ func TestParallelDeterminismSoC(t *testing.T) {
 func TestParallelDeterminismStandalone(t *testing.T) {
 	pool := par.NewPool(4)
 	defer pool.Close()
-	seq := standaloneStateDigest(t, nil)
-	parl := standaloneStateDigest(t, pool)
+	seq := standaloneStateDigest(t, nil, false)
+	parl := standaloneStateDigest(t, pool, false)
 	t.Logf("standalone W3 state digest: %s", seq)
 	if seq != parl {
 		t.Errorf("workers=1 digest %s != workers=4 digest %s", seq, parl)
+	}
+}
+
+// TestSkipDeterminismSoC checks that event-driven idle cycle-skipping
+// is invisible: the complete observable end state of a run (registry
+// JSON, framebuffer, final cycle, results) must be bit-identical with
+// skipping on and off, under both the sequential and the parallel tick
+// engine. Per-component idle gating applies in both modes, so the only
+// difference the skip arm may introduce is which cycles the top-level
+// loop visits — and those must all be no-ops.
+func TestSkipDeterminismSoC(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	cases := []struct {
+		model int
+		cfg   MemConfig
+	}{
+		{geom.M2Cube, BAS},
+		{geom.M1Chair, DTB},
+	}
+	if testing.Short() {
+		cases = cases[:1]
+	}
+	for _, c := range cases {
+		for _, tc := range []struct {
+			name string
+			pool *par.Pool
+		}{{"workers1", nil}, {"workers4", pool}} {
+			skip := socStateDigest(t, c.model, c.cfg, tc.pool, false)
+			noskip := socStateDigest(t, c.model, c.cfg, tc.pool, true)
+			if skip != noskip {
+				t.Errorf("%s/%s %s: skip digest %s != no-skip digest %s",
+					modelName(c.model), c.cfg, tc.name, skip, noskip)
+			}
+		}
+	}
+}
+
+// TestSkipDeterminismStandalone is the standalone-GPU (dfsl W3)
+// counterpart of TestSkipDeterminismSoC.
+func TestSkipDeterminismStandalone(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	for _, tc := range []struct {
+		name string
+		pool *par.Pool
+	}{{"workers1", nil}, {"workers4", pool}} {
+		skip := standaloneStateDigest(t, tc.pool, false)
+		noskip := standaloneStateDigest(t, tc.pool, true)
+		if skip != noskip {
+			t.Errorf("%s: skip digest %s != no-skip digest %s", tc.name, skip, noskip)
+		}
 	}
 }

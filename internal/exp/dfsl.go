@@ -52,6 +52,7 @@ func NewCS2Renderer(scene *geom.Scene, opt Options) (*CS2Renderer, error) {
 	}
 	s.SetWatchdog(opt.WatchdogCycles)
 	s.SetParallel(opt.Pool)
+	s.SetIdleSkip(!opt.NoSkip)
 	r := &CS2Renderer{
 		S: s, Ctx: ctx, Scene: scene, Reg: reg,
 		aspect: float32(opt.CS2Width) / float32(opt.CS2Height),

@@ -78,6 +78,11 @@ type Options struct {
 	// credits) each cycle. Also enabled by EMERALD_GUARD=1 in the
 	// environment, the hook CI uses to run the test suite checked.
 	Guard bool
+
+	// NoSkip disables event-driven idle cycle-skipping in the tick
+	// loops (the -no-skip flag). Results are bit-identical either way;
+	// the escape hatch exists for perf comparison and debugging.
+	NoSkip bool
 }
 
 // guardEnv force-enables invariant checking for every harness-built
@@ -217,6 +222,7 @@ func buildSoC(model int, cfg MemConfig, dataRateMbps int, opt Options, reg *stat
 	}
 	s.SetWatchdog(opt.WatchdogCycles)
 	s.SetParallel(opt.Pool)
+	s.SetIdleSkip(!opt.NoSkip)
 	return s, nil
 }
 

@@ -255,6 +255,43 @@ func (g *GPU) coresIdle() bool {
 	return true
 }
 
+// NextWake returns the earliest future cycle at which the GPU's state
+// can change on its own. Deliberately conservative: any active or
+// queued draw or kernel reports "now" — the skip machinery only fast-
+// forwards genuinely idle GPUs (between frames, or an SoC GPU waiting
+// for the next app submission); a busy GPU's savings come from the
+// per-component idle gating instead.
+func (g *GPU) NextWake(cycle uint64) uint64 {
+	if g.draw != nil || len(g.drawQueue) > 0 || len(g.kernels) > 0 ||
+		!g.L2.Quiet() || g.Out.Len() > 0 {
+		return cycle
+	}
+	w := g.noc.NextWake(cycle)
+	if w <= cycle {
+		return cycle
+	}
+	for _, e := range g.l2Events {
+		if e.at < w {
+			w = e.at
+		}
+	}
+	for _, cl := range g.clusters {
+		if len(cl.pmrb) > 0 || cl.setup.prim != nil || cl.rast.tri != nil ||
+			len(cl.pendingFS) > 0 || !cl.tc.Drained() {
+			return cycle
+		}
+		for _, core := range cl.cores {
+			if cw := core.NextWake(cycle); cw < w {
+				w = cw
+			}
+		}
+		if w <= cycle {
+			return cycle
+		}
+	}
+	return w
+}
+
 // FragsShaded returns total fragments shaded (for progress feedback).
 func (g *GPU) FragsShaded() int64 { return g.fragsShadedC.Value() }
 
@@ -328,14 +365,18 @@ func (g *GPU) Tick(cycle uint64) {
 	g.l2Events = kept
 
 	g.L2.Tick(cycle)
-	// L2 miss/writeback traffic leaves the GPU.
+	// L2 miss/writeback traffic leaves the GPU. Pop only after the
+	// output port accepted the request — dropping a popped fill would
+	// strand its MSHR forever.
 	for {
 		r := g.L2.Out.Peek()
 		if r == nil {
 			break
 		}
+		if !g.Out.Push(r) {
+			break // output port full: retry next cycle
+		}
 		g.L2.Out.Pop()
-		g.Out.Push(r)
 	}
 
 	g.noc.Tick(cycle)
@@ -362,14 +403,18 @@ func (g *GPU) tickClusterShard(cl *cluster) {
 	cycle := g.cycle
 	for _, core := range cl.cores {
 		core.Tick(cycle)
-		// Core L1 miss traffic into the cluster's NoC port.
+		// Core L1 miss traffic into the cluster's NoC port; requests
+		// stay in the core's output queue while the port is full.
 		port := g.noc.Port(cl.id)
-		for !port.Full() {
-			r := core.Out.Pop()
+		for {
+			r := core.Out.Peek()
 			if r == nil {
 				break
 			}
-			port.Push(r)
+			if !port.Push(r) {
+				break
+			}
+			core.Out.Pop()
 		}
 	}
 	g.tickClusterGraphics(cl, cycle)

@@ -8,6 +8,7 @@ import (
 
 	"emerald/internal/dram"
 	"emerald/internal/guard"
+	"emerald/internal/mem"
 	"emerald/internal/shader"
 )
 
@@ -17,6 +18,7 @@ type deadSched struct{}
 
 func (deadSched) Pick(*dram.Channel, uint64) int { return -1 }
 func (deadSched) Tick(uint64)                    {}
+func (deadSched) NextWake(uint64) uint64         { return mem.NeverWake }
 func (deadSched) Name() string                   { return "dead" }
 
 // deadStandalone builds the test GPU over DRAM that never services a

@@ -233,12 +233,14 @@ func (g *GPU) tickSetup(cl *cluster, d *drawState, cycle uint64) {
 	}
 	// Issue remaining fetches through the cluster port.
 	port := g.noc.Port(cl.id)
-	for len(s.toIssue) > 0 && !port.Full() {
+	for len(s.toIssue) > 0 {
 		r := &mem.Request{
 			Addr: s.toIssue[0], Size: ovbRecordBytes, Kind: mem.Read,
 			Client: mem.ClientGPU, ClientID: cl.id, IssuedAt: cycle,
 		}
-		port.Push(r)
+		if !port.Push(r) {
+			break // port full: remaining fetches retry next cycle
+		}
 		s.reqs = append(s.reqs, r)
 		s.toIssue = s.toIssue[1:]
 	}

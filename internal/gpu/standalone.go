@@ -31,6 +31,14 @@ type Standalone struct {
 	guard    *guard.Checker
 	watchdog uint64
 	trace    *emtrace.Tracer
+
+	// skip enables event-driven idle cycle-skipping in RunUntilIdleCtx
+	// (on by default; the -no-skip flag clears it). skippedCycles
+	// counts cycles fast-forwarded over — a plain field, not a registry
+	// counter, so skip and no-skip runs hash to identical registry
+	// JSON.
+	skip          bool
+	skippedCycles uint64
 }
 
 // NewStandalone builds the standalone-mode system. dramCfg may omit
@@ -45,7 +53,7 @@ func NewStandalone(gpuCfg Config, dramCfg dram.Config, reg *stats.Registry) *Sta
 		dramCfg.Name = "dram"
 	}
 	d := dram.NewController(dramCfg, reg)
-	s := &Standalone{GPU: g, DRAM: d, Reg: reg}
+	s := &Standalone{GPU: g, DRAM: d, Reg: reg, skip: true}
 	s.sysNoC = interconnect.New(interconnect.Config{
 		Name: "sys_noc", Ports: 1, Latency: 8, Width: 4, Depth: 64,
 	}, d.Push, reg)
@@ -94,6 +102,36 @@ func (s *Standalone) SetParallel(p *par.Pool) {
 	s.DRAM.SetParallel(p)
 }
 
+// SetIdleSkip enables or disables event-driven idle cycle-skipping in
+// RunUntilIdleCtx. Results are bit-identical either way: skipping only
+// jumps over cycles whose component ticks are gated no-ops, and jumps
+// are clamped to the watchdog/context poll stride.
+func (s *Standalone) SetIdleSkip(on bool) { s.skip = on }
+
+// SkippedCycles returns the number of cycles fast-forwarded over by
+// idle skipping since construction.
+func (s *Standalone) SkippedCycles() uint64 { return s.skippedCycles }
+
+// NextWake returns the earliest future cycle at which any component's
+// state can change on its own (mem.NeverWake when fully quiescent).
+func (s *Standalone) NextWake() uint64 {
+	c := s.cycle
+	w := s.GPU.NextWake(c)
+	if w <= c {
+		return c
+	}
+	if v := s.sysNoC.NextWake(c); v < w {
+		w = v
+	}
+	if v := s.DRAM.NextWake(c); v < w {
+		w = v
+	}
+	if w <= c {
+		return c
+	}
+	return w
+}
+
 // Mem exposes the functional memory for asset upload.
 func (s *Standalone) Mem() *mem.Memory { return s.GPU.Mem }
 
@@ -105,12 +143,15 @@ func (s *Standalone) Tick() {
 	c := s.cycle
 	s.GPU.Tick(c)
 	port := s.sysNoC.Port(0)
-	for !port.Full() {
-		r := s.GPU.Out.Pop()
+	for {
+		r := s.GPU.Out.Peek()
 		if r == nil {
 			break
 		}
-		port.Push(r)
+		if !port.Push(r) {
+			break // port full: requests wait in GPU.Out
+		}
+		s.GPU.Out.Pop()
 	}
 	s.sysNoC.Tick(c)
 	s.DRAM.Tick(c)
@@ -153,6 +194,27 @@ func (s *Standalone) RunUntilIdleCtx(ctx context.Context, budget uint64) (uint64
 			}
 			if stalled, window := wd.Check(s.cycle, s.progressSig()); stalled {
 				return s.cycle - start, s.noProgress(window)
+			}
+		}
+		if s.skip {
+			// When no component can make progress before cycle w, jump
+			// straight there instead of ticking dead cycles. Jumps are
+			// clamped to the next 1024-cycle poll boundary (so context,
+			// guard and watchdog sampling happen on exactly the same
+			// cycles as an unskipped run) and to the budget. A fully
+			// quiescent system (w == NeverWake) with no busy work falls
+			// through to Tick so the !Busy() check below terminates.
+			if w := s.NextWake(); w > s.cycle && (w != mem.NeverWake || s.Busy()) {
+				next := (s.cycle | ctxCheckMask) + 1
+				if w < next {
+					next = w
+				}
+				if lim := start + budget; next > lim {
+					next = lim
+				}
+				s.skippedCycles += next - s.cycle
+				s.cycle = next
+				continue
 			}
 		}
 		s.Tick()

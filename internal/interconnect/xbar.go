@@ -106,6 +106,30 @@ func (x *Crossbar) Tick(cycle uint64) {
 	}
 }
 
+// NextWake returns the earliest future cycle at which the crossbar's
+// state can change on its own: now when a port has queued input or an
+// in-flight request has arrived, the earliest arrival otherwise, and
+// mem.NeverWake when empty. An idle Tick is a strict no-op (the
+// round-robin pointer advances by a full rotation), so skipped idle
+// cycles leave no trace.
+func (x *Crossbar) NextWake(cycle uint64) uint64 {
+	w := uint64(mem.NeverWake)
+	for _, f := range x.inflight {
+		if f.arrives <= cycle {
+			return cycle
+		}
+		if f.arrives < w {
+			w = f.arrives
+		}
+	}
+	for _, p := range x.ports {
+		if p.Len() > 0 {
+			return cycle
+		}
+	}
+	return w
+}
+
 // Busy reports whether any request is queued or in flight.
 func (x *Crossbar) Busy() bool {
 	if len(x.inflight) > 0 {

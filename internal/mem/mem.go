@@ -225,6 +225,12 @@ func (r *Request) Complete(cycle uint64) {
 	r.DoneAt = cycle
 }
 
+// NeverWake is the NextWake sentinel for a component that is fully
+// quiescent: no queued work, no in-flight requests, no scheduled
+// events — its state cannot change until new work arrives from
+// outside. The tick loops treat it as "no wake deadline".
+const NeverWake = ^uint64(0)
+
 // Queue is a bounded FIFO of requests. A zero-capacity queue is
 // unbounded.
 type Queue struct {

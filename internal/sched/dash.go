@@ -205,6 +205,27 @@ func (d *DASH) Tick(cycle uint64) {
 	}
 }
 
+// NextWake implements dram.Scheduler: the earliest of the three
+// periodic deadlines (urgency evaluation, switching-probability
+// update, quantum re-clustering). DASH is never fully quiescent — its
+// windows advance with wall-clock cycles — so the tick loops' idle
+// jumps are clamped to these deadlines, keeping the deadline checks
+// (and the rng draw per switching window) on exactly the same cycles
+// as an unskipped run.
+func (d *DASH) NextWake(cycle uint64) uint64 {
+	w := d.nextSchedule
+	if d.nextSwitch < w {
+		w = d.nextSwitch
+	}
+	if d.nextQuantum < w {
+		w = d.nextQuantum
+	}
+	if w <= cycle {
+		return cycle
+	}
+	return w
+}
+
 // recluster performs TCM-style clustering: cores are sorted by bandwidth
 // usage and the lowest-usage cores whose cumulative share stays within
 // ClusterFactor of the clustering total form the non-intensive cluster.

@@ -239,10 +239,63 @@ func (c *Core) Idle() bool {
 	return len(c.warps) == 0 && len(c.txQueue) == 0 && len(c.events) == 0
 }
 
+// quiet reports whether this cycle's Tick would do no work: no resident
+// warps or queued transactions, nothing in the output port, no
+// writeback event due, and no cache with actionable work. Applied
+// unconditionally (with or without idle skipping) so results never
+// depend on the skip mode.
+func (c *Core) quiet(cycle uint64) bool {
+	if len(c.warps) > 0 || len(c.txQueue) > 0 || c.Out.Len() > 0 {
+		return false
+	}
+	for _, e := range c.events {
+		if e.at <= cycle {
+			return false
+		}
+	}
+	return c.L1D.NextWake(cycle) > cycle && c.L1T.NextWake(cycle) > cycle &&
+		c.L1Z.NextWake(cycle) > cycle && c.L1C.NextWake(cycle) > cycle
+}
+
+// NextWake returns the earliest future cycle at which the core's state
+// can change on its own: now while warps or transactions are live, the
+// earliest writeback event or cache wake otherwise, mem.NeverWake when
+// fully drained. In-flight cache fills are covered downstream
+// (NoC/DRAM).
+func (c *Core) NextWake(cycle uint64) uint64 {
+	if len(c.warps) > 0 || len(c.txQueue) > 0 || c.Out.Len() > 0 {
+		return cycle
+	}
+	w := c.L1D.NextWake(cycle)
+	if v := c.L1T.NextWake(cycle); v < w {
+		w = v
+	}
+	if v := c.L1Z.NextWake(cycle); v < w {
+		w = v
+	}
+	if v := c.L1C.NextWake(cycle); v < w {
+		w = v
+	}
+	for _, e := range c.events {
+		if e.at < w {
+			w = e.at
+		}
+	}
+	if w <= cycle {
+		return cycle
+	}
+	return w
+}
+
 // Tick advances the core one cycle.
 func (c *Core) Tick(cycle uint64) {
-	c.cycles.Inc()
+	// curCycle must be stamped before the idle gate: Launch reads it
+	// for warp launch timestamps and may run later this same cycle.
 	c.curCycle = cycle
+	if c.quiet(cycle) {
+		return
+	}
+	c.cycles.Inc()
 
 	// 1. Writeback events.
 	kept := c.events[:0]
@@ -261,15 +314,20 @@ func (c *Core) Tick(cycle uint64) {
 	c.L1Z.Tick(cycle)
 	c.L1C.Tick(cycle)
 
-	// 3. Drain cache miss traffic into the core output port.
+	// 3. Drain cache miss traffic into the core output port. A request
+	// is only popped once the output port accepted it: popping first
+	// and dropping the request on a full port would leave its MSHR
+	// waiting forever.
 	for _, ca := range []*cache.Cache{c.L1D, c.L1T, c.L1Z, c.L1C} {
 		for {
 			r := ca.Out.Peek()
 			if r == nil {
 				break
 			}
+			if !c.Out.Push(r) {
+				break // output port full: retry next cycle
+			}
 			ca.Out.Pop()
-			c.Out.Push(r)
 		}
 	}
 
@@ -317,10 +375,15 @@ func (c *Core) issueTransactions(cycle uint64) {
 		tx := c.txQueue[0]
 		if tx.cache == nil {
 			// Raw store (vertex output): straight to the output port.
-			c.Out.Push(&mem.Request{
+			// The transaction stays queued if the port is full.
+			ok := c.Out.Push(&mem.Request{
 				Addr: tx.addr, Size: 16, Kind: mem.Write,
 				Client: mem.ClientGPU, ClientID: c.Cfg.ClusterID, IssuedAt: cycle,
 			})
+			if !ok {
+				c.memStalls.Inc()
+				return // in-order LSU: retry next cycle
+			}
 			c.finishTx(tx, cycle, 1)
 			c.txQueue = c.txQueue[1:]
 			n++

@@ -470,3 +470,107 @@ func TestLRRSchedulerAlsoWorks(t *testing.T) {
 		t.Fatalf("retired = %d, want 4", env.retired)
 	}
 }
+
+// runCoreSlow ticks the core against a next level that accepts at most
+// one request per cycle, keeping a bounded output port under sustained
+// backpressure. It returns every request the next level served.
+func runCoreSlow(t *testing.T, c *Core, budget uint64) []*mem.Request {
+	t.Helper()
+	var served []*mem.Request
+	for cycle := uint64(0); cycle < budget; cycle++ {
+		c.Tick(cycle)
+		if r := c.Out.Pop(); r != nil {
+			r.Complete(cycle)
+			served = append(served, r)
+		}
+		if c.Idle() && c.Out.Len() == 0 {
+			return served
+		}
+	}
+	t.Fatalf("core did not go idle within %d cycles (%d warps, %d tx queued, %d out)",
+		budget, c.ActiveWarps(), len(c.txQueue), c.Out.Len())
+	return served
+}
+
+// Regression: L1 miss traffic must never be dropped when the core
+// output port is full — a dropped fill request leaves its MSHR waiting
+// forever and hangs the owning warp. Eight warps of loads and stores
+// funnel through a single-entry port drained one request per cycle;
+// every warp must still retire and every store must land.
+func TestBoundedOutputPortNoFillLoss(t *testing.T) {
+	env := newTestEnv()
+	c := NewCore(DefaultCoreConfig(), nil)
+	c.Out = mem.NewQueue(1)
+	p := shader.MustAssemble("incr", shader.KindCompute, `
+		movs r0, %tid
+		shl  r1, r0, 2
+		iadd r2, r1, r7    ; r7 preloaded with a per-warp base address
+		ldg  r3, [r2]
+		add  r3, r3, 1.0
+		stg  [r2], r3
+		exit
+	`)
+	const warps = 8
+	for wi := 0; wi < warps; wi++ {
+		base := uint32(0x10000 + wi*0x1000)
+		for lane := 0; lane < WarpSize; lane++ {
+			env.memory.WriteF32(uint64(base)+uint64(lane)*4, float32(wi*100+lane))
+		}
+		launch(t, c, p, env, FullMask, func(lane int, th *shader.Thread) {
+			th.SetU(7, base)
+		})
+	}
+	runCoreSlow(t, c, 500000)
+	if env.retired != warps {
+		t.Fatalf("retired = %d, want %d", env.retired, warps)
+	}
+	for wi := 0; wi < warps; wi++ {
+		base := uint64(0x10000 + wi*0x1000)
+		for lane := 0; lane < WarpSize; lane++ {
+			want := float32(wi*100+lane) + 1
+			if got := env.memory.ReadF32(base + uint64(lane)*4); got != want {
+				t.Fatalf("warp %d lane %d = %v, want %v", wi, lane, got, want)
+			}
+		}
+	}
+	if n := c.L1D.PendingMisses(); n != 0 {
+		t.Fatalf("L1D MSHRs leaked: %d still pending", n)
+	}
+}
+
+// Regression: raw vertex-output stores must stay queued when the
+// output port is full instead of being dropped. The same workload run
+// against an unbounded port and a single-entry port must put the same
+// number of stores on the wire.
+func TestRawStoreBackpressureNoLoss(t *testing.T) {
+	run := func(bounded bool) int {
+		env := newTestEnv()
+		venv := &vsEnv{testEnv: env, onOut: func() {}}
+		c := NewCore(DefaultCoreConfig(), nil)
+		if bounded {
+			c.Out = mem.NewQueue(1)
+		}
+		p := shader.MustAssemble("vs", shader.KindVertex, `
+			mov r0, 1.0
+			mov r1, 2.0
+			mov r2, 3.0
+			mov r3, 4.0
+			out4 0, r0
+			exit
+		`)
+		launch(t, c, p, venv, FullMask, nil)
+		served := runCoreSlow(t, c, 100000)
+		writes := 0
+		for _, r := range served {
+			if r.Kind == mem.Write {
+				writes++
+			}
+		}
+		return writes
+	}
+	unbounded, bounded := run(false), run(true)
+	if unbounded == 0 || unbounded != bounded {
+		t.Fatalf("raw stores on the wire: unbounded=%d bounded=%d; want equal and nonzero",
+			unbounded, bounded)
+	}
+}

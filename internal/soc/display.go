@@ -135,6 +135,47 @@ func (d *Display) Tick(cycle uint64) {
 	}
 }
 
+// NextWake returns the earliest future cycle at which the display's
+// state can change on its own: now when a scan must start, a completed
+// read must retire or queued output must drain; otherwise the earlier
+// of the refresh deadline and the pace-driven next issue slot. The
+// pacing wake mirrors Tick's target arithmetic exactly (target >=
+// issued+1 ⇔ elapsed >= ceil((issued+1)*budget/totalReqs)) and is only
+// a wake source while the in-flight window has room — a full window
+// advances via request completions, which DRAM's NextWake bounds.
+func (d *Display) NextWake(cycle uint64) uint64 {
+	if d.fb.Width == 0 {
+		return mem.NeverWake
+	}
+	if d.totalReqs == 0 || d.Out.Len() > 0 {
+		return cycle
+	}
+	for _, r := range d.inflight {
+		if r.Done {
+			return cycle
+		}
+	}
+	deadline := d.frameStart + d.Period
+	if deadline <= cycle {
+		return cycle
+	}
+	wake := deadline
+	if d.issued < d.totalReqs && len(d.inflight) < 8 {
+		budget := d.Period * 9 / 10
+		if budget == 0 {
+			budget = 1
+		}
+		e := (uint64(d.issued+1)*budget + uint64(d.totalReqs) - 1) / uint64(d.totalReqs)
+		if t := d.frameStart + e; t < wake {
+			wake = t
+		}
+	}
+	if wake <= cycle {
+		return cycle
+	}
+	return wake
+}
+
 func (d *Display) beginScan(cycle uint64) {
 	d.totalReqs = (d.fb.SizeBytes() + int(d.reqBytes) - 1) / int(d.reqBytes)
 	d.issued = 0

@@ -8,6 +8,7 @@ import (
 
 	"emerald/internal/dram"
 	"emerald/internal/guard"
+	"emerald/internal/mem"
 )
 
 // deadSched never issues a DRAM request — the injected deadlock the
@@ -16,6 +17,7 @@ type deadSched struct{}
 
 func (deadSched) Pick(*dram.Channel, uint64) int { return -1 }
 func (deadSched) Tick(uint64)                    {}
+func (deadSched) NextWake(uint64) uint64         { return mem.NeverWake }
 func (deadSched) Name() string                   { return "dead" }
 
 // A SoC whose DRAM never services anything wedges during CPU boot; the

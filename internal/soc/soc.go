@@ -161,6 +161,14 @@ type SoC struct {
 	// forward-progress window in cycles (0 = off).
 	guard    *guard.Checker
 	watchdog uint64
+
+	// skip enables event-driven idle cycle-skipping in RunCtx (on by
+	// default; the -no-skip flag clears it). skippedCycles counts
+	// cycles fast-forwarded over — a plain field, not a registry
+	// counter, so skip and no-skip runs hash to identical registry
+	// JSON.
+	skip          bool
+	skippedCycles uint64
 }
 
 // noSysStart marks "no blocked syscall pending" in SoC.sysStart.
@@ -178,7 +186,7 @@ func New(cfg Config, reg *stats.Registry) (*SoC, error) {
 		return nil, fmt.Errorf("soc: need at least one CPU")
 	}
 	memory := mem.NewMemory()
-	s := &SoC{Cfg: cfg, Reg: reg, Mem: memory, backIsA: true}
+	s := &SoC{Cfg: cfg, Reg: reg, Mem: memory, backIsA: true, skip: true}
 
 	s.GPU = gpu.New(cfg.GPU, memory, reg)
 	s.DRAM = dram.NewController(cfg.DRAM, reg)
@@ -414,18 +422,31 @@ func (s *SoC) syscallImpl(c *cpu.Core, code int32) (uint32, bool) {
 		return 1, true
 
 	case cpu.SysWaitVsync:
-		// Block until the next app-frame boundary.
+		// Block until the next app-frame boundary. The core is parked
+		// until the system cycle just before the boundary (in its own
+		// clock domain), where this handler retries and completes — no
+		// per-cycle spinning in between.
 		next := (s.cycle/s.Cfg.AppPeriod + 1) * s.Cfg.AppPeriod
 		if s.cycle < next-1 {
+			c.SleepUntil((next - 1) * uint64(s.Cfg.CPUClockMult))
 			return 0, false
 		}
 		return 0, true
 
 	case cpu.SysYield:
+		// Yielding burns the rest of the scheduling quantum: park the
+		// core until the next quantum boundary instead of spinning
+		// through the idle loop cycle by cycle.
+		next := (s.cycle/yieldQuantum + 1) * yieldQuantum
+		c.SleepUntil(next * uint64(s.Cfg.CPUClockMult))
 		return 0, true
 	}
 	return 0, true
 }
+
+// yieldQuantum is the scheduling quantum (in system cycles) a yielding
+// task gives up: sys_yield parks the core until the next boundary.
+const yieldQuantum = 64
 
 // submitFrame issues the frame's GL commands and arms the fence.
 func (s *SoC) submitFrame() {
@@ -478,6 +499,63 @@ func (s *SoC) completeFrame() {
 // Cycle returns the current system cycle.
 func (s *SoC) Cycle() uint64 { return s.cycle }
 
+// SetIdleSkip enables or disables event-driven idle cycle-skipping in
+// RunCtx. Results are bit-identical either way: skipping only jumps
+// over cycles whose component ticks are gated no-ops, and jumps are
+// clamped to the watchdog/context poll stride.
+func (s *SoC) SetIdleSkip(on bool) { s.skip = on }
+
+// SkippedCycles returns the number of cycles fast-forwarded over by
+// idle skipping since construction.
+func (s *SoC) SkippedCycles() uint64 { return s.skippedCycles }
+
+// NextWake returns the earliest future system cycle at which any
+// component's state can change on its own: mem.NeverWake when the
+// whole system is quiescent, the current cycle when any component has
+// actionable work (in which case the tick loop must not skip).
+func (s *SoC) NextWake() uint64 {
+	c := s.cycle
+	if s.fenceBusy && !s.GPU.Busy() {
+		return c // fence resolution pending
+	}
+	mult := uint64(s.Cfg.CPUClockMult)
+	w := uint64(mem.NeverWake)
+	for _, core := range s.CPUs {
+		cw := core.NextWake(c * mult)
+		if cw != mem.NeverWake {
+			cw /= mult // CPU clock domain -> system cycles (floor)
+		}
+		if cw < w {
+			w = cw
+		}
+		if w <= c {
+			return c
+		}
+	}
+	if v := s.Display.NextWake(c); v < w {
+		w = v
+	}
+	if s.GPU.Out.Len() > 0 {
+		return c
+	}
+	if v := s.GPU.NextWake(c); v < w {
+		w = v
+	}
+	if v := s.noc.NextWake(c); v < w {
+		w = v
+	}
+	if v := s.DRAM.NextWake(c); v < w {
+		w = v
+	}
+	if s.Cfg.DASH != nil && s.nextDashFeedback < w {
+		w = s.nextDashFeedback
+	}
+	if w <= c {
+		return c
+	}
+	return w
+}
+
 // tickCPUShard advances CPU core i at its clock multiple and drains
 // its outbound requests into its private NoC ingress port. The shard
 // owns the core, its L1, and port i exclusively; core 0's syscalls may
@@ -490,12 +568,15 @@ func (s *SoC) tickCPUShard(i int) {
 		core.Tick(c*uint64(s.Cfg.CPUClockMult) + uint64(m))
 	}
 	port := s.noc.Port(i)
-	for !port.Full() {
-		r := core.Out.Pop()
+	for {
+		r := core.Out.Peek()
 		if r == nil {
 			break
 		}
-		port.Push(r)
+		if !port.Push(r) {
+			break // port full: requests wait in the core's out queue
+		}
+		core.Out.Pop()
 	}
 }
 
@@ -508,12 +589,15 @@ func (s *SoC) tickDisplayShard() {
 	c := s.cycle
 	s.Display.Tick(c)
 	dport := s.noc.Port(s.Cfg.NumCPUs + 1)
-	for !dport.Full() {
-		r := s.Display.Out.Pop()
+	for {
+		r := s.Display.Out.Peek()
 		if r == nil {
 			break
 		}
-		dport.Push(r)
+		if !dport.Push(r) {
+			break // port full: scan-out reads wait in Display.Out
+		}
+		s.Display.Out.Pop()
 	}
 }
 
@@ -542,12 +626,15 @@ func (s *SoC) Tick() {
 	// GPU.
 	s.GPU.Tick(c)
 	gport := s.noc.Port(s.Cfg.NumCPUs)
-	for !gport.Full() {
-		r := s.GPU.Out.Pop()
+	for {
+		r := s.GPU.Out.Peek()
 		if r == nil {
 			break
 		}
-		gport.Push(r)
+		if !gport.Push(r) {
+			break // port full: requests wait in GPU.Out
+		}
+		s.GPU.Out.Pop()
 	}
 
 	s.noc.Tick(c)
@@ -609,6 +696,25 @@ func (s *SoC) RunCtx(ctx context.Context, budget uint64) error {
 			}
 			if stalled, window := wd.Check(s.cycle, s.progressSig()); stalled {
 				return s.noProgress(window)
+			}
+		}
+		if s.skip {
+			// When no component can make progress before cycle w, jump
+			// straight there instead of ticking dead cycles. Jumps are
+			// clamped to the next 1024-cycle poll boundary (so context,
+			// guard and watchdog sampling happen on exactly the same
+			// cycles as an unskipped run) and to the budget.
+			if w := s.NextWake(); w > s.cycle && w != mem.NeverWake {
+				next := (s.cycle | ctxCheckMask) + 1
+				if w < next {
+					next = w
+				}
+				if lim := start + budget; next > lim {
+					next = lim
+				}
+				s.skippedCycles += next - s.cycle
+				s.cycle = next
+				continue
 			}
 		}
 		s.Tick()

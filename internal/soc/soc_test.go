@@ -1,6 +1,10 @@
 package soc
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+
 	"testing"
 
 	"emerald/internal/dram"
@@ -186,4 +190,47 @@ func TestDisplayMeetsDeadlineWithFastMemory(t *testing.T) {
 
 func testSurface() gfx.Surface {
 	return gfx.Surface{Base: 0x8000_0000, Width: 64, Height: 64}
+}
+
+// TestIdleSkipPreservesResults runs the same SoC with and without
+// event-driven idle cycle-skipping and demands a bit-identical end
+// state (every counter, every framebuffer byte, the final cycle),
+// while the skipping run must actually have jumped over idle cycles:
+// the display-paced workload leaves long gaps between bursts.
+func TestIdleSkipPreservesResults(t *testing.T) {
+	run := func(skip bool) (*SoC, string) {
+		cfg := smallConfig(t)
+		s, err := New(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetIdleSkip(skip)
+		if err := s.Run(30_000_000); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.Reg.DumpJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fb := make([]byte, 3*cfg.Width*cfg.Height*4)
+		s.Mem.Read(0x8000_0000, fb)
+		h := sha256.New()
+		h.Write(buf.Bytes())
+		h.Write(fb)
+		fmt.Fprintf(h, "cycle=%d", s.Cycle())
+		return s, fmt.Sprintf("%x", h.Sum(nil))
+	}
+	skipped, dSkip := run(true)
+	full, dFull := run(false)
+	if dSkip != dFull {
+		t.Errorf("idle skipping changed the observable end state: %s != %s", dSkip, dFull)
+	}
+	if skipped.SkippedCycles() == 0 {
+		t.Error("skipping run jumped over zero cycles on an idle-heavy workload")
+	}
+	if full.SkippedCycles() != 0 {
+		t.Errorf("no-skip run reports %d skipped cycles", full.SkippedCycles())
+	}
+	t.Logf("skipped %d of %d cycles (%.1f%%)", skipped.SkippedCycles(), skipped.Cycle(),
+		100*float64(skipped.SkippedCycles())/float64(skipped.Cycle()))
 }

@@ -17,6 +17,10 @@ type ExecConfig struct {
 	Watchdog uint64
 	// Guard attaches the microarchitectural invariant checker.
 	Guard bool
+	// NoSkip disables event-driven idle cycle-skipping in the tick
+	// loops (results are identical either way, so skip mode is — like
+	// Workers — excluded from the result cache key).
+	NoSkip bool
 }
 
 // Executor returns the built-in executor with the given hardening.
@@ -44,6 +48,7 @@ func execute(ctx context.Context, spec Spec, cfg ExecConfig) (*Result, error) {
 	opt.Ctx = ctx
 	opt.WatchdogCycles = cfg.Watchdog
 	opt.Guard = cfg.Guard
+	opt.NoSkip = cfg.NoSkip
 	if spec.Workers > 1 {
 		pool := par.NewPool(spec.Workers)
 		defer pool.Close()

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Benchmark recorder for event-driven idle cycle-skipping: runs the
+# idle-heavy display-paced SoC pair (skipping on vs the -no-skip arm)
+# plus BenchmarkFrameW3, the busy-loop guard that must stay within 2%
+# of the seed when skipping never fires, and records the results as
+# JSON in BENCH_skip.json so the speedup (and any hot-path regression)
+# shows up in review diffs. Results are bit-identical between the two
+# arms — see TestSkipDeterminismSoC/Standalone. Run from the
+# repository root:
+#
+#	scripts/bench_skip.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_skip.json
+raw=$(go test -run '^$' -bench 'BenchmarkSoCIdleSkip$|BenchmarkSoCIdleNoSkip$|BenchmarkFrameW3$' \
+	-benchtime=5x -count=1 .)
+echo "$raw"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
+	BEGIN {
+		printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, gover
+		n = 0
+	}
+	$1 ~ /^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		if (n++) printf ","
+		printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
+		for (i = 5; i < NF; i += 2) {
+			if ($(i+1) == "skipped_%") printf ", \"skipped_pct\": %s", $i
+		}
+		printf "}"
+		if (name == "BenchmarkSoCIdleSkip") skip = $3
+		if (name == "BenchmarkSoCIdleNoSkip") noskip = $3
+	}
+	END {
+		printf "\n  ]"
+		if (skip > 0 && noskip > 0) printf ",\n  \"idle_speedup\": %.2f", noskip / skip
+		printf "\n}\n"
+	}
+' >"$out"
+echo "wrote $out"

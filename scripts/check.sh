@@ -26,14 +26,29 @@ echo "== go vet =="
 go vet ./...
 echo "ok"
 
+echo "== backpressure contract (no ignored Push results) =="
+# Queue.Push and Controller.Push return false when the queue is full —
+# and drop nothing. Calling Push in statement position discards that
+# answer and silently loses the request under backpressure (the
+# MSHR-hang bug class fixed in the silent-drop PR). Every push must
+# check the result: `if !q.Push(r) { retry }`, or pop only after the
+# downstream accepted (`Peek` / `Push` / `Pop`).
+bad=$(grep -rn --include='*.go' -E '^[[:space:]]*[A-Za-z0-9_.]+\.Push\(' internal/ cmd/ | grep -v '_test\.go' || true)
+if [ -n "$bad" ]; then
+	echo "FAIL: Push result ignored (request dropped under backpressure):" >&2
+	echo "$bad" >&2
+	exit 1
+fi
+echo "ok"
+
 echo "== go test =="
 go test ./...
 
 echo "== go test -race (short) =="
 go test -race -short ./...
 
-echo "== parallel determinism (workers 1 vs 4) =="
-go test -count=1 -run TestParallelDeterminism ./internal/exp
+echo "== determinism (workers 1 vs 4, skip vs no-skip) =="
+go test -count=1 -run 'TestParallelDeterminism|TestSkipDeterminism' ./internal/exp
 
 echo "== parallel speedup guard =="
 cores=$(nproc 2>/dev/null || echo 1)
