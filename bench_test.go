@@ -23,6 +23,7 @@ import (
 	"emerald/internal/gpu"
 	"emerald/internal/par"
 	"emerald/internal/soc"
+	"emerald/internal/telemetry"
 )
 
 var benchOpt = exp.Quick()
@@ -493,6 +494,17 @@ func BenchmarkFrameW1(b *testing.B) {
 	benchmarkFrame(b, geom.W1Sibenik)
 }
 
+// BenchmarkFrameW3Telemetry is BenchmarkFrameW3 with a live telemetry
+// probe attached — the overhead guard for the observability plane
+// (scripts/check.sh pairs it against BenchmarkFrameW3 and demands the
+// sampling cost stays within the 2% budget). The probe publishes one
+// snapshot per 1024-cycle stride poll; results are bit-identical to the
+// unprobed run (TestTelemetryDigestInvariance), only wall clock can
+// change.
+func BenchmarkFrameW3Telemetry(b *testing.B) {
+	benchmarkFrameProbe(b, geom.W3Cube, telemetry.NewProbe())
+}
+
 // BenchmarkFrameW3Par4 is BenchmarkFrameW3 on the parallel tick engine
 // with 4 workers — the speedup guard for the -workers flag
 // (scripts/check.sh demands >= 1.5x over the sequential run). Results
@@ -503,16 +515,29 @@ func BenchmarkFrameW3Par4(b *testing.B) {
 
 func benchmarkFrame(b *testing.B, workload int) {
 	b.Helper()
-	benchmarkFrameWorkers(b, workload, 1)
+	benchmarkFrameOpts(b, workload, 1, nil)
 }
 
 func benchmarkFrameWorkers(b *testing.B, workload, workers int) {
+	b.Helper()
+	benchmarkFrameOpts(b, workload, workers, nil)
+}
+
+func benchmarkFrameProbe(b *testing.B, workload int, probe *telemetry.Probe) {
+	b.Helper()
+	benchmarkFrameOpts(b, workload, 1, probe)
+}
+
+func benchmarkFrameOpts(b *testing.B, workload, workers int, probe *telemetry.Probe) {
 	b.Helper()
 	sys := NewStandaloneGPU(nil)
 	if workers > 1 {
 		pool := par.NewPool(workers)
 		defer pool.Close()
 		sys.SetParallel(pool)
+	}
+	if probe != nil {
+		sys.SetProbe(probe)
 	}
 	ctx := NewGL(sys)
 	scene, err := geom.DFSLWorkload(workload)

@@ -15,10 +15,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"emerald/internal/emtrace"
 	"emerald/internal/exp"
 	"emerald/internal/par"
+	"emerald/internal/stats"
+	"emerald/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +35,8 @@ func main() {
 	watchdog := flag.Uint64("watchdog", 0, "abort after this many cycles without forward progress, with a diagnostic dump (0 = off)")
 	guard := flag.Bool("guard", false, "run cycle-level microarchitectural invariant checks (MSHR leaks, SIMT stack balance, DRAM/NoC legality)")
 	noSkip := flag.Bool("no-skip", false, "disable event-driven idle cycle-skipping (results are identical; for perf comparison/debugging)")
+	statsJSON := flag.String("stats-json", "", "write all counters and distributions as JSON to this file")
+	progress := flag.Bool("progress", false, "print a live progress line to stderr every second (cycle, draws, sim rate, skip ratio)")
 	flag.Parse()
 
 	switch *fig {
@@ -57,6 +62,14 @@ func main() {
 		tr.SetStart(*traceStart)
 		tr.SetFrameLimit(*traceFrames)
 		opt.Trace = tr
+	}
+	if *statsJSON != "" {
+		opt.Stats = stats.NewRegistry()
+	}
+	if *progress {
+		opt.Probe = telemetry.NewProbe()
+		stop := telemetry.StartTicker(os.Stderr, opt.Probe, "dfsl: ", time.Second)
+		defer stop()
 	}
 	var ws []int
 	if *workloads != "" {
@@ -95,6 +108,13 @@ func main() {
 		check(tr.WriteChromeJSON(f))
 		check(f.Close())
 		fmt.Printf("wrote %s (%d events, %d dropped)\n", *traceFile, tr.Len(), tr.Dropped())
+	}
+	if *statsJSON != "" {
+		f, err := os.Create(*statsJSON)
+		check(err)
+		check(opt.Stats.DumpJSON(f))
+		check(f.Close())
+		fmt.Println("wrote", *statsJSON)
 	}
 }
 

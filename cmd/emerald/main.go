@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"emerald/internal/emtrace"
 	"emerald/internal/geom"
@@ -23,6 +24,7 @@ import (
 	"emerald/internal/par"
 	"emerald/internal/shader"
 	"emerald/internal/stats"
+	"emerald/internal/telemetry"
 )
 
 // options carries the run configuration from flags.
@@ -37,6 +39,7 @@ type options struct {
 	watchdog                   uint64
 	guard                      bool
 	noSkip                     bool
+	progress                   bool
 }
 
 func main() {
@@ -56,6 +59,7 @@ func main() {
 	flag.Uint64Var(&opt.watchdog, "watchdog", 0, "abort after this many cycles without forward progress, with a diagnostic dump (0 = off)")
 	flag.BoolVar(&opt.guard, "guard", false, "run cycle-level microarchitectural invariant checks (MSHR leaks, SIMT stack balance, DRAM/NoC legality)")
 	flag.BoolVar(&opt.noSkip, "no-skip", false, "disable event-driven idle cycle-skipping (results are identical; for perf comparison/debugging)")
+	flag.BoolVar(&opt.progress, "progress", false, "print a live progress line to stderr every second (cycle, frames, sim rate, skip ratio)")
 	disasm := flag.String("disasm", "", "disassemble a built-in shader by name (e.g. vs_transform) and exit")
 	flag.Parse()
 
@@ -108,6 +112,12 @@ func run(opt options) error {
 	}
 	s.SetWatchdog(opt.watchdog)
 	s.SetIdleSkip(!opt.noSkip)
+	if opt.progress {
+		probe := telemetry.NewProbe()
+		s.SetProbe(probe)
+		stop := telemetry.StartTicker(os.Stderr, probe, "emerald: ", time.Second)
+		defer stop()
+	}
 	ctx := gl.NewContext(s.Mem(), 0x1000_0000, 256<<20)
 	ctx.Submit = func(call *gpu.DrawCall) error { return s.GPU.SubmitDraw(call, nil) }
 	ctx.OnClearDepth = s.GPU.ClearHiZ

@@ -9,8 +9,10 @@
 //	emeraldd -addr 127.0.0.1:8321 -cache .emerald-cache
 //	emeraldd -addr 127.0.0.1:0 -jobs 4 -job-timeout 10m
 //
-// API: POST /jobs, GET /jobs/{id}, DELETE /jobs/{id}, GET
-// /results/{key}, GET /metrics, GET /healthz{,/live,/ready}.
+// API: POST /jobs, GET /jobs/{id}, GET /jobs/{id}/diag, DELETE
+// /jobs/{id}, GET /results/{key}, GET /metrics (JSON, or prometheus
+// text exposition via Accept), GET /healthz{,/live,/ready}, and — with
+// -pprof — GET /debug/pprof/.
 //
 // Crash safety: accepted jobs are recorded in a write-ahead journal
 // (fsynced before POST /jobs acknowledges) and requeued on restart, so
@@ -51,6 +53,7 @@ func main() {
 	watchdog := flag.Uint64("watchdog", 5_000_000, "abort a job's simulation after this many cycles without forward progress (0 disables)")
 	guardOn := flag.Bool("guard", false, "run cycle-level microarchitectural invariant checks in every job")
 	noSkip := flag.Bool("no-skip", false, "disable event-driven idle cycle-skipping in every job (results are identical; for perf comparison/debugging)")
+	pprofOn := flag.Bool("pprof", false, "mount Go profiler endpoints under /debug/pprof/ (off by default; exposes process internals)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -66,6 +69,7 @@ func main() {
 		jobs: *jobs, queue: *queue,
 		jobTimeout: *jobTimeout, retries: *retries, drainTimeout: *drainTimeout,
 		watchdog: *watchdog, guard: *guardOn, noSkip: *noSkip,
+		pprof: *pprofOn,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "emeraldd:", err)
@@ -81,6 +85,7 @@ type daemonConfig struct {
 	watchdog                 uint64
 	guard                    bool
 	noSkip                   bool
+	pprof                    bool
 }
 
 func run(cfg daemonConfig) error {
@@ -122,7 +127,9 @@ func run(cfg daemonConfig) error {
 		fmt.Fprintf(os.Stderr, "emeraldd: recovered %d incomplete job(s) from journal (%d requeued, %d already cached)\n",
 			len(pending), requeued, cached)
 	}
-	srv := &http.Server{Handler: sweep.NewServer(runner, store).Handler()}
+	api := sweep.NewServer(runner, store)
+	api.Pprof = cfg.pprof
+	srv := &http.Server{Handler: api.Handler()}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

@@ -14,11 +14,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"emerald/internal/emtrace"
 	"emerald/internal/exp"
 	"emerald/internal/par"
 	"emerald/internal/stats"
+	"emerald/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 	watchdog := flag.Uint64("watchdog", 0, "abort after this many cycles without forward progress, with a diagnostic dump (0 = off)")
 	guard := flag.Bool("guard", false, "run cycle-level microarchitectural invariant checks (MSHR leaks, SIMT stack balance, DRAM/NoC legality)")
 	noSkip := flag.Bool("no-skip", false, "disable event-driven idle cycle-skipping (results are identical; for perf comparison/debugging)")
+	progress := flag.Bool("progress", false, "print a live progress line to stderr every second (cycle, frames, sim rate, skip ratio)")
 	flag.Parse()
 
 	switch *fig {
@@ -61,6 +64,11 @@ func main() {
 	}
 	if *statsJSON != "" {
 		opt.Stats = stats.NewRegistry()
+	}
+	if *progress {
+		opt.Probe = telemetry.NewProbe()
+		stop := telemetry.StartTicker(os.Stderr, opt.Probe, "memstudy: ", time.Second)
+		defer stop()
 	}
 	var ms []int
 	if *models != "" {

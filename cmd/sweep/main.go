@@ -44,6 +44,7 @@ func main() {
 	workers := flag.Int("workers", 0, "per-job tick-engine workers (0 = daemon default; results are identical)")
 	poll := flag.Duration("poll", 100*time.Millisecond, "job poll interval")
 	timeout := flag.Duration("timeout", 30*time.Minute, "overall sweep deadline")
+	progress := flag.Bool("progress", false, "print live progress lines for running cells to stderr every second")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -73,6 +74,10 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	c := &sweep.Client{Base: strings.TrimRight(*addr, "/")}
+	if *progress {
+		stop := startProgress(ctx, c, time.Second)
+		defer stop()
+	}
 	start := time.Now()
 	fs, err := sweep.RunFigures(ctx, c, req, *poll)
 	if err != nil {
@@ -89,6 +94,40 @@ func main() {
 		fs.CacheHits(), len(fs.Jobs),
 		100*float64(fs.CacheHits())/float64(max(len(fs.Jobs), 1)),
 		len(fs.Figures), time.Since(start).Round(time.Millisecond))
+}
+
+// startProgress polls the daemon's job list and prints one live status
+// line per running cell to stderr (the telemetry snapshots the run
+// loops publish at their stride polls). Stop waits for the goroutine
+// so the last lines land before the cache summary.
+func startProgress(ctx context.Context, c *sweep.Client, every time.Duration) (stop func()) {
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				jobs, err := c.Jobs(ctx)
+				if err != nil {
+					continue // transient poll failure; the sweep itself will surface real errors
+				}
+				for _, j := range jobs {
+					if j.State == sweep.JobRunning && j.Progress != nil {
+						fmt.Fprintf(os.Stderr, "sweep: %s %s %s\n",
+							j.ID, j.Spec, j.Progress.Line())
+					}
+				}
+			}
+		}
+	}()
+	return func() { close(quit); <-done }
 }
 
 // splitList splits a comma-separated flag value, trimming blanks.

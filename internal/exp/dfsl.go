@@ -33,9 +33,16 @@ type CS2Renderer struct {
 	ctx    context.Context
 }
 
-// NewCS2Renderer builds the standalone system for one workload.
+// NewCS2Renderer builds the standalone system for one workload. When
+// opt.Stats is set the system publishes its counters there (cmd/dfsl's
+// -stats-json); per-figure delta math (Fig18's miss sums) subtracts a
+// baseline around each measured frame, so a registry shared across
+// sequential systems stays correct.
 func NewCS2Renderer(scene *geom.Scene, opt Options) (*CS2Renderer, error) {
-	reg := stats.NewRegistry()
+	reg := opt.Stats
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
 	s := gpu.NewStandalone(gpu.CaseStudyIIConfig(), dram.Config{
 		Geometry: dram.LPDDR3Geometry(4),
 		Timing:   dram.LPDDR3Timing(1600),
@@ -53,6 +60,7 @@ func NewCS2Renderer(scene *geom.Scene, opt Options) (*CS2Renderer, error) {
 	s.SetWatchdog(opt.WatchdogCycles)
 	s.SetParallel(opt.Pool)
 	s.SetIdleSkip(!opt.NoSkip)
+	s.SetProbe(opt.Probe)
 	r := &CS2Renderer{
 		S: s, Ctx: ctx, Scene: scene, Reg: reg,
 		aspect: float32(opt.CS2Width) / float32(opt.CS2Height),

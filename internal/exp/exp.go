@@ -20,6 +20,7 @@ import (
 	"emerald/internal/sched"
 	"emerald/internal/soc"
 	"emerald/internal/stats"
+	"emerald/internal/telemetry"
 )
 
 // Options scales the experiments. Quick() keeps the benchmark suite in
@@ -83,6 +84,14 @@ type Options struct {
 	// loops (the -no-skip flag). Results are bit-identical either way;
 	// the escape hatch exists for perf comparison and debugging.
 	NoSkip bool
+
+	// Probe, when non-nil, is attached to every system the harness
+	// builds: the run loops publish live progress snapshots to it at
+	// their 1024-cycle stride polls and serve its on-demand diagnostic
+	// requests (the sweep service's per-job progress and /diag, the
+	// CLIs' -progress tickers). Telemetry is read-only — results are
+	// bit-identical with or without a probe.
+	Probe *telemetry.Probe
 }
 
 // guardEnv force-enables invariant checking for every harness-built
@@ -223,6 +232,7 @@ func buildSoC(model int, cfg MemConfig, dataRateMbps int, opt Options, reg *stat
 	s.SetWatchdog(opt.WatchdogCycles)
 	s.SetParallel(opt.Pool)
 	s.SetIdleSkip(!opt.NoSkip)
+	s.SetProbe(opt.Probe)
 	return s, nil
 }
 

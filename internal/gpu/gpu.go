@@ -295,6 +295,9 @@ func (g *GPU) NextWake(cycle uint64) uint64 {
 // FragsShaded returns total fragments shaded (for progress feedback).
 func (g *GPU) FragsShaded() int64 { return g.fragsShadedC.Value() }
 
+// DrawsDone returns total draw calls retired (for telemetry).
+func (g *GPU) DrawsDone() int64 { return g.drawsDone.Value() }
+
 // DrawProgress estimates the active draw's completion fraction in
 // [0,1] — the feedback DASH consumes.
 func (g *GPU) DrawProgress() float64 {

@@ -11,6 +11,7 @@ import (
 	"emerald/internal/mem"
 	"emerald/internal/par"
 	"emerald/internal/stats"
+	"emerald/internal/telemetry"
 )
 
 // Standalone wires a GPU directly to a DRAM controller — the paper's
@@ -39,6 +40,11 @@ type Standalone struct {
 	// JSON.
 	skip          bool
 	skippedCycles uint64
+
+	// probe, when armed via SetProbe, receives a progress snapshot at
+	// every 1024-cycle stride poll in RunUntilIdleCtx. Read-only
+	// telemetry: attaching one cannot change results.
+	probe *telemetry.Probe
 }
 
 // NewStandalone builds the standalone-mode system. dramCfg may omit
@@ -107,6 +113,13 @@ func (s *Standalone) SetParallel(p *par.Pool) {
 // jumps over cycles whose component ticks are gated no-ops, and jumps
 // are clamped to the watchdog/context poll stride.
 func (s *Standalone) SetIdleSkip(on bool) { s.skip = on }
+
+// SetProbe attaches a telemetry probe: RunUntilIdleCtx publishes a
+// progress snapshot to it at every stride poll and serves its
+// on-demand diagnostic requests. nil detaches. The probe reads
+// monotone counters only, so results are bit-identical with or without
+// one attached.
+func (s *Standalone) SetProbe(p *telemetry.Probe) { s.probe = p }
 
 // SkippedCycles returns the number of cycles fast-forwarded over by
 // idle skipping since construction.
@@ -195,6 +208,9 @@ func (s *Standalone) RunUntilIdleCtx(ctx context.Context, budget uint64) (uint64
 			if stalled, window := wd.Check(s.cycle, s.progressSig()); stalled {
 				return s.cycle - start, s.noProgress(window)
 			}
+			if s.probe != nil {
+				s.probe.Publish(s.telemetrySample(), s.captureDiag)
+			}
 		}
 		if s.skip {
 			// When no component can make progress before cycle w, jump
@@ -231,14 +247,44 @@ func (s *Standalone) progressSig() uint64 {
 	return s.GPU.Progress() + uint64(s.DRAM.TotalBytes())
 }
 
-// noProgress builds the watchdog abort with its diagnostic bundle.
-func (s *Standalone) noProgress(window uint64) error {
+// diagnose builds the diagnostic bundle for a watchdog abort (window >
+// 0) or an on-demand telemetry snapshot of a healthy run (window 0).
+func (s *Standalone) diagnose(window uint64) guard.Diag {
 	d := guard.Diag{Cycle: s.cycle, Window: window}
 	s.GPU.Diagnose(&d, s.cycle)
 	d.Add("sys_noc", s.sysNoC.Diagnose(s.cycle))
 	d.Add("dram", s.DRAM.Diagnose(s.cycle))
 	d.Add("emtrace tail", s.trace.TailLines(16))
-	return &guard.NoProgressError{Diag: d}
+	return d
+}
+
+// noProgress builds the watchdog abort carrying the bundle.
+func (s *Standalone) noProgress(window uint64) error {
+	return &guard.NoProgressError{Diag: s.diagnose(window)}
+}
+
+// captureDiag serves the probe's on-demand diagnostic requests on the
+// simulation goroutine at a stride poll, where state is quiescent.
+func (s *Standalone) captureDiag() *guard.Diag {
+	d := s.diagnose(0)
+	return &d
+}
+
+// telemetrySample snapshots the monotone progress counters for the
+// probe. Standalone runs have no frame target (they run until idle),
+// so FramesTarget stays 0 and FramesDone counts retired draws.
+func (s *Standalone) telemetrySample() telemetry.Sample {
+	draws := s.GPU.DrawsDone()
+	return telemetry.Sample{
+		Cycle:         s.cycle,
+		FramesDone:    int(draws),
+		SkippedCycles: s.skippedCycles,
+		Components: telemetry.Components{
+			GPUWork:       int64(s.GPU.Progress()),
+			DRAMBytes:     s.DRAM.TotalBytes(),
+			FramesRetired: draws,
+		},
+	}
 }
 
 // RenderDraw submits one draw call and runs it to completion, returning

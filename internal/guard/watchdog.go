@@ -37,16 +37,19 @@ func ClampWindow(n uint64) uint64 {
 // Section is one titled block of a diagnostic bundle, e.g. the per-warp
 // state of a single SIMT core or a DRAM channel's queue occupancy.
 type Section struct {
-	Title string
-	Lines []string
+	Title string   `json:"title"`
+	Lines []string `json:"lines"`
 }
 
 // Diag is the structured diagnostic bundle attached to a watchdog
-// abort: a snapshot of where every layer of the machine was stuck.
+// abort — a snapshot of where every layer of the machine was stuck —
+// and, since the telemetry plane landed, also captured on demand from
+// live healthy runs (GET /jobs/{id}/diag), which is why it carries
+// JSON tags.
 type Diag struct {
-	Cycle    uint64 // cycle at which the hang was declared
-	Window   uint64 // cycles without observed progress
-	Sections []Section
+	Cycle    uint64    `json:"cycle"`  // cycle at which the bundle was captured
+	Window   uint64    `json:"window"` // cycles without observed progress (0 = on-demand, not a hang)
+	Sections []Section `json:"sections"`
 }
 
 // Add appends a section, dropping empty ones so bundles stay readable.

@@ -19,6 +19,7 @@ import (
 	"emerald/internal/sched"
 	"emerald/internal/shader"
 	"emerald/internal/stats"
+	"emerald/internal/telemetry"
 )
 
 // Config describes the full SoC (paper Table 5 + workload knobs).
@@ -169,6 +170,12 @@ type SoC struct {
 	// JSON.
 	skip          bool
 	skippedCycles uint64
+
+	// probe, when armed via SetProbe, receives a progress snapshot at
+	// every 1024-cycle stride poll in RunCtx. It only reads counters the
+	// loop already maintains — telemetry never mutates model state, so
+	// the determinism digest is identical with or without it.
+	probe *telemetry.Probe
 }
 
 // noSysStart marks "no blocked syscall pending" in SoC.sysStart.
@@ -505,6 +512,13 @@ func (s *SoC) Cycle() uint64 { return s.cycle }
 // clamped to the watchdog/context poll stride.
 func (s *SoC) SetIdleSkip(on bool) { s.skip = on }
 
+// SetProbe attaches a telemetry probe: RunCtx publishes a progress
+// snapshot to it at every stride poll and serves its on-demand
+// diagnostic requests. nil detaches. The probe reads monotone counters
+// only and never writes model state, so results are bit-identical with
+// or without one attached.
+func (s *SoC) SetProbe(p *telemetry.Probe) { s.probe = p }
+
 // SkippedCycles returns the number of cycles fast-forwarded over by
 // idle skipping since construction.
 func (s *SoC) SkippedCycles() uint64 { return s.skippedCycles }
@@ -697,6 +711,9 @@ func (s *SoC) RunCtx(ctx context.Context, budget uint64) error {
 			if stalled, window := wd.Check(s.cycle, s.progressSig()); stalled {
 				return s.noProgress(window)
 			}
+			if s.probe != nil {
+				s.probe.Publish(s.telemetrySample(), s.captureDiag)
+			}
 		}
 		if s.skip {
 			// When no component can make progress before cycle w, jump
@@ -737,10 +754,11 @@ func (s *SoC) progressSig() uint64 {
 	return uint64(sig) + s.GPU.Progress()
 }
 
-// noProgress builds the watchdog abort with its diagnostic bundle:
-// per-CPU state, GPU front end and per-core warp detail, NoC credits,
-// DRAM queue occupancy and the emtrace tail when tracing is armed.
-func (s *SoC) noProgress(window uint64) error {
+// diagnose builds the diagnostic bundle — per-CPU state, GPU front end
+// and per-core warp detail, NoC credits, DRAM queue occupancy and the
+// emtrace tail when tracing is armed — for a watchdog abort (window >
+// 0) or an on-demand telemetry snapshot of a healthy run (window 0).
+func (s *SoC) diagnose(window uint64) guard.Diag {
 	d := guard.Diag{Cycle: s.cycle, Window: window}
 	cpuLines := make([]string, 0, len(s.CPUs)+1)
 	cpuLines = append(cpuLines, fmt.Sprintf("frames=%d/%d fenceBusy=%v",
@@ -753,7 +771,43 @@ func (s *SoC) noProgress(window uint64) error {
 	d.Add("sys_noc", s.noc.Diagnose(s.cycle))
 	d.Add("dram", s.DRAM.Diagnose(s.cycle))
 	d.Add("emtrace tail", s.trace.TailLines(16))
-	return &guard.NoProgressError{Diag: d}
+	return d
+}
+
+// noProgress builds the watchdog abort carrying the bundle.
+func (s *SoC) noProgress(window uint64) error {
+	return &guard.NoProgressError{Diag: s.diagnose(window)}
+}
+
+// captureDiag serves the probe's on-demand diagnostic requests; it runs
+// on the simulation goroutine at a stride poll, where no tick-engine
+// shard is mutating state.
+func (s *SoC) captureDiag() *guard.Diag {
+	d := s.diagnose(0)
+	return &d
+}
+
+// telemetrySample snapshots the monotone progress counters for the
+// probe — the same counters progressSig folds, kept per-component so
+// observers can see which engine is moving.
+func (s *SoC) telemetrySample() telemetry.Sample {
+	var cpu int64
+	for _, c := range s.CPUs {
+		cpu += c.Instructions()
+	}
+	return telemetry.Sample{
+		Cycle:         s.cycle,
+		FramesDone:    s.framesDone,
+		FramesTarget:  s.Cfg.Frames + s.Cfg.WarmupFrames,
+		SkippedCycles: s.skippedCycles,
+		Components: telemetry.Components{
+			CPUInstructions: cpu,
+			GPUWork:         int64(s.GPU.Progress()),
+			DRAMBytes:       s.DRAM.TotalBytes(),
+			DisplayLines:    s.Display.Served(),
+			FramesRetired:   int64(s.framesDone),
+		},
+	}
 }
 
 // Results summarizes the run for the Case Study I figures, skipping

@@ -273,6 +273,31 @@ func (d *Distribution) Quantile(p float64) float64 {
 	return d.max
 }
 
+// HistogramBucket is one cumulative histogram bucket: Count samples
+// fell at or below Upper. The telemetry plane renders these as native
+// prometheus histogram buckets.
+type HistogramBucket struct {
+	Upper float64
+	Count int64
+}
+
+// CumulativeBuckets returns the non-empty log₂ buckets as cumulative
+// (upper bound, running count) pairs, in increasing bound order — the
+// shape a prometheus histogram wants. Empty with no samples.
+func (d *Distribution) CumulativeBuckets() []HistogramBucket {
+	var out []HistogramBucket
+	var cum int64
+	for i, c := range d.buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := bucketBounds(i)
+		out = append(out, HistogramBucket{Upper: hi, Count: cum})
+	}
+	return out
+}
+
 // Count returns the number of samples.
 func (d *Distribution) Count() int64 { return d.n }
 

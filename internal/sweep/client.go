@@ -83,6 +83,24 @@ func (c *Client) Job(ctx context.Context, id string) (Job, error) {
 	return job, err
 }
 
+// Jobs fetches every job snapshot the daemon knows about. Running jobs
+// carry their live Progress (cmd/sweep's -progress ticker polls this).
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var jobs []Job
+	err := c.getJSON(ctx, "/jobs", &jobs)
+	return jobs, err
+}
+
+// Diag fetches an on-demand diagnostic bundle from a running job's
+// live simulation. The daemon answers 409 when the job is not running.
+func (c *Client) Diag(ctx context.Context, id string) (*DiagBundle, error) {
+	var d DiagBundle
+	if err := c.getJSON(ctx, "/jobs/"+id+"/diag", &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
 // Result fetches and decodes the stored result for key.
 func (c *Client) Result(ctx context.Context, key string) (*Result, error) {
 	var res Result

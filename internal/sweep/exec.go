@@ -6,6 +6,7 @@ import (
 
 	"emerald/internal/exp"
 	"emerald/internal/par"
+	"emerald/internal/telemetry"
 )
 
 // ExecConfig parameterizes the built-in executor's hardening: both
@@ -49,6 +50,10 @@ func execute(ctx context.Context, spec Spec, cfg ExecConfig) (*Result, error) {
 	opt.WatchdogCycles = cfg.Watchdog
 	opt.Guard = cfg.Guard
 	opt.NoSkip = cfg.NoSkip
+	// The runner threads the job's telemetry probe through the context;
+	// attaching it here gives GET /jobs/{id} live progress and
+	// /jobs/{id}/diag on-demand diagnostics for this simulation.
+	opt.Probe = telemetry.FromContext(ctx)
 	if spec.Workers > 1 {
 		pool := par.NewPool(spec.Workers)
 		defer pool.Close()

@@ -1,28 +1,33 @@
 package sweep
 
 import (
+	"io"
 	"sync"
+	"sync/atomic"
 
 	"emerald/internal/stats"
+	"emerald/internal/telemetry"
 )
 
 // metrics aggregates service-level observability: queue depth,
 // in-flight count, cache hit rate, retry/failure tallies and per-job
-// latency quantiles. Latencies feed an internal/stats log2 histogram;
-// stats.Distribution is not safe for concurrent use, so every update
-// funnels through the mutex here (job completion is orders of
-// magnitude rarer than simulated cycles — contention is irrelevant).
+// latency quantiles. The simple counters are atomics so high-rate
+// scrapers (and the per-job telemetry path) never contend on a lock;
+// only the latency histogram — stats.Distribution is not safe for
+// concurrent use — funnels through the mutex, and job completion is
+// orders of magnitude rarer than scrapes can ever matter.
 type metrics struct {
-	mu         sync.Mutex
-	queueDepth int64
-	inflight   int64
-	cacheHits  int64
-	cacheMiss  int64
-	done       int64
-	failed     int64
-	cancels    int64
-	retries    int64
-	latencyMS  stats.Distribution
+	queueDepth atomic.Int64
+	inflight   atomic.Int64
+	cacheHits  atomic.Int64
+	cacheMiss  atomic.Int64
+	done       atomic.Int64
+	failed     atomic.Int64
+	cancels    atomic.Int64
+	retries    atomic.Int64
+
+	mu        sync.Mutex // guards latencyMS only
+	latencyMS stats.Distribution
 }
 
 // MetricsSnapshot is the JSON shape served by GET /metrics.
@@ -52,71 +57,104 @@ type LatencySummary struct {
 	Max   float64 `json:"max"`
 }
 
-func (m *metrics) enqueued() { m.mu.Lock(); m.queueDepth++; m.mu.Unlock() }
-func (m *metrics) cacheHit() { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
-func (m *metrics) cacheMissed() {
-	m.mu.Lock()
-	m.cacheMiss++
-	m.mu.Unlock()
-}
+func (m *metrics) enqueued()    { m.queueDepth.Add(1) }
+func (m *metrics) cacheHit()    { m.cacheHits.Add(1) }
+func (m *metrics) cacheMissed() { m.cacheMiss.Add(1) }
 
 func (m *metrics) started() {
-	m.mu.Lock()
-	m.queueDepth--
-	m.inflight++
-	m.mu.Unlock()
+	m.queueDepth.Add(-1)
+	m.inflight.Add(1)
 }
 
-func (m *metrics) retried() { m.mu.Lock(); m.retries++; m.mu.Unlock() }
+func (m *metrics) retried() { m.retries.Add(1) }
 
 // canceled counts a queued job reaching the terminal canceled state.
-func (m *metrics) canceled() { m.mu.Lock(); m.cancels++; m.mu.Unlock() }
+func (m *metrics) canceled() { m.cancels.Add(1) }
 
 // dropped records a queue slot consumed without execution (a canceled
 // job reaching a worker, or the shutdown drain).
-func (m *metrics) dropped() { m.mu.Lock(); m.queueDepth--; m.mu.Unlock() }
+func (m *metrics) dropped() { m.queueDepth.Add(-1) }
 
 // finished records a job leaving the running state. latencyMS < 0
 // skips the histogram (used when the terminal state is not a real
 // execution, e.g. a late cache hit).
 func (m *metrics) finished(ok bool, latencyMS float64) {
-	m.mu.Lock()
-	m.inflight--
+	m.inflight.Add(-1)
 	if ok {
-		m.done++
+		m.done.Add(1)
 	} else {
-		m.failed++
+		m.failed.Add(1)
 	}
 	if latencyMS >= 0 {
+		m.mu.Lock()
 		m.latencyMS.Sample(latencyMS)
+		m.mu.Unlock()
 	}
-	m.mu.Unlock()
 }
 
-// snapshot returns a consistent copy for /metrics.
+// snapshot returns a copy for /metrics. Counters are read individually
+// (no cross-counter transaction): a scrape racing a transition may see
+// e.g. the queue decrement before the inflight increment, which is
+// fine for monitoring.
 func (m *metrics) snapshot() MetricsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := MetricsSnapshot{
-		QueueDepth:   m.queueDepth,
-		Inflight:     m.inflight,
-		CacheHits:    m.cacheHits,
-		CacheMisses:  m.cacheMiss,
-		JobsDone:     m.done,
-		JobsFailed:   m.failed,
-		JobsCanceled: m.cancels,
-		Retries:      m.retries,
-		LatencyMS: LatencySummary{
-			Count: m.latencyMS.Count(),
-			Mean:  m.latencyMS.Mean(),
-			P50:   m.latencyMS.Quantile(0.50),
-			P95:   m.latencyMS.Quantile(0.95),
-			P99:   m.latencyMS.Quantile(0.99),
-			Max:   m.latencyMS.Max(),
-		},
+		QueueDepth:   m.queueDepth.Load(),
+		Inflight:     m.inflight.Load(),
+		CacheHits:    m.cacheHits.Load(),
+		CacheMisses:  m.cacheMiss.Load(),
+		JobsDone:     m.done.Load(),
+		JobsFailed:   m.failed.Load(),
+		JobsCanceled: m.cancels.Load(),
+		Retries:      m.retries.Load(),
 	}
-	if total := m.cacheHits + m.cacheMiss; total > 0 {
-		s.CacheHitRate = float64(m.cacheHits) / float64(total)
+	m.mu.Lock()
+	s.LatencyMS = LatencySummary{
+		Count: m.latencyMS.Count(),
+		Mean:  m.latencyMS.Mean(),
+		P50:   m.latencyMS.Quantile(0.50),
+		P95:   m.latencyMS.Quantile(0.95),
+		P99:   m.latencyMS.Quantile(0.99),
+		Max:   m.latencyMS.Max(),
+	}
+	m.mu.Unlock()
+	if total := s.CacheHits + s.CacheMisses; total > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(total)
 	}
 	return s
+}
+
+// writeProm renders the service metrics in prometheus text exposition
+// format: the counters/gauges under emerald_sweep_*, and the latency
+// log2 histogram as a native prometheus histogram.
+func (m *metrics) writeProm(w io.Writer) error {
+	pw := telemetry.NewPromWriter(w)
+	pw.Gauge("emerald_sweep_queue_depth",
+		"Jobs waiting in the bounded queue.", float64(m.queueDepth.Load()))
+	pw.Gauge("emerald_sweep_inflight_jobs",
+		"Jobs currently executing.", float64(m.inflight.Load()))
+	pw.Counter("emerald_sweep_cache_hits_total",
+		"Submissions served from the content-addressed result store.", float64(m.cacheHits.Load()))
+	pw.Counter("emerald_sweep_cache_misses_total",
+		"Submissions that required a simulation.", float64(m.cacheMiss.Load()))
+	pw.Counter("emerald_sweep_jobs_done_total",
+		"Jobs completed successfully.", float64(m.done.Load()))
+	pw.Counter("emerald_sweep_jobs_failed_total",
+		"Jobs that exhausted their attempts.", float64(m.failed.Load()))
+	pw.Counter("emerald_sweep_jobs_canceled_total",
+		"Queued jobs canceled before execution.", float64(m.cancels.Load()))
+	pw.Counter("emerald_sweep_job_retries_total",
+		"Transient-failure retry attempts.", float64(m.retries.Load()))
+
+	m.mu.Lock()
+	sBuckets := m.latencyMS.CumulativeBuckets()
+	sum, count := m.latencyMS.Sum(), m.latencyMS.Count()
+	m.mu.Unlock()
+	buckets := make([]telemetry.HistBucket, len(sBuckets))
+	for i, b := range sBuckets {
+		buckets[i] = telemetry.HistBucket{LE: b.Upper, Count: b.Count}
+	}
+	pw.Histogram("emerald_sweep_job_latency_ms",
+		"Per-job wall time in milliseconds (cache hits excluded).",
+		buckets, sum, count)
+	return pw.Err()
 }

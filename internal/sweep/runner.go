@@ -4,10 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"runtime"
 	"sync"
 	"time"
+
+	"emerald/internal/guard"
+	"emerald/internal/telemetry"
 )
 
 // ErrTransient marks a failure worth retrying. The built-in executor's
@@ -29,6 +33,10 @@ var errNoSuchJob = errors.New("sweep: no such job")
 // errNotCancelable is returned by Cancel when the job has already
 // started or finished — only queued jobs can be canceled.
 var errNotCancelable = errors.New("sweep: job is not queued")
+
+// errNotRunning is returned by Diag when the job exists but is not
+// currently executing — there is no live simulation to snapshot.
+var errNotRunning = errors.New("sweep: job is not running")
 
 // JobState is a job's lifecycle stage.
 type JobState string
@@ -60,6 +68,12 @@ type Job struct {
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at"`
 	FinishedAt  time.Time `json:"finished_at"`
+
+	// Progress is the live telemetry snapshot, present only while the
+	// job is running (and after its simulation published at least one
+	// stride poll). Terminal and queued snapshots never carry one — in
+	// particular, a canceled job reports no progress.
+	Progress *telemetry.Progress `json:"progress,omitempty"`
 }
 
 // Terminal reports whether the job has finished (done, failed or
@@ -70,14 +84,32 @@ func (j Job) Terminal() bool {
 
 // job is the runner's mutable record behind Job snapshots.
 type job struct {
-	mu sync.Mutex
-	j  Job
+	mu    sync.Mutex
+	j     Job
+	probe *telemetry.Probe // non-nil only while a worker is executing the job
 }
 
 func (jb *job) snapshot() Job {
 	jb.mu.Lock()
 	defer jb.mu.Unlock()
-	return jb.j
+	j := jb.j
+	// Attach live progress to running snapshots only: the probe
+	// outlives brief races with state transitions, and gating on the
+	// state here guarantees canceled/terminal jobs never report it.
+	if j.State == JobRunning && jb.probe != nil {
+		if pr, ok := jb.probe.Progress(); ok {
+			j.Progress = &pr
+		}
+	}
+	return j
+}
+
+// setProbe installs (or clears, with nil) the job's live telemetry
+// probe.
+func (jb *job) setProbe(p *telemetry.Probe) {
+	jb.mu.Lock()
+	jb.probe = p
+	jb.mu.Unlock()
 }
 
 func (jb *job) update(f func(*Job)) {
@@ -388,6 +420,37 @@ func (r *Runner) Jobs() []Job {
 // Metrics returns the current service metrics.
 func (r *Runner) Metrics() MetricsSnapshot { return r.met.snapshot() }
 
+// WritePrometheus renders the service metrics in prometheus text
+// exposition format (the content-negotiated alternative to the JSON
+// MetricsSnapshot).
+func (r *Runner) WritePrometheus(w io.Writer) error { return r.met.writeProm(w) }
+
+// Diag captures a diagnostic bundle from a running job's live
+// simulation: the request is served by the simulation goroutine at its
+// next stride poll (microseconds of wall time), so the snapshot is
+// taken at a quiescent point without stopping the run. Returns
+// errNoSuchJob for unknown ids and errNotRunning when the job is
+// queued, terminal, or finished while the request was in flight.
+func (r *Runner) Diag(ctx context.Context, id string) (*guard.Diag, error) {
+	r.mu.Lock()
+	jb, ok := r.jobs[id]
+	r.mu.Unlock()
+	if !ok {
+		return nil, errNoSuchJob
+	}
+	jb.mu.Lock()
+	probe, state := jb.probe, jb.j.State
+	jb.mu.Unlock()
+	if state != JobRunning || probe == nil {
+		return nil, errNotRunning
+	}
+	d, err := probe.RequestDiag(ctx)
+	if errors.Is(err, telemetry.ErrFinished) {
+		return nil, errNotRunning
+	}
+	return d, err
+}
+
 // Shutdown stops accepting submissions and drains the queue: workers
 // finish every queued and in-flight job, then exit. If ctx expires
 // first, in-flight jobs are cancelled through their contexts and the
@@ -490,6 +553,16 @@ func (r *Runner) runJob(jb *job) {
 	key := snap.Key
 	r.journal.Start(snap.ID)
 
+	// Arm the job's live telemetry: the executor threads this probe
+	// through its context into the simulation run loops, which publish
+	// progress and serve diag requests at every stride poll. Finish on
+	// the way out fails pending/future diag requests fast; the probe
+	// stays installed so nothing races, and snapshot()'s running-state
+	// gate keeps progress off terminal snapshots.
+	probe := telemetry.NewProbe()
+	jb.setProbe(probe)
+	defer probe.Finish()
+
 	// A concurrent job with the same key may have completed while this
 	// one sat in the queue; serve it from the store instead of
 	// recomputing.
@@ -517,7 +590,7 @@ attempts:
 			}
 		}
 		jb.update(func(j *Job) { j.Attempts++ })
-		res, err := r.execOnce(jb.snapshot().Spec)
+		res, err := r.execOnce(jb.snapshot().Spec, probe)
 		if err == nil {
 			// Store first, journal second: a crash between the two
 			// requeues the job, and the rerun completes as a cache hit.
@@ -547,10 +620,16 @@ attempts:
 
 // execOnce runs one attempt under the per-job timeout, converting a
 // panic in the simulator into a job-level error so a poisoned job
-// cannot take down the daemon or its worker.
-func (r *Runner) execOnce(spec Spec) (res *Result, err error) {
+// cannot take down the daemon or its worker. The job's telemetry probe
+// rides the context so the Exec signature (and every test that injects
+// one) stays unchanged; the built-in executor recovers it with
+// telemetry.FromContext.
+func (r *Runner) execOnce(spec Spec, probe *telemetry.Probe) (res *Result, err error) {
 	ctx, cancel := context.WithTimeout(r.baseCtx, r.cfg.JobTimeout)
 	defer cancel()
+	if probe != nil {
+		ctx = telemetry.NewContext(ctx, probe)
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			buf := make([]byte, 4<<10)

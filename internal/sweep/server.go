@@ -1,26 +1,45 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"emerald/internal/guard"
+	"emerald/internal/telemetry"
 )
 
 // Server is the HTTP surface over a Runner and its Store:
 //
-//	POST   /jobs           submit a Spec; 202 with the job snapshot
-//	                       (200 when served from cache at submit; 503
-//	                       with Retry-After when full or draining)
-//	GET    /jobs/{id}      one job snapshot
-//	DELETE /jobs/{id}      cancel a still-queued job
-//	GET    /jobs           every job snapshot
-//	GET    /results/{key}  the stored result, byte-for-byte
-//	GET    /metrics        queue/cache/latency metrics
-//	GET    /healthz        liveness probe (alias: /healthz/live)
-//	GET    /healthz/ready  readiness: 503 while draining or queue-full
+//	POST   /jobs            submit a Spec; 202 with the job snapshot
+//	                        (200 when served from cache at submit; 503
+//	                        with Retry-After when full or draining)
+//	GET    /jobs/{id}       one job snapshot (running jobs carry a live
+//	                        "progress" object)
+//	GET    /jobs/{id}/diag  on-demand diagnostic bundle captured from a
+//	                        running job's live simulation
+//	DELETE /jobs/{id}       cancel a still-queued job
+//	GET    /jobs            every job snapshot
+//	GET    /results/{key}   the stored result, byte-for-byte
+//	GET    /metrics         queue/cache/latency metrics — JSON by
+//	                        default, prometheus text exposition when
+//	                        Accept asks for text/plain or openmetrics
+//	GET    /healthz         liveness probe (alias: /healthz/live)
+//	GET    /healthz/ready   readiness: 503 while draining or queue-full
+//	GET    /debug/pprof/    Go profiler endpoints (only when Pprof set)
 type Server struct {
 	runner *Runner
 	store  *Store
+
+	// Pprof mounts net/http/pprof under /debug/pprof/ (the emeraldd
+	// -pprof flag). Off by default: profiler endpoints expose internals
+	// and can run CPU profiles, so operators opt in. Set before Handler.
+	Pprof bool
 }
 
 // NewServer wires the HTTP surface.
@@ -34,6 +53,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/diag", s.handleDiag)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /results/{key}", s.handleResult)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -44,6 +64,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleLive)
 	mux.HandleFunc("GET /healthz/live", s.handleLive)
 	mux.HandleFunc("GET /healthz/ready", s.handleReady)
+	if s.Pprof {
+		// The default pprof handlers register on DefaultServeMux; mount
+		// them explicitly on ours.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -152,6 +181,62 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(data) //nolint:errcheck // best effort
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// diagTimeout bounds how long a /diag request waits for the simulation
+// goroutine's next stride poll. A healthy run serves it in
+// microseconds; the bound covers runs that finish (or wedge) while the
+// request is in flight.
+const diagTimeout = 5 * time.Second
+
+// DiagBundle is the JSON served by GET /jobs/{id}/diag: the same
+// structured snapshot a watchdog abort produces (per-CPU state, GPU
+// front end and warp detail, NoC credits, DRAM occupancy, emtrace
+// tail), captured on demand from a live healthy run.
+type DiagBundle struct {
+	JobID      string     `json:"job_id"`
+	CapturedAt time.Time  `json:"captured_at"`
+	Diag       guard.Diag `json:"diag"`
+}
+
+func (s *Server) handleDiag(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ctx, cancel := context.WithTimeout(r.Context(), diagTimeout)
+	defer cancel()
+	d, err := s.runner.Diag(ctx, id)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, DiagBundle{
+			JobID: id, CapturedAt: time.Now(), Diag: *d,
+		})
+	case errors.Is(err, errNoSuchJob):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, errNotRunning):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "diag capture timed out (simulation not reaching its poll stride)",
+			http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// wantsProm reports whether the request's Accept header asks for the
+// prometheus text exposition instead of the original JSON shape. The
+// JSON default keeps the existing client byte-compatible; scrapers
+// send "text/plain;version=0.0.4" or an openmetrics type.
+func wantsProm(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		if err := s.runner.WritePrometheus(w); err != nil {
+			return // headers are out; nothing recoverable
+		}
+		telemetry.SampleRuntime().WriteProm(telemetry.NewPromWriter(w))
+		return
+	}
 	writeJSON(w, http.StatusOK, s.runner.Metrics())
 }

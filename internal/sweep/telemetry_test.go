@@ -1,0 +1,463 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"emerald/internal/guard"
+	"emerald/internal/telemetry"
+)
+
+// telemSvc is a store/runner/server trio whose single worker publishes
+// synthetic telemetry samples (through the probe the runner threads via
+// the executor's context — the same path internal/sweep/exec.go uses)
+// until release is closed.
+type telemSvc struct {
+	r       *Runner
+	ts      *httptest.Server
+	release chan struct{}
+	started chan struct{}
+}
+
+func newTelemSvc(t *testing.T, queueDepth int) *telemSvc {
+	t.Helper()
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &telemSvc{
+		release: make(chan struct{}),
+		started: make(chan struct{}, 64),
+	}
+	s.r = NewRunner(st, RunnerConfig{
+		Workers:    1,
+		QueueDepth: queueDepth,
+		Exec: func(ctx context.Context, spec Spec) (*Result, error) {
+			probe := telemetry.FromContext(ctx)
+			if probe == nil {
+				t.Error("executor context carries no telemetry probe")
+				return okExec(ctx, spec)
+			}
+			diag := func() *guard.Diag {
+				return &guard.Diag{Cycle: 99, Sections: []guard.Section{
+					{Title: "cpu0", Lines: []string{"pc=0x40 insns=12"}},
+				}}
+			}
+			s.started <- struct{}{}
+			// Publish like a run loop's stride poll: monotone cycles at
+			// sub-millisecond cadence until released.
+			var cycle uint64
+			tick := time.NewTicker(200 * time.Microsecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-s.release:
+					return okExec(ctx, spec)
+				case <-ctx.Done():
+					return okExec(ctx, spec)
+				case <-tick.C:
+					cycle += 1024
+					probe.Publish(telemetry.Sample{
+						Cycle:      cycle,
+						FramesDone: int(cycle / 4096),
+						Components: telemetry.Components{GPUWork: int64(cycle) * 3},
+					}, diag)
+				}
+			}
+		},
+	})
+	s.ts = httptest.NewServer(NewServer(s.r, st).Handler())
+	t.Cleanup(func() {
+		s.ts.Close()
+		select {
+		case <-s.release:
+		default:
+			close(s.release)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.r.Shutdown(ctx) //nolint:errcheck
+	})
+	return s
+}
+
+func (s *telemSvc) waitStarted(t *testing.T) {
+	t.Helper()
+	select {
+	case <-s.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never started the job")
+	}
+}
+
+// waitProgress polls the runner until the job's snapshot carries a
+// progress object.
+func waitProgress(t *testing.T, r *Runner, id string) telemetry.Progress {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if j, ok := r.Job(id); ok && j.Progress != nil {
+			return *j.Progress
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("running job never reported progress")
+	return telemetry.Progress{}
+}
+
+// A running job's snapshot must carry a live, advancing progress
+// object, and the terminal snapshot must not.
+func TestJobProgressLifecycle(t *testing.T) {
+	s := newTelemSvc(t, 8)
+	j, err := s.r.Submit(wlSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.waitStarted(t)
+
+	p1 := waitProgress(t, s.r, j.ID)
+	if p1.Cycle == 0 {
+		t.Fatal("progress.cycle is zero on a running job")
+	}
+	if p1.WorkSig == 0 {
+		t.Fatal("progress.work_sig is zero while the machine is working")
+	}
+	// The cycle must advance between two polls of a live job.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		p2 := waitProgress(t, s.r, j.ID)
+		if p2.Cycle > p1.Cycle {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("progress.cycle stuck at %d between polls", p1.Cycle)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The HTTP snapshot carries the same object.
+	var viaHTTP Job
+	getJSONBody(t, s.ts.URL+"/jobs/"+j.ID, &viaHTTP)
+	if viaHTTP.State == JobRunning && viaHTTP.Progress == nil {
+		t.Fatal("GET /jobs/{id} running snapshot has no progress object")
+	}
+
+	close(s.release)
+	fin := waitTerminal(t, s.r, j.ID)
+	if fin.Progress != nil {
+		t.Fatalf("terminal snapshot still reports progress: %+v", fin.Progress)
+	}
+	var viaHTTPDone Job
+	getJSONBody(t, s.ts.URL+"/jobs/"+j.ID, &viaHTTPDone)
+	if viaHTTPDone.Progress != nil {
+		t.Fatal("terminal GET /jobs/{id} still reports progress")
+	}
+}
+
+// Canceled jobs never report progress: a queued job canceled before a
+// worker touches it has no probe, and its terminal snapshot must stay
+// progress-free even while other jobs are publishing.
+func TestCanceledJobNeverReportsProgress(t *testing.T) {
+	s := newTelemSvc(t, 8)
+	running, err := s.r.Submit(wlSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.waitStarted(t)
+	queued, err := s.r.Submit(wlSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.Progress != nil {
+		t.Fatal("queued snapshot reports progress")
+	}
+	got, err := s.r.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != JobCanceled {
+		t.Fatalf("state = %s, want canceled", got.State)
+	}
+	if got.Progress != nil {
+		t.Fatal("canceled snapshot reports progress")
+	}
+	// Let the running job publish, then re-check the canceled one.
+	waitProgress(t, s.r, running.ID)
+	if j, _ := s.r.Job(queued.ID); j.Progress != nil {
+		t.Fatal("canceled job picked up progress after cancellation")
+	}
+	close(s.release)
+	waitTerminal(t, s.r, running.ID)
+}
+
+// GET /jobs/{id}/diag: 200 with a non-empty bundle for running jobs,
+// 409 for jobs that are not running, 404 for unknown ids.
+func TestDiagEndpoint(t *testing.T) {
+	s := newTelemSvc(t, 8)
+	j, err := s.r.Submit(wlSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.waitStarted(t)
+	waitProgress(t, s.r, j.ID) // publishing has begun; diag can be served
+
+	res, err := http.Get(s.ts.URL + "/jobs/" + j.ID + "/diag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle DiagBundle
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("diag on a running job: status %d", res.StatusCode)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&bundle); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if bundle.JobID != j.ID || len(bundle.Diag.Sections) == 0 {
+		t.Fatalf("empty diag bundle: %+v", bundle)
+	}
+	if bundle.Diag.Sections[0].Title != "cpu0" {
+		t.Fatalf("diag sections = %+v, want the executor's snapshot", bundle.Diag.Sections)
+	}
+
+	// A queued job has no live simulation to snapshot.
+	queued, err := s.r.Submit(wlSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := getStatus(t, s.ts.URL+"/jobs/"+queued.ID+"/diag"); code != http.StatusConflict {
+		t.Fatalf("diag on a queued job: status %d, want 409", code)
+	}
+	if code := getStatus(t, s.ts.URL+"/jobs/no-such-job/diag"); code != http.StatusNotFound {
+		t.Fatalf("diag on an unknown job: status %d, want 404", code)
+	}
+
+	close(s.release)
+	waitTerminal(t, s.r, j.ID)
+	waitTerminal(t, s.r, queued.ID)
+	if code := getStatus(t, s.ts.URL+"/jobs/"+j.ID+"/diag"); code != http.StatusConflict {
+		t.Fatalf("diag on a finished job: status %d, want 409", code)
+	}
+}
+
+// GET /metrics must content-negotiate: default JSON stays the original
+// shape; Accept: text/plain serves valid Prometheus exposition.
+func TestMetricsContentNegotiation(t *testing.T) {
+	s := newTelemSvc(t, 8)
+	j, err := s.r.Submit(wlSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.waitStarted(t)
+
+	res, err := http.Get(s.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default /metrics content type = %q, want application/json", ct)
+	}
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if snap.Inflight != 1 {
+		t.Fatalf("inflight = %d, want 1", snap.Inflight)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, s.ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4")
+	res, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != telemetry.PromContentType {
+		t.Fatalf("prometheus content type = %q, want %q", ct, telemetry.PromContentType)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE emerald_sweep_queue_depth gauge",
+		"# TYPE emerald_sweep_jobs_done_total counter",
+		"# TYPE emerald_sweep_job_latency_ms histogram",
+		"emerald_sweep_inflight_jobs 1",
+		"# TYPE emerald_runtime_goroutines gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", want, text)
+		}
+	}
+	if err := telemetry.ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("exposition does not validate: %v\n%s", err, text)
+	}
+
+	close(s.release)
+	waitTerminal(t, s.r, j.ID)
+
+	// After a completed job the latency histogram has observations;
+	// the exposition must still validate (buckets monotone, +Inf = count).
+	req, _ = http.NewRequest(http.MethodGet, s.ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	res, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateExposition(strings.NewReader(string(body))); err != nil {
+		t.Fatalf("post-completion exposition does not validate: %v\n%s", err, body)
+	}
+	if !strings.Contains(string(body), "emerald_sweep_job_latency_ms_count") {
+		t.Fatal("latency histogram absent after a completed job")
+	}
+}
+
+// Hammer the telemetry surfaces under -race: concurrent scrapers of
+// both /metrics content types, diag fetchers and job-list pollers
+// against running jobs, then release and drain.
+func TestTelemetryHammer(t *testing.T) {
+	s := newTelemSvc(t, 16)
+	var ids []string
+	for i := 1; i <= 4; i++ {
+		j, err := s.r.Submit(wlSpec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	s.waitStarted(t) // at least one job is executing and publishing
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	scrape := func(accept string, validate bool) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req, _ := http.NewRequest(http.MethodGet, s.ts.URL+"/metrics", nil)
+			if accept != "" {
+				req.Header.Set("Accept", accept)
+			}
+			res, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body, err := io.ReadAll(res.Body)
+			res.Body.Close()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if validate {
+				if err := telemetry.ValidateExposition(strings.NewReader(string(body))); err != nil {
+					t.Errorf("exposition invalid under load: %v", err)
+					return
+				}
+			} else if err := json.Unmarshal(body, new(MetricsSnapshot)); err != nil {
+				t.Errorf("JSON /metrics invalid under load: %v", err)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go scrape("", false)
+	go scrape("text/plain;version=0.0.4", true)
+
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Any of 200/409/504 is legal depending on where the job
+				// is; what must not happen is a hang or a malformed 200.
+				res, err := http.Get(s.ts.URL + "/jobs/" + id + "/diag")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.StatusCode == http.StatusOK {
+					var b DiagBundle
+					if err := json.NewDecoder(res.Body).Decode(&b); err != nil {
+						t.Errorf("malformed diag bundle: %v", err)
+					}
+				}
+				res.Body.Close()
+			}
+		}(id)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, j := range s.r.Jobs() {
+				if j.Terminal() && j.Progress != nil {
+					t.Error("terminal job reported progress under load")
+					return
+				}
+			}
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	close(s.release)
+	for _, id := range ids {
+		waitTerminal(t, s.r, id)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func getJSONBody(t *testing.T, url string, v any) {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, res.StatusCode)
+	}
+	if err := json.NewDecoder(res.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body) //nolint:errcheck
+	res.Body.Close()
+	return res.StatusCode
+}

@@ -1,0 +1,243 @@
+// Prometheus text exposition (format version 0.0.4), hand-rolled over
+// the standard library: the sweep daemon's /metrics endpoint content-
+// negotiates between its original JSON shape and this format, so any
+// standard scraper can consume queue depth, cache hit counters, job
+// latency histograms and runtime health without a client library.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the exposition-format content type served with
+// the text rendering.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// HistBucket is one cumulative histogram bucket: Count observations
+// were <= LE.
+type HistBucket struct {
+	LE    float64
+	Count int64
+}
+
+// PromWriter renders metrics in the Prometheus text exposition format.
+// Errors stick: rendering continues as no-ops after the first write
+// failure and Err reports it at the end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// escapeHelp escapes HELP text per the exposition format (backslash
+// and newline only; HELP allows raw double quotes).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value; Prometheus accepts Go's 'g'
+// shortest representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Counter writes one counter metric. Prometheus counters are monotone;
+// callers must pass cumulative totals.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	p.header(name, help, "counter")
+	p.printf("%s %s\n", name, formatFloat(v))
+}
+
+// Gauge writes one gauge metric.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.header(name, help, "gauge")
+	p.printf("%s %s\n", name, formatFloat(v))
+}
+
+// Histogram writes one native prometheus histogram: cumulative
+// le-labeled buckets (an +Inf bucket holding count is appended
+// automatically), plus _sum and _count series. Buckets must be in
+// increasing LE order with non-decreasing counts.
+func (p *PromWriter) Histogram(name, help string, buckets []HistBucket, sum float64, count int64) {
+	p.header(name, help, "histogram")
+	for _, b := range buckets {
+		p.printf("%s_bucket{le=%q} %d\n", name, formatFloat(b.LE), b.Count)
+	}
+	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, count)
+	p.printf("%s_sum %s\n", name, formatFloat(sum))
+	p.printf("%s_count %d\n", name, count)
+}
+
+// ValidateExposition checks that r holds well-formed Prometheus text
+// exposition: every sample line parses, every metric is preceded by
+// matching HELP/TYPE headers, and histogram buckets are monotone (in
+// both le and count) ending in an +Inf bucket that equals _count. It
+// exists for the golden tests and for debugging scrapes — it is a
+// structural linter, not a full protocol parser.
+func ValidateExposition(r io.Reader) error {
+	var (
+		typed   = map[string]string{} // metric family -> TYPE
+		helped  = map[string]bool{}
+		lastLE  = math.Inf(-1)
+		lastCnt = int64(-1)
+		histInf = map[string]int64{} // family -> +Inf bucket count
+		curHist string
+		lineNo  int
+	)
+	endHist := func() error {
+		if curHist != "" {
+			if _, ok := histInf[curHist]; !ok {
+				return fmt.Errorf("histogram %s has no +Inf bucket", curHist)
+			}
+		}
+		curHist = ""
+		lastLE, lastCnt = math.Inf(-1), -1
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) < 4 || (f[1] != "HELP" && f[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if f[1] == "HELP" {
+				helped[f[2]] = true
+			} else {
+				typed[f[2]] = f[3]
+				if !helped[f[2]] {
+					return fmt.Errorf("line %d: TYPE %s without preceding HELP", lineNo, f[2])
+				}
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("line %d: no value in %q", lineNo, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(valStr, 64); err != nil {
+			if valStr != "+Inf" && valStr != "-Inf" && valStr != "NaN" {
+				return fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+			}
+		}
+		name := series
+		labels := ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return fmt.Errorf("line %d: unterminated labels in %q", lineNo, series)
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suf); base != name && typed[base] == "histogram" {
+				family = base
+			}
+		}
+		if typed[family] == "" {
+			return fmt.Errorf("line %d: sample %s without TYPE header", lineNo, name)
+		}
+		if typed[family] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			if family != curHist {
+				if err := endHist(); err != nil {
+					return fmt.Errorf("line %d: %w", lineNo, err)
+				}
+				curHist = family
+			}
+			le, ok := labelValue(labels, "le")
+			if !ok {
+				return fmt.Errorf("line %d: bucket without le label", lineNo)
+			}
+			leV := math.Inf(1)
+			if le != "+Inf" {
+				v, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q", lineNo, le)
+				}
+				leV = v
+			}
+			cnt, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: non-integer bucket count %q", lineNo, valStr)
+			}
+			if leV <= lastLE {
+				return fmt.Errorf("line %d: bucket le %s not increasing", lineNo, le)
+			}
+			if cnt < lastCnt {
+				return fmt.Errorf("line %d: bucket count %d decreased", lineNo, cnt)
+			}
+			lastLE, lastCnt = leV, cnt
+			if le == "+Inf" {
+				histInf[family] = cnt
+			}
+		} else if family == curHist && strings.HasSuffix(name, "_count") {
+			cnt, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: non-integer histogram count %q", lineNo, valStr)
+			}
+			if inf, ok := histInf[family]; ok && inf != cnt {
+				return fmt.Errorf("line %d: %s_count %d != +Inf bucket %d", lineNo, family, cnt, inf)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return endHist()
+}
+
+// labelValue extracts one label's unquoted value from a label body
+// like `le="0.5",job="x"`.
+func labelValue(labels, key string) (string, bool) {
+	for _, part := range strings.Split(labels, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 || kv[0] != key {
+			continue
+		}
+		v, err := strconv.Unquote(kv[1])
+		if err != nil {
+			return "", false
+		}
+		return v, true
+	}
+	return "", false
+}

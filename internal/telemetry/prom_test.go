@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The exposition format is a wire protocol: golden-match the writer's
+// exact output so an accidental formatting change (which a scraper
+// would reject or misparse) fails loudly.
+func TestPromWriterGolden(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.Counter("emerald_sweep_jobs_done_total", "Jobs completed successfully.", 7)
+	pw.Gauge("emerald_sweep_queue_depth", "Jobs waiting for a worker.", 3)
+	pw.Histogram("emerald_sweep_job_latency_ms", "Per-job wall time.",
+		[]HistBucket{{LE: 1, Count: 2}, {LE: 4, Count: 5}}, 10.5, 7)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP emerald_sweep_jobs_done_total Jobs completed successfully.
+# TYPE emerald_sweep_jobs_done_total counter
+emerald_sweep_jobs_done_total 7
+# HELP emerald_sweep_queue_depth Jobs waiting for a worker.
+# TYPE emerald_sweep_queue_depth gauge
+emerald_sweep_queue_depth 3
+# HELP emerald_sweep_job_latency_ms Per-job wall time.
+# TYPE emerald_sweep_job_latency_ms histogram
+emerald_sweep_job_latency_ms_bucket{le="1"} 2
+emerald_sweep_job_latency_ms_bucket{le="4"} 5
+emerald_sweep_job_latency_ms_bucket{le="+Inf"} 7
+emerald_sweep_job_latency_ms_sum 10.5
+emerald_sweep_job_latency_ms_count 7
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ValidateExposition(&buf); err != nil {
+		t.Fatalf("golden output fails validation: %v", err)
+	}
+}
+
+func TestPromWriterEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.Gauge("m", "line one\nback\\slash", 1)
+	got := buf.String()
+	if !strings.Contains(got, `line one\nback\\slash`) {
+		t.Fatalf("HELP not escaped: %q", got)
+	}
+	if strings.Count(got, "\n") != 3 {
+		t.Fatalf("escaped HELP still spans lines: %q", got)
+	}
+}
+
+func TestPromWriterStickyError(t *testing.T) {
+	pw := NewPromWriter(failWriter{})
+	pw.Counter("a", "h", 1)
+	err := pw.Err()
+	if err == nil {
+		t.Fatal("no error from failing writer")
+	}
+	pw.Gauge("b", "h", 2) // must be a no-op, not a panic
+	if pw.Err() != err {
+		t.Fatal("first error not sticky")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) {
+	return 0, errors.New("synthetic write failure")
+}
+
+// SampleRuntime's exposition must itself validate — it is appended to
+// every prometheus scrape of /metrics.
+func TestRuntimeExpositionValidates(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	SampleRuntime().WriteProm(pw)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"emerald_runtime_goroutines",
+		"emerald_runtime_heap_alloc_bytes",
+		"emerald_runtime_gc_cycles_total",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("runtime exposition missing %s", want)
+		}
+	}
+	if err := ValidateExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{
+			name:    "type without help",
+			in:      "# TYPE m counter\nm 1\n",
+			wantErr: "without preceding HELP",
+		},
+		{
+			name:    "sample without type",
+			in:      "m 1\n",
+			wantErr: "without TYPE header",
+		},
+		{
+			name:    "bad value",
+			in:      "# HELP m h\n# TYPE m gauge\nm pancake\n",
+			wantErr: "bad value",
+		},
+		{
+			name: "non-monotone bucket le",
+			in: "# HELP h x\n# TYPE h histogram\n" +
+				"h_bucket{le=\"5\"} 1\nh_bucket{le=\"2\"} 3\n" +
+				"h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			wantErr: "not increasing",
+		},
+		{
+			name: "decreasing bucket count",
+			in: "# HELP h x\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n" +
+				"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			wantErr: "decreased",
+		},
+		{
+			name: "missing +Inf bucket",
+			in: "# HELP h x\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+			wantErr: "no +Inf bucket",
+		},
+		{
+			name: "count disagrees with +Inf",
+			in: "# HELP h x\n# TYPE h histogram\n" +
+				"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 6\n",
+			wantErr: "!= +Inf bucket",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateExposition(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("validation accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

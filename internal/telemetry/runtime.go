@@ -1,0 +1,51 @@
+// Runtime health sampling for /metrics: goroutine count, heap and GC
+// gauges read from the Go runtime at scrape time, so an operator
+// watching a fleet of emeraldd nodes sees process health next to job
+// throughput without attaching a profiler. (Deep inspection goes
+// through the flag-gated /debug/pprof/ endpoints instead.)
+package telemetry
+
+import "runtime"
+
+// RuntimeStats is one point-in-time sample of process health.
+type RuntimeStats struct {
+	Goroutines       int
+	HeapAllocBytes   uint64
+	HeapSysBytes     uint64
+	NextGCBytes      uint64
+	GCCycles         uint32
+	GCPauseTotalSecs float64
+}
+
+// SampleRuntime reads the runtime. runtime.ReadMemStats stops the
+// world briefly; calling it once per scrape (not per stride poll) keeps
+// that cost off the simulation path.
+func SampleRuntime() RuntimeStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return RuntimeStats{
+		Goroutines:       runtime.NumGoroutine(),
+		HeapAllocBytes:   m.HeapAlloc,
+		HeapSysBytes:     m.HeapSys,
+		NextGCBytes:      m.NextGC,
+		GCCycles:         m.NumGC,
+		GCPauseTotalSecs: float64(m.PauseTotalNs) / 1e9,
+	}
+}
+
+// WriteProm renders the sample as prometheus gauges/counters under the
+// emerald_runtime_* namespace.
+func (rs RuntimeStats) WriteProm(pw *PromWriter) {
+	pw.Gauge("emerald_runtime_goroutines",
+		"Number of live goroutines.", float64(rs.Goroutines))
+	pw.Gauge("emerald_runtime_heap_alloc_bytes",
+		"Bytes of allocated heap objects.", float64(rs.HeapAllocBytes))
+	pw.Gauge("emerald_runtime_heap_sys_bytes",
+		"Bytes of heap obtained from the OS.", float64(rs.HeapSysBytes))
+	pw.Gauge("emerald_runtime_next_gc_bytes",
+		"Heap size target of the next GC cycle.", float64(rs.NextGCBytes))
+	pw.Counter("emerald_runtime_gc_cycles_total",
+		"Completed GC cycles.", float64(rs.GCCycles))
+	pw.Counter("emerald_runtime_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.", rs.GCPauseTotalSecs)
+}

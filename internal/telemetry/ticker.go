@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Line renders the snapshot as one human-readable status line for the
+// CLI -progress tickers.
+func (pr Progress) Line() string {
+	frames := fmt.Sprintf("frames=%d", pr.FramesDone)
+	if pr.FramesTarget > 0 {
+		frames = fmt.Sprintf("frames=%d/%d", pr.FramesDone, pr.FramesTarget)
+	}
+	return fmt.Sprintf("cycle=%d %s sim=%.2f Mcyc/s skip=%.1f%% work=%d(+%d)",
+		pr.Cycle, frames, pr.CyclesPerSec/1e6, 100*pr.SkipRatio,
+		pr.WorkSig, pr.WorkSigDelta)
+}
+
+// StartTicker prints the probe's live progress to w every interval
+// until the returned stop function is called (which prints one final
+// line so short runs still show their end state). Used by the
+// -progress flags on the emerald/memstudy/dfsl CLIs.
+func StartTicker(w io.Writer, p *Probe, prefix string, every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = time.Second
+	}
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	emit := func() {
+		if pr, ok := p.Progress(); ok {
+			fmt.Fprintf(w, "%s%s\n", prefix, pr.Line())
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				emit()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			wg.Wait()
+			emit()
+		})
+	}
+}

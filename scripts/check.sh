@@ -166,6 +166,95 @@ fi
 cat "$tmp/resumed.err"
 echo "ok"
 
+echo "== live telemetry smoke test =="
+# Start a pprof-enabled daemon, submit one quick-scale CS1 job (a few
+# seconds of simulation), and require: (a) the running job's
+# GET /jobs/{id} progress.cycle advances between two polls, (b) the
+# on-demand GET /jobs/{id}/diag bundle is non-empty while the job is
+# healthy and live, (c) GET /metrics content-negotiates to prometheus
+# text exposition, (d) the JSON /metrics shape is still served by
+# default, and (e) the flag-gated pprof index answers.
+"$tmp/emeraldd" -addr 127.0.0.1:0 -cache "$tmp/telemcache" -pprof >"$tmp/telem.log" 2>&1 &
+daemon_pid=$!
+wait_addr "$tmp/telem.log"
+job_json=$(curl -sf -X POST "http://$addr/jobs" \
+	-d '{"kind":"cs1","scale":"quick","model":2,"config":"BAS","mbps":1333}')
+job_id=$(echo "$job_json" | grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"id": *"//;s/"$//')
+if [ -z "$job_id" ]; then
+	echo "FAIL: job submission returned no id: $job_json" >&2
+	exit 1
+fi
+# Poll until the running job publishes progress (first stride poll).
+cycle1=""
+for _ in $(seq 1 100); do
+	cycle1=$(curl -sf "http://$addr/jobs/$job_id" | grep -o '"cycle": *[0-9]*' | head -1 | grep -o '[0-9]*' || true)
+	[ -n "$cycle1" ] && break
+	sleep 0.05
+done
+if [ -z "$cycle1" ]; then
+	echo "FAIL: running job never reported progress:" >&2
+	curl -s "http://$addr/jobs/$job_id" >&2 || true
+	exit 1
+fi
+# Capture an on-demand diagnostic bundle from the live healthy run
+# (before the cycle re-poll, while the job is certainly still going).
+diag=$(curl -sf "http://$addr/jobs/$job_id/diag")
+if ! echo "$diag" | grep -q '"sections"'; then
+	echo "FAIL: live diag bundle empty or malformed: $diag" >&2
+	exit 1
+fi
+# The simulation must advance between polls.
+advanced=""
+for _ in $(seq 1 100); do
+	sleep 0.05
+	cycle2=$(curl -sf "http://$addr/jobs/$job_id" | grep -o '"cycle": *[0-9]*' | head -1 | grep -o '[0-9]*' || true)
+	[ -z "$cycle2" ] && break # job finished; the advance check below decides
+	if [ "$cycle2" -gt "$cycle1" ]; then
+		advanced=yes
+		break
+	fi
+done
+if [ -z "$advanced" ]; then
+	echo "FAIL: progress.cycle never advanced past $cycle1" >&2
+	exit 1
+fi
+echo "progress: cycle $cycle1 -> $cycle2, diag captured live"
+# Prometheus exposition via content negotiation; JSON stays the default.
+if ! curl -sf -H 'Accept: text/plain;version=0.0.4' "http://$addr/metrics" |
+	grep -q '# TYPE emerald_sweep_job_latency_ms histogram'; then
+	echo "FAIL: prometheus exposition missing from /metrics" >&2
+	exit 1
+fi
+if ! curl -sf "http://$addr/metrics" | grep -q '"queue_depth"'; then
+	echo "FAIL: default JSON /metrics shape regressed" >&2
+	exit 1
+fi
+if ! curl -sf "http://$addr/debug/pprof/" >/dev/null; then
+	echo "FAIL: pprof index not served with -pprof" >&2
+	exit 1
+fi
+kill "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+echo "ok"
+
+echo "== telemetry overhead guard =="
+# The probe publishes once per 1024-cycle stride poll; the budget for
+# that is 2% of frame time. Gate at 8% of the min-of-3 paired runs to
+# absorb scheduler noise on shared CI machines while still catching a
+# real regression (e.g. publishing every cycle).
+out=$(go test -run '^$' -bench 'BenchmarkFrameW3$|BenchmarkFrameW3Telemetry$' -benchtime=3x -count=3 .)
+echo "$out"
+echo "$out" | awk '
+	$1 ~ /^BenchmarkFrameW3(-[0-9]+)?$/        { if (bare == 0 || $3 < bare) bare = $3 }
+	$1 ~ /^BenchmarkFrameW3Telemetry(-[0-9]+)?$/ { if (probed == 0 || $3 < probed) probed = $3 }
+	END {
+		if (bare == 0 || probed == 0) { print "FAIL: benchmark output missing" > "/dev/stderr"; exit 1 }
+		ratio = probed / bare
+		printf "telemetry overhead: %.1f%% (budget 2%%, gate 8%%)\n", 100 * (ratio - 1)
+		if (ratio > 1.08) { print "FAIL: telemetry sampling overhead above gate" > "/dev/stderr"; exit 1 }
+	}'
+
 echo "== guarded test run (EMERALD_GUARD=1, short) =="
 # Re-run the end-to-end simulation tests with the invariant checker
 # armed: every probe must hold on the real machine under test load.
