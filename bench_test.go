@@ -505,6 +505,16 @@ func BenchmarkFrameW3Telemetry(b *testing.B) {
 	benchmarkFrameProbe(b, geom.W3Cube, telemetry.NewProbe())
 }
 
+// BenchmarkFrameW3NoWheel is BenchmarkFrameW3 with the per-shard event
+// wheel disabled: every cluster and DRAM channel is ticked every cycle
+// even when provably parked. The Wheel/NoWheel pair is recorded by
+// scripts/bench_wheel.sh into BENCH_wheel.json; results are
+// bit-identical between the two (TestWheelDeterminismStandalone), only
+// wall clock changes.
+func BenchmarkFrameW3NoWheel(b *testing.B) {
+	benchmarkFrameOpts(b, geom.W3Cube, 1, nil, false)
+}
+
 // BenchmarkFrameW3Par4 is BenchmarkFrameW3 on the parallel tick engine
 // with 4 workers — the speedup guard for the -workers flag
 // (scripts/check.sh demands >= 1.5x over the sequential run). Results
@@ -515,22 +525,23 @@ func BenchmarkFrameW3Par4(b *testing.B) {
 
 func benchmarkFrame(b *testing.B, workload int) {
 	b.Helper()
-	benchmarkFrameOpts(b, workload, 1, nil)
+	benchmarkFrameOpts(b, workload, 1, nil, true)
 }
 
 func benchmarkFrameWorkers(b *testing.B, workload, workers int) {
 	b.Helper()
-	benchmarkFrameOpts(b, workload, workers, nil)
+	benchmarkFrameOpts(b, workload, workers, nil, true)
 }
 
 func benchmarkFrameProbe(b *testing.B, workload int, probe *telemetry.Probe) {
 	b.Helper()
-	benchmarkFrameOpts(b, workload, 1, probe)
+	benchmarkFrameOpts(b, workload, 1, probe, true)
 }
 
-func benchmarkFrameOpts(b *testing.B, workload, workers int, probe *telemetry.Probe) {
+func benchmarkFrameOpts(b *testing.B, workload, workers int, probe *telemetry.Probe, wheel bool) {
 	b.Helper()
 	sys := NewStandaloneGPU(nil)
+	sys.SetEventWheel(wheel)
 	if workers > 1 {
 		pool := par.NewPool(workers)
 		defer pool.Close()

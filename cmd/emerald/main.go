@@ -39,6 +39,7 @@ type options struct {
 	watchdog                   uint64
 	guard                      bool
 	noSkip                     bool
+	noWheel                    bool
 	progress                   bool
 }
 
@@ -59,6 +60,7 @@ func main() {
 	flag.Uint64Var(&opt.watchdog, "watchdog", 0, "abort after this many cycles without forward progress, with a diagnostic dump (0 = off)")
 	flag.BoolVar(&opt.guard, "guard", false, "run cycle-level microarchitectural invariant checks (MSHR leaks, SIMT stack balance, DRAM/NoC legality)")
 	flag.BoolVar(&opt.noSkip, "no-skip", false, "disable event-driven idle cycle-skipping (results are identical; for perf comparison/debugging)")
+	flag.BoolVar(&opt.noWheel, "no-wheel", false, "disable per-shard event wheels (tick parked clusters/channels every cycle; results are identical; for perf comparison/debugging)")
 	flag.BoolVar(&opt.progress, "progress", false, "print a live progress line to stderr every second (cycle, frames, sim rate, skip ratio)")
 	disasm := flag.String("disasm", "", "disassemble a built-in shader by name (e.g. vs_transform) and exit")
 	flag.Parse()
@@ -112,6 +114,7 @@ func run(opt options) error {
 	}
 	s.SetWatchdog(opt.watchdog)
 	s.SetIdleSkip(!opt.noSkip)
+	s.SetEventWheel(!opt.noWheel)
 	if opt.progress {
 		probe := telemetry.NewProbe()
 		s.SetProbe(probe)

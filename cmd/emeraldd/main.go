@@ -53,6 +53,7 @@ func main() {
 	watchdog := flag.Uint64("watchdog", 5_000_000, "abort a job's simulation after this many cycles without forward progress (0 disables)")
 	guardOn := flag.Bool("guard", false, "run cycle-level microarchitectural invariant checks in every job")
 	noSkip := flag.Bool("no-skip", false, "disable event-driven idle cycle-skipping in every job (results are identical; for perf comparison/debugging)")
+	noWheel := flag.Bool("no-wheel", false, "disable per-shard event wheels in every job (results are identical; for perf comparison/debugging)")
 	pprofOn := flag.Bool("pprof", false, "mount Go profiler endpoints under /debug/pprof/ (off by default; exposes process internals)")
 	flag.Parse()
 
@@ -68,7 +69,7 @@ func main() {
 		addr: *addr, cache: *cache, journal: *journal,
 		jobs: *jobs, queue: *queue,
 		jobTimeout: *jobTimeout, retries: *retries, drainTimeout: *drainTimeout,
-		watchdog: *watchdog, guard: *guardOn, noSkip: *noSkip,
+		watchdog: *watchdog, guard: *guardOn, noSkip: *noSkip, noWheel: *noWheel,
 		pprof: *pprofOn,
 	}
 	if err := run(cfg); err != nil {
@@ -85,6 +86,7 @@ type daemonConfig struct {
 	watchdog                 uint64
 	guard                    bool
 	noSkip                   bool
+	noWheel                  bool
 	pprof                    bool
 }
 
@@ -120,6 +122,7 @@ func run(cfg daemonConfig) error {
 		Watchdog:   cfg.watchdog,
 		Guard:      cfg.guard,
 		NoSkip:     cfg.noSkip,
+		NoWheel:    cfg.noWheel,
 		Journal:    journal,
 	})
 	if len(pending) > 0 {

@@ -9,6 +9,9 @@
 package cache
 
 import (
+	"fmt"
+	"sync/atomic"
+
 	"emerald/internal/emtrace"
 	"emerald/internal/mem"
 	"emerald/internal/stats"
@@ -87,6 +90,12 @@ type Cache struct {
 	Out *mem.Queue
 	// inflight are fill requests awaiting completion by downstream.
 	inflight []*mem.Request
+	// doneFills counts inflight entries whose request has completed but
+	// whose line has not yet been installed by Tick. Incremented by
+	// RequestDone (possibly on a parallel DRAM channel shard, hence
+	// atomic), decremented as Tick installs — so NextWake answers "any
+	// fill ready to install?" in O(1) instead of scanning inflight.
+	doneFills atomic.Int64
 	// pendingWB buffers writebacks when Out is full.
 	pendingWB []*mem.Request
 
@@ -285,6 +294,7 @@ func (c *Cache) Tick(cycle uint64) {
 			kept = append(kept, req)
 			continue
 		}
+		c.doneFills.Add(-1)
 		c.install(cycle, req.Addr)
 		c.trace.Span1(emtrace.SrcCache, c.traceTrack, "fill", req.IssuedAt, cycle,
 			emtrace.Arg{Key: "addr", Val: int64(req.Addr)})
@@ -396,17 +406,51 @@ func (c *Cache) Quiet() bool {
 // (buffered writebacks, queued output, a completed fill to install),
 // mem.NeverWake when fully quiescent. Fills still in flight downstream
 // are covered by the component holding them (NoC/DRAM), whose own
-// NextWake bounds their completion.
+// NextWake bounds their completion. O(1): completed fills are counted
+// by RequestDone at completion time rather than found by scanning
+// inflight — NextWake runs in every core's per-cycle quiet gate, where
+// an MSHR scan is the dominant cost.
 func (c *Cache) NextWake(cycle uint64) uint64 {
-	if len(c.pendingWB) > 0 || c.Out.Len() > 0 {
+	if len(c.pendingWB) > 0 || c.Out.Len() > 0 || c.doneFills.Load() > 0 {
 		return cycle
 	}
+	return mem.NeverWake
+}
+
+// RequestDone implements mem.DoneWatcher: fill requests carry the
+// issuing cache in Tag, so downstream completion (DRAM retire, an L2
+// hit event, an L2 fill install handing waiters back) lands here. May
+// run on a parallel DRAM channel shard; the counter is atomic and the
+// result is not observed until the next phase barrier.
+func (c *Cache) RequestDone(*mem.Request) { c.doneFills.Add(1) }
+
+// scanWake is the O(n) reference implementation of NextWake's
+// done-fill clause, kept for the counter/scan agreement test and the
+// EMERALD_GUARD audit.
+func (c *Cache) scanWake() bool {
 	for _, r := range c.inflight {
 		if r.Done {
-			return cycle
+			return true
 		}
 	}
-	return mem.NeverWake
+	return false
+}
+
+// AuditDoneFills compares the done-fill counter against an inflight
+// scan, returning a non-empty description on disagreement. Used by the
+// guard's wheel audit: a lost RequestDone notification would park the
+// cache's owner past a ready fill.
+func (c *Cache) AuditDoneFills() string {
+	n := int64(0)
+	for _, r := range c.inflight {
+		if r.Done {
+			n++
+		}
+	}
+	if got := c.doneFills.Load(); got != n {
+		return fmt.Sprintf("%s: doneFills counter %d, inflight scan %d", c.cfg.Name, got, n)
+	}
+	return ""
 }
 
 // Stats snapshot.

@@ -413,3 +413,76 @@ func TestCacheNextWake(t *testing.T) {
 		t.Fatal("cache not Quiet after install")
 	}
 }
+
+// TestDoneFillCounterScanAgreement pins the O(1) done-fill counter to
+// the O(n) inflight scan under randomized fill traffic: random misses,
+// fills completing after random delays (several can pile up between
+// installs), write-through stores, and irregular tick spacing. After
+// every completion and every tick, the counter must agree with the
+// scan and NextWake's now/never answer must match the reference.
+func TestDoneFillCounterScanAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := New(testConfig(), nil)
+
+	type pendingFill struct {
+		req *mem.Request
+		due uint64
+	}
+	var fills []pendingFill
+
+	check := func(cycle uint64, when string) {
+		t.Helper()
+		if msg := c.AuditDoneFills(); msg != "" {
+			t.Fatalf("cycle %d (%s): %s", cycle, when, msg)
+		}
+		wantNow := len(c.pendingWB) > 0 || c.Out.Len() > 0 || c.scanWake()
+		gotNow := c.NextWake(cycle) == cycle
+		if gotNow != wantNow {
+			t.Fatalf("cycle %d (%s): NextWake now=%v, reference scan says %v",
+				cycle, when, gotNow, wantNow)
+		}
+	}
+
+	for cycle := uint64(0); cycle < 4000; cycle++ {
+		// Random accesses: mostly reads, some writes, clustered lines so
+		// hits, merges, evictions, and MSHR exhaustion all occur.
+		for i := rng.Intn(3); i > 0; i-- {
+			addr := uint64(rng.Intn(96)) * 64
+			kind := mem.Read
+			if rng.Intn(4) == 0 {
+				kind = mem.Write
+			}
+			c.Access(cycle, addr, kind, nil)
+		}
+		// Downstream: accept new requests; fills complete after a random
+		// delay, writebacks complete immediately (no Tag, no watcher).
+		for {
+			r := c.Out.Pop()
+			if r == nil {
+				break
+			}
+			if r.Kind == mem.Read {
+				fills = append(fills, pendingFill{r, cycle + 1 + uint64(rng.Intn(25))})
+			} else {
+				r.Complete(cycle)
+			}
+		}
+		kept := fills[:0]
+		for _, f := range fills {
+			if f.due <= cycle {
+				f.req.Complete(cycle)
+				check(cycle, "after complete")
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		fills = kept
+		// Irregular ticking lets several done fills accumulate before an
+		// install pass drains the counter in one burst.
+		if rng.Intn(3) > 0 {
+			c.Tick(cycle)
+			check(cycle, "after tick")
+		}
+		check(cycle, "end of cycle")
+	}
+}

@@ -34,5 +34,12 @@ func (c *Cache) checkInvariants(cycle uint64) error {
 			return fmt.Errorf("MSHR %#x holds %d waiters, cap %d", la, len(m.waiters), c.cfg.MSHRTargets)
 		}
 	}
+	// Wheel audit: the O(1) done-fill counter must agree with an
+	// inflight scan. A lost RequestDone would make NextWake report
+	// "nothing to install" past a ready fill, parking the cache's owner
+	// on the event wheel while data sits undelivered.
+	if msg := c.AuditDoneFills(); msg != "" {
+		return fmt.Errorf("done-fill counter drift: %s", msg)
+	}
 	return nil
 }

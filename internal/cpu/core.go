@@ -248,13 +248,13 @@ func (c *Core) drainTo(q *mem.Queue) {
 				return // left at the front: retried next cycle
 			}
 			q.Pop()
-			r.Done = true
+			r.Complete(0)
 			continue
 		}
 		switch c.L2.Access(0, r.Addr, mem.Read, r) {
 		case cache.Hit:
 			q.Pop()
-			r.Done = true // L2 hit latency folded into L1 fill handling
+			r.Complete(0) // L2 hit latency folded into L1 fill handling
 		case cache.Miss:
 			q.Pop() // completed when the L2 fill returns
 		case cache.Blocked:

@@ -133,6 +133,38 @@ type Controller struct {
 	// result bit for bit.
 	group     *par.Group
 	tickCycle uint64
+
+	// wheel holds one wake slot per channel: Push wakes the target
+	// channel, tickChannel re-arms with the channel's own next event
+	// (now while requests are queued, the earliest in-service DoneAt
+	// otherwise), and a channel whose slot is in the future skips its
+	// entire tick body. wheelOn gates the skip only — arming and waking
+	// always run, so the wheel can be toggled at a phase boundary.
+	wheel   *par.Wheel
+	wheelOn bool
+
+	// onRetire, when set, is called for every request the moment it
+	// retires (Done becomes observable next cycle). Channel shards run
+	// in parallel, so the callback must be safe for concurrent use and
+	// restricted to commutative atomic updates — the SoC uses it to
+	// wake the retiring client's wheel slot.
+	onRetire func(r *mem.Request, cycle uint64)
+}
+
+// SetOnRetire installs the retirement callback. See the field comment
+// for the concurrency contract.
+func (c *Controller) SetOnRetire(fn func(r *mem.Request, cycle uint64)) { c.onRetire = fn }
+
+// SetEventWheel enables or disables per-channel wheel skipping.
+// Enabling re-arms every slot as due so no pre-toggle staleness can
+// park a channel past work.
+func (c *Controller) SetEventWheel(on bool) {
+	c.wheelOn = on
+	if on {
+		for i := range c.Channels {
+			c.wheel.Arm(i, 0)
+		}
+	}
 }
 
 // SetParallel arms the worker pool for per-channel parallel ticking.
@@ -170,6 +202,7 @@ func NewController(cfg Config, reg *stats.Registry) *Controller {
 	}
 	s := reg.Scope(cfg.Name)
 	c := &Controller{cfg: cfg, sched: cfg.Scheduler, reg: reg, rejected: s.Counter("rejected")}
+	c.wheel = par.NewWheel(cfg.Geometry.Channels)
 	for i := 0; i < cfg.Geometry.Channels; i++ {
 		chScope := s.Scope("ch" + string(rune('0'+i)))
 		ch := &Channel{
@@ -230,6 +263,7 @@ func (c *Controller) Push(r *mem.Request) bool {
 		return false
 	}
 	ch.Queue = append(ch.Queue, r)
+	c.wheel.Wake(ch.ID, 0)
 	return true
 }
 
@@ -260,11 +294,22 @@ func (c *Controller) Tick(cycle uint64) {
 }
 
 func (c *Controller) tickChannel(ch *Channel, cycle uint64) {
+	if c.wheelOn && !c.wheel.Due(ch.ID, cycle) {
+		// Empty queue and no transfer finishing before the slot's wake:
+		// the whole body below is a no-op. Push wakes the slot when new
+		// work arrives, so a parked channel costs one atomic load.
+		return
+	}
+	defer func() { c.wheel.Arm(ch.ID, c.channelWake(ch, cycle+1)) }()
+
 	// Retire finished transfers.
 	kept := ch.inService[:0]
 	for _, r := range ch.inService {
 		if r.DoneAt <= cycle {
-			r.Done = true
+			r.Complete(r.DoneAt) // keeps DoneAt; notifies the issuer's DoneWatcher
+			if c.onRetire != nil {
+				c.onRetire(r, cycle)
+			}
 		} else {
 			kept = append(kept, r)
 		}
@@ -352,6 +397,27 @@ func (c *Controller) tickChannel(ch *Channel, cycle uint64) {
 
 // Drained reports whether no requests are queued or in flight.
 func (c *Controller) Drained() bool { return c.QueuedRequests() == 0 }
+
+// channelWake returns the earliest cycle >= from at which the
+// channel's tick body can do anything: every cycle while requests are
+// queued (issue gating depends on bus/bank state that evolves each
+// cycle), the earliest in-service completion otherwise, and
+// mem.NeverWake when the channel is empty.
+func (c *Controller) channelWake(ch *Channel, from uint64) uint64 {
+	if len(ch.Queue) > 0 {
+		return from
+	}
+	w := mem.NeverWake
+	for _, r := range ch.inService {
+		if r.DoneAt < w {
+			w = r.DoneAt
+		}
+	}
+	if w < from {
+		w = from
+	}
+	return w
+}
 
 // NextWake returns the earliest future cycle at which the controller's
 // state can change on its own: now when any channel has queued

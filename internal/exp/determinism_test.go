@@ -23,7 +23,7 @@ import (
 
 // socStateDigest runs one Case Study I cell and hashes its observable
 // end state.
-func socStateDigest(t *testing.T, model int, cfg MemConfig, pool *par.Pool, noSkip bool) string {
+func socStateDigest(t *testing.T, model int, cfg MemConfig, pool *par.Pool, noSkip, noWheel bool) string {
 	t.Helper()
 	opt := Quick()
 	if testing.Short() {
@@ -34,6 +34,7 @@ func socStateDigest(t *testing.T, model int, cfg MemConfig, pool *par.Pool, noSk
 	}
 	opt.Pool = pool
 	opt.NoSkip = noSkip
+	opt.NoWheel = noWheel
 	reg := stats.NewRegistry()
 	s, err := buildSoC(model, cfg, opt.RegularMbps, opt, reg)
 	if err != nil {
@@ -57,7 +58,7 @@ func socStateDigest(t *testing.T, model int, cfg MemConfig, pool *par.Pool, noSk
 
 // standaloneStateDigest renders two DFSL frames on the standalone GPU
 // and hashes the observable end state.
-func standaloneStateDigest(t *testing.T, pool *par.Pool, noSkip bool) string {
+func standaloneStateDigest(t *testing.T, pool *par.Pool, noSkip, noWheel bool) string {
 	t.Helper()
 	cfg := gpu.CaseStudyIIConfig()
 	sys := gpu.NewStandalone(cfg, dram.Config{
@@ -66,6 +67,7 @@ func standaloneStateDigest(t *testing.T, pool *par.Pool, noSkip bool) string {
 	}, nil)
 	sys.SetParallel(pool)
 	sys.SetIdleSkip(!noSkip)
+	sys.SetEventWheel(!noWheel)
 	ctx := gl.NewContext(sys.Mem(), 0x1000_0000, 256<<20)
 	ctx.Submit = func(call *gpu.DrawCall) error { return sys.GPU.SubmitDraw(call, nil) }
 	ctx.OnClearDepth = sys.GPU.ClearHiZ
@@ -128,8 +130,8 @@ func TestParallelDeterminismSoC(t *testing.T) {
 		cases = cases[:1]
 	}
 	for _, c := range cases {
-		seq := socStateDigest(t, c.model, c.cfg, nil, false)
-		parl := socStateDigest(t, c.model, c.cfg, pool, false)
+		seq := socStateDigest(t, c.model, c.cfg, nil, false, false)
+		parl := socStateDigest(t, c.model, c.cfg, pool, false, false)
 		t.Logf("%s/%s state digest: %s", modelName(c.model), c.cfg, seq)
 		if seq != parl {
 			t.Errorf("%s/%s: workers=1 digest %s != workers=4 digest %s",
@@ -143,8 +145,8 @@ func TestParallelDeterminismSoC(t *testing.T) {
 func TestParallelDeterminismStandalone(t *testing.T) {
 	pool := par.NewPool(4)
 	defer pool.Close()
-	seq := standaloneStateDigest(t, nil, false)
-	parl := standaloneStateDigest(t, pool, false)
+	seq := standaloneStateDigest(t, nil, false, false)
+	parl := standaloneStateDigest(t, pool, false, false)
 	t.Logf("standalone W3 state digest: %s", seq)
 	if seq != parl {
 		t.Errorf("workers=1 digest %s != workers=4 digest %s", seq, parl)
@@ -176,8 +178,8 @@ func TestSkipDeterminismSoC(t *testing.T) {
 			name string
 			pool *par.Pool
 		}{{"workers1", nil}, {"workers4", pool}} {
-			skip := socStateDigest(t, c.model, c.cfg, tc.pool, false)
-			noskip := socStateDigest(t, c.model, c.cfg, tc.pool, true)
+			skip := socStateDigest(t, c.model, c.cfg, tc.pool, false, false)
+			noskip := socStateDigest(t, c.model, c.cfg, tc.pool, true, false)
 			if skip != noskip {
 				t.Errorf("%s/%s %s: skip digest %s != no-skip digest %s",
 					modelName(c.model), c.cfg, tc.name, skip, noskip)
@@ -195,10 +197,60 @@ func TestSkipDeterminismStandalone(t *testing.T) {
 		name string
 		pool *par.Pool
 	}{{"workers1", nil}, {"workers4", pool}} {
-		skip := standaloneStateDigest(t, tc.pool, false)
-		noskip := standaloneStateDigest(t, tc.pool, true)
+		skip := standaloneStateDigest(t, tc.pool, false, false)
+		noskip := standaloneStateDigest(t, tc.pool, true, false)
 		if skip != noskip {
 			t.Errorf("%s: skip digest %s != no-skip digest %s", tc.name, skip, noskip)
+		}
+	}
+}
+
+// TestWheelDeterminismSoC checks that the per-shard event wheel is
+// invisible: parking a CPU core, the display, a GPU cluster or a DRAM
+// channel must only elide ticks that were gated no-ops anyway, so the
+// complete observable end state matches a run that ticked every shard
+// every cycle — under both the sequential and the parallel engine.
+func TestWheelDeterminismSoC(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	cases := []struct {
+		model int
+		cfg   MemConfig
+	}{
+		{geom.M2Cube, BAS},
+		{geom.M1Chair, DTB},
+	}
+	if testing.Short() {
+		cases = cases[:1]
+	}
+	for _, c := range cases {
+		for _, tc := range []struct {
+			name string
+			pool *par.Pool
+		}{{"workers1", nil}, {"workers4", pool}} {
+			wheel := socStateDigest(t, c.model, c.cfg, tc.pool, false, false)
+			nowheel := socStateDigest(t, c.model, c.cfg, tc.pool, false, true)
+			if wheel != nowheel {
+				t.Errorf("%s/%s %s: wheel digest %s != no-wheel digest %s",
+					modelName(c.model), c.cfg, tc.name, wheel, nowheel)
+			}
+		}
+	}
+}
+
+// TestWheelDeterminismStandalone is the standalone-GPU (dfsl W3)
+// counterpart of TestWheelDeterminismSoC.
+func TestWheelDeterminismStandalone(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	for _, tc := range []struct {
+		name string
+		pool *par.Pool
+	}{{"workers1", nil}, {"workers4", pool}} {
+		wheel := standaloneStateDigest(t, tc.pool, false, false)
+		nowheel := standaloneStateDigest(t, tc.pool, false, true)
+		if wheel != nowheel {
+			t.Errorf("%s: wheel digest %s != no-wheel digest %s", tc.name, wheel, nowheel)
 		}
 	}
 }

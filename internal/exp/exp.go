@@ -85,6 +85,13 @@ type Options struct {
 	// the escape hatch exists for perf comparison and debugging.
 	NoSkip bool
 
+	// NoWheel disables the per-shard event wheels (the -no-wheel flag):
+	// every CPU core, display, GPU cluster and DRAM channel is ticked
+	// every cycle even when provably parked. Results are bit-identical
+	// either way; the escape hatch exists for perf comparison and
+	// debugging.
+	NoWheel bool
+
 	// Probe, when non-nil, is attached to every system the harness
 	// builds: the run loops publish live progress snapshots to it at
 	// their 1024-cycle stride polls and serve its on-demand diagnostic
@@ -232,6 +239,7 @@ func buildSoC(model int, cfg MemConfig, dataRateMbps int, opt Options, reg *stat
 	s.SetWatchdog(opt.WatchdogCycles)
 	s.SetParallel(opt.Pool)
 	s.SetIdleSkip(!opt.NoSkip)
+	s.SetEventWheel(!opt.NoWheel)
 	s.SetProbe(opt.Probe)
 	return s, nil
 }

@@ -92,6 +92,16 @@ type GPU struct {
 	// gauges and the shared functional memory at shard-disjoint bytes.
 	clusterGroup *par.Group
 
+	// wheel holds one slot per cluster: the earliest cycle at which that
+	// cluster's shard can change state on its own. The shard re-arms its
+	// slot after every tick it runs; the serialized phases (L2
+	// completions, NoC delivery, draw front end, kernel dispatch) Wake a
+	// slot whenever they hand the cluster new input. Maintenance always
+	// runs — wheelOn gates only the skip — so the toggle is safe at any
+	// phase boundary and both modes compute bit-identical state.
+	wheel   *par.Wheel
+	wheelOn bool
+
 	// trace, when armed via AttachTracer, receives draw/kernel spans and
 	// per-cluster setup/raster/fragment-shading phase spans.
 	trace *emtrace.Tracer
@@ -171,6 +181,10 @@ func New(cfg Config, memory *mem.Memory, reg *stats.Registry) *GPU {
 	g.L2.OnReady = func(waiter any, cycle uint64) {
 		if r, ok := waiter.(*mem.Request); ok && r != nil {
 			r.Complete(cycle)
+			// Fill returned to a cluster request: its shard must run
+			// this cycle (OnReady fires from L2.Tick, before the
+			// cluster phase).
+			g.wakeCluster(r.ClientID, cycle)
 		}
 	}
 	g.noc = interconnect.New(interconnect.Config{
@@ -189,7 +203,21 @@ func New(cfg Config, memory *mem.Memory, reg *stats.Registry) *GPU {
 		cl.tc = gfx.NewTCUnit(cfg.TC, scope.Scope(fmt.Sprintf("cluster%d", ci)))
 		g.clusters = append(g.clusters, cl)
 	}
+	g.wheel = par.NewWheel(cfg.Clusters)
+	g.wheelOn = true
 	return g
+}
+
+// SetEventWheel toggles per-cluster event-wheel gating. Slots are
+// maintained in both modes, so the toggle takes effect immediately and
+// never changes simulated state — only whether provably-idle cluster
+// shards burn a tick.
+func (g *GPU) SetEventWheel(on bool) { g.wheelOn = on }
+
+// wakeCluster records that cluster ci may have new input at cycle `at`.
+// Safe from any phase: Wake is an atomic min.
+func (g *GPU) wakeCluster(ci int, at uint64) {
+	g.wheel.Wake(ci%g.Cfg.Clusters, at)
 }
 
 // AttachTracer arms event tracing on the GPU, its L2, and every SIMT
@@ -334,6 +362,7 @@ func (g *GPU) l2Sink(r *mem.Request) bool {
 			return false
 		}
 		r.Complete(g.cycle)
+		g.wakeCluster(r.ClientID, g.cycle)
 		return true
 	}
 	switch g.L2.Access(g.cycle, r.Addr, mem.Read, r) {
@@ -361,6 +390,7 @@ func (g *GPU) Tick(cycle uint64) {
 	for _, e := range g.l2Events {
 		if e.at <= cycle {
 			e.req.Complete(cycle)
+			g.wakeCluster(e.req.ClientID, cycle)
 		} else {
 			kept = append(kept, e)
 		}
@@ -404,8 +434,16 @@ func (g *GPU) Tick(cycle uint64) {
 // tracer, and shard-disjoint framebuffer bytes in functional memory.
 func (g *GPU) tickClusterShard(cl *cluster) {
 	cycle := g.cycle
+	if g.wheelOn && !g.wheel.Due(cl.id, cycle) {
+		// Parked: the slot value asserts every tick until then is a
+		// gated no-op (cores quiet, raster pipeline empty, TC drained).
+		return
+	}
+	coresQuiet := true
 	for _, core := range cl.cores {
-		core.Tick(cycle)
+		if !core.Tick(cycle) {
+			coresQuiet = false
+		}
 		// Core L1 miss traffic into the cluster's NoC port; requests
 		// stay in the core's output queue while the port is full.
 		port := g.noc.Port(cl.id)
@@ -421,6 +459,41 @@ func (g *GPU) tickClusterShard(cl *cluster) {
 		}
 	}
 	g.tickClusterGraphics(cl, cycle)
+	g.wheel.Arm(cl.id, g.clusterWake(cl, cycle+1, coresQuiet))
+}
+
+// clusterWake computes the cluster's next self-driven wake cycle, at or
+// after `from`, for re-arming its wheel slot post-tick. Any pipeline
+// stage holding work pins the cluster hot; a drained pipeline wakes at
+// the first pending primitive's readyAt (pmrb is appended in readyAt
+// order) or the earliest core wake, whichever comes first. The wake
+// sources here mirror drawComplete and GPU.NextWake's per-cluster
+// conditions exactly. coresQuiet (did every core no-op this cycle)
+// short-circuits the per-core NextWake scans: a busy cluster arms
+// "from" at the cost of one branch, and the precise computation runs
+// only on the busy→quiet transition and while parked-adjacent.
+func (g *GPU) clusterWake(cl *cluster, from uint64, coresQuiet bool) uint64 {
+	if !coresQuiet || cl.setup.prim != nil || cl.rast.tri != nil ||
+		len(cl.pendingFS) > 0 || !cl.tc.Drained() {
+		return from
+	}
+	w := uint64(mem.NeverWake)
+	if len(cl.pmrb) > 0 {
+		if cl.pmrb[0].readyAt <= from {
+			return from
+		}
+		w = cl.pmrb[0].readyAt
+	}
+	for _, core := range cl.cores {
+		cw := core.NextWake(from)
+		if cw <= from {
+			return from
+		}
+		if cw < w {
+			w = cw
+		}
+	}
+	return w
 }
 
 // RunUntilIdle ticks the GPU with an ideal memory (completing Out

@@ -18,6 +18,27 @@ func (g *GPU) AttachGuard(gc *guard.Checker) {
 			core.AttachGuard(gc)
 		}
 	}
+	gc.Register("wheel", "gpu.clusters", g.checkWheel)
+}
+
+// checkWheel audits the per-cluster event wheel at the end-of-cycle
+// quiesce point: any slot claiming the cluster stays a no-op past the
+// next cycle must be backed by a genuinely quiet cluster. A violation
+// means a wake hook is missing somewhere and the wheel is skipping a
+// shard that holds actionable work — exactly the silent-correctness
+// failure the skip-vs-wheel digest gates can only catch after the fact.
+func (g *GPU) checkWheel(cycle uint64) error {
+	for _, cl := range g.clusters {
+		due := g.wheel.At(cl.id)
+		if due <= cycle+1 {
+			continue
+		}
+		if w := g.clusterWake(cl, cycle+1, true); w <= cycle+1 {
+			return fmt.Errorf("cluster %d parked until %d but has actionable work at %d",
+				cl.id, due, cycle+1)
+		}
+	}
+	return nil
 }
 
 // Progress returns a monotone progress signature for the watchdog: it

@@ -105,6 +105,10 @@ func (g *GPU) tickKernels(cycle uint64) {
 }
 
 func (g *GPU) dispatchBlock(core *simt.Core, ks *kernelState, blockIdx, warps int) {
+	// Kernel dispatch runs after the cluster phase; the core's cluster
+	// may have been parked this cycle (see launchVSBatch).
+	core.StampCycle(g.cycle)
+	g.wakeCluster(core.Cfg.ClusterID, g.cycle+1)
 	env := &kernelEnv{g: g, ks: ks}
 	if ks.k.SharedBytes > 0 {
 		env.shared = make([]byte, ks.k.SharedBytes)

@@ -114,6 +114,15 @@ func (s *Standalone) SetParallel(p *par.Pool) {
 // are clamped to the watchdog/context poll stride.
 func (s *Standalone) SetIdleSkip(on bool) { s.skip = on }
 
+// SetEventWheel toggles the per-shard event wheels (GPU clusters, DRAM
+// channels). Where idle skipping fast-forwards only when the whole
+// system is quiet, the wheels park individual components inside busy
+// periods; results are bit-identical either way.
+func (s *Standalone) SetEventWheel(on bool) {
+	s.GPU.SetEventWheel(on)
+	s.DRAM.SetEventWheel(on)
+}
+
 // SetProbe attaches a telemetry probe: RunUntilIdleCtx publishes a
 // progress snapshot to it at every stride poll and serves its
 // on-demand diagnostic requests. nil detaches. The probe reads

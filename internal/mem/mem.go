@@ -215,14 +215,33 @@ type Request struct {
 	// memory system (for latency stats).
 	IssuedAt uint64
 
-	// Tag is requester-private metadata (e.g. MSHR index).
+	// Tag is requester-private metadata (e.g. MSHR index). When it
+	// implements DoneWatcher, Complete notifies it.
 	Tag any
 }
 
-// Complete marks the request done at the given cycle.
+// DoneWatcher is implemented by request issuers (carried in
+// Request.Tag) that need a synchronous signal when their request
+// completes — e.g. a cache counting completed-but-uninstalled fills so
+// its NextWake stays O(1). The callback may run on a parallel shard
+// (a DRAM channel retiring the request), so implementations must be
+// safe for concurrent use and restricted to commutative atomic updates.
+type DoneWatcher interface {
+	RequestDone(r *Request)
+}
+
+// Complete marks the request done at the given cycle and notifies the
+// issuer's DoneWatcher, if any. Idempotent: a request already done is
+// left untouched, so no watcher is ever notified twice.
 func (r *Request) Complete(cycle uint64) {
+	if r.Done {
+		return
+	}
 	r.Done = true
 	r.DoneAt = cycle
+	if w, ok := r.Tag.(DoneWatcher); ok {
+		w.RequestDone(r)
+	}
 }
 
 // NeverWake is the NextWake sentinel for a component that is fully

@@ -1,0 +1,71 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWheelArmWake pins the slot semantics: fresh slots are due, Arm
+// moves the wake anywhere, Wake only ever pulls it forward.
+func TestWheelArmWake(t *testing.T) {
+	w := NewWheel(3)
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if !w.Due(i, 0) {
+			t.Fatalf("fresh slot %d not due at cycle 0", i)
+		}
+	}
+	w.Arm(1, 100)
+	if w.Due(1, 99) {
+		t.Fatal("slot armed at 100 due at 99")
+	}
+	if !w.Due(1, 100) {
+		t.Fatal("slot armed at 100 not due at 100")
+	}
+	w.Wake(1, 200) // later than armed: must not move
+	if w.At(1) != 100 {
+		t.Fatalf("Wake moved wake later: %d", w.At(1))
+	}
+	w.Wake(1, 40)
+	if w.At(1) != 40 {
+		t.Fatalf("Wake(40) left wake at %d", w.At(1))
+	}
+	w.Arm(1, 500) // owner re-arm may move later
+	if w.At(1) != 500 {
+		t.Fatalf("Arm(500) left wake at %d", w.At(1))
+	}
+	if got := w.Min(); got != 0 {
+		t.Fatalf("Min = %d, want 0 (slots 0 and 2 unarmed)", got)
+	}
+	w.Arm(0, 300)
+	w.Arm(2, 250)
+	if got := w.Min(); got != 250 {
+		t.Fatalf("Min = %d, want 250", got)
+	}
+}
+
+// TestWheelConcurrentWake hammers one slot with racing Wake calls and
+// checks the final value is the global minimum — the property DRAM
+// retire callbacks on parallel channel shards rely on.
+func TestWheelConcurrentWake(t *testing.T) {
+	w := NewWheel(1)
+	w.Arm(0, 1<<40)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := per; i > 0; i-- {
+				w.Wake(0, uint64(1000+g*per+i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.At(0); got != 1001 {
+		t.Fatalf("concurrent Wake min = %d, want 1001", got)
+	}
+}

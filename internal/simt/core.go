@@ -234,6 +234,16 @@ func (c *Core) Launch(prog *shader.Program, env WarpEnv, blockID int, mask uint3
 	return w, nil
 }
 
+// StampCycle brings the launch-stamp clock current without ticking.
+// Owners that skip provably-idle ticks (the GPU's cluster event wheel)
+// call this before Launch so warp launch timestamps match a run that
+// ticked every cycle.
+func (c *Core) StampCycle(cycle uint64) {
+	if cycle > c.curCycle {
+		c.curCycle = cycle
+	}
+}
+
 // Idle reports whether the core has no warps and no outstanding memory.
 func (c *Core) Idle() bool {
 	return len(c.warps) == 0 && len(c.txQueue) == 0 && len(c.events) == 0
@@ -244,9 +254,19 @@ func (c *Core) Idle() bool {
 // writeback event due, and no cache with actionable work. Applied
 // unconditionally (with or without idle skipping) so results never
 // depend on the skip mode.
+// A cycle where every resident warp is parked counts as quiet: the
+// schedulers could not issue anything, so the whole Tick body would be
+// a no-op. Such cycles therefore no longer increment the cycles /
+// issue_idle counters or emit stall instants — in every mode, so
+// results stay mode-independent.
 func (c *Core) quiet(cycle uint64) bool {
-	if len(c.warps) > 0 || len(c.txQueue) > 0 || c.Out.Len() > 0 {
+	if len(c.txQueue) > 0 || c.Out.Len() > 0 {
 		return false
+	}
+	for _, w := range c.warps {
+		if w.parked <= cycle {
+			return false
+		}
 	}
 	for _, e := range c.events {
 		if e.at <= cycle {
@@ -258,15 +278,32 @@ func (c *Core) quiet(cycle uint64) bool {
 }
 
 // NextWake returns the earliest future cycle at which the core's state
-// can change on its own: now while warps or transactions are live, the
-// earliest writeback event or cache wake otherwise, mem.NeverWake when
-// fully drained. In-flight cache fills are covered downstream
-// (NoC/DRAM).
+// can change on its own: now while any warp is schedulable or
+// transactions are live, the earliest park expiry, writeback event or
+// cache wake otherwise, mem.NeverWake when fully drained. Warps parked
+// on an external dependency (scoreboard held by an in-flight fill,
+// barrier) contribute NeverWake here — the fill's arrival flows
+// through a cache wake plus the cluster's L2-completion Wake, and
+// barrier release can only happen while some sibling executes, i.e.
+// while the core is awake anyway. In-flight cache fills are covered
+// downstream (NoC/DRAM). Mirrors quiet() exactly: NextWake(c) > c iff
+// quiet(c).
 func (c *Core) NextWake(cycle uint64) uint64 {
-	if len(c.warps) > 0 || len(c.txQueue) > 0 || c.Out.Len() > 0 {
+	if len(c.txQueue) > 0 || c.Out.Len() > 0 {
 		return cycle
 	}
-	w := c.L1D.NextWake(cycle)
+	w := uint64(mem.NeverWake)
+	for _, wp := range c.warps {
+		if wp.parked <= cycle {
+			return cycle
+		}
+		if wp.parked < w {
+			w = wp.parked
+		}
+	}
+	if v := c.L1D.NextWake(cycle); v < w {
+		w = v
+	}
 	if v := c.L1T.NextWake(cycle); v < w {
 		w = v
 	}
@@ -287,13 +324,16 @@ func (c *Core) NextWake(cycle uint64) uint64 {
 	return w
 }
 
-// Tick advances the core one cycle.
-func (c *Core) Tick(cycle uint64) {
+// Tick advances the core one cycle. It reports whether the cycle was
+// quiet (a no-op): owners that park idle cores on an event wheel use
+// this to skip the precise NextWake computation while the core is
+// demonstrably busy, paying it only on the busy→quiet transition.
+func (c *Core) Tick(cycle uint64) (quiet bool) {
 	// curCycle must be stamped before the idle gate: Launch reads it
 	// for warp launch timestamps and may run later this same cycle.
 	c.curCycle = cycle
 	if c.quiet(cycle) {
-		return
+		return true
 	}
 	c.cycles.Inc()
 
@@ -341,6 +381,7 @@ func (c *Core) Tick(cycle uint64) {
 
 	// 6. Reap finished warps.
 	c.reap()
+	return false
 }
 
 func (c *Core) completeEvent(e wbEvent, cycle uint64) {
@@ -443,6 +484,52 @@ func (c *Core) warpReady(w *Warp, cycle uint64) bool {
 	return true
 }
 
+// schedReady is warpReady fused with park classification: one pass
+// decides both whether w can issue and, if not, how long the scheduler
+// may skip it. A park of mem.NeverWake means "until an external hook
+// clears w.parked": every condition that earns it can only lift
+// through unlock (scoreboard release, which all outstanding-memory
+// decrements ride along with) or barrier release, and both of those
+// clear the park. readyAt stalls are purely timed and expire on their
+// own. Conditions with no such hook (LSU backpressure, an empty
+// reconvergence stack) leave the warp unparked — it is rescanned next
+// cycle, same as before parking existed. A parked warp's own pc,
+// stack, done, and readyAt cannot change, because only its own
+// execution mutates them and a parked warp never executes. warpReady
+// stays as the side-effect-free reference (guard, tests).
+func (c *Core) schedReady(w *Warp, cycle uint64) bool {
+	if w.done || w.atBarrier {
+		w.parked = mem.NeverWake
+		return false
+	}
+	if w.readyAt > cycle {
+		w.parked = w.readyAt
+		return false
+	}
+	if len(w.stack) == 0 {
+		return false
+	}
+	pc := w.PC()
+	if pc >= uint32(len(w.Prog.Code)) {
+		return false
+	}
+	in := w.Prog.Code[pc]
+	if w.hazard(in) {
+		w.parked = mem.NeverWake
+		return false
+	}
+	if in.IsMemory() {
+		if len(c.txQueue) >= txQueueDepth {
+			return false
+		}
+		if w.outstanding > 0 && shader.ClassOf(in.Op) == shader.ClassROP {
+			w.parked = mem.NeverWake
+			return false
+		}
+	}
+	return true
+}
+
 // issueOne lets one scheduler pick and execute a warp instruction.
 func (c *Core) issueOne(cycle uint64) {
 	n := len(c.warps)
@@ -455,7 +542,10 @@ func (c *Core) issueOne(cycle uint64) {
 	// this is the hottest loop in the simulator, and materializing the
 	// candidate order allocates once per scheduler slot.
 	try := func(w *Warp) bool {
-		if !c.warpReady(w, cycle) {
+		if w.parked > cycle {
+			return false // still parked: warpReady cannot be true
+		}
+		if !c.schedReady(w, cycle) {
 			return false
 		}
 		c.execute(w, cycle)
@@ -560,6 +650,7 @@ func (c *Core) reap() {
 						// is now satisfied by the survivors.
 						for _, bw := range b.warps {
 							bw.atBarrier = false
+							bw.parked = 0
 						}
 						b.atBarrier = 0
 					}

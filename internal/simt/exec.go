@@ -319,6 +319,7 @@ func (c *Core) barrier(w *Warp) {
 	if b.atBarrier >= b.live {
 		for _, bw := range b.warps {
 			bw.atBarrier = false
+			bw.parked = 0 // barrier release: wake parked siblings
 		}
 		b.atBarrier = 0
 	}

@@ -60,6 +60,13 @@ func (c *Core) checkWarps(cycle uint64) error {
 		if err := w.checkInvariants(); err != nil {
 			return fmt.Errorf("warp %d (%s): %w", w.ID, w.Prog.Name, err)
 		}
+		// Wake-contract audit: a parked warp must genuinely be
+		// unschedulable. A violation means a release path forgot to
+		// clear the park and the scheduler is skipping issuable work.
+		if w.parked > cycle && c.warpReady(w, cycle) {
+			return fmt.Errorf("warp %d (%s): parked until %d but ready at %d (missing park-clear hook)",
+				w.ID, w.Prog.Name, w.parked, cycle)
+		}
 	}
 	return nil
 }

@@ -86,6 +86,18 @@ type Warp struct {
 	atBarrier bool
 	done      bool
 
+	// parked is a conservative lower bound on the next cycle warpReady
+	// can return true: the scheduler skips the warp (one comparison)
+	// until it expires. Set by Core.schedReady when the warp fails to
+	// issue; cleared (to 0) at every point the blocking condition can
+	// lift from outside the warp's own execution — scoreboard release
+	// (unlock, which every outstanding-memory decrement rides along
+	// with) and barrier release. Timed stalls (readyAt) expire on their
+	// own. A warp with parked > cycle is invisible to the scheduler and
+	// to the core's quiet/NextWake checks, which is what lets a fully
+	// memory-stalled core park its cluster shard on the event wheel.
+	parked uint64
+
 	// LaunchedAt orders warps for greedy-then-oldest scheduling.
 	LaunchedAt uint64
 	lastIssued uint64
@@ -235,8 +247,12 @@ func (w *Warp) lockDst(in shader.Instr) []uint8 {
 	return regs
 }
 
-// unlock releases registers locked by lockDst.
+// unlock releases registers locked by lockDst. This is the single
+// scoreboard-release chokepoint (ALU/SFU writebacks and memory fills
+// both land here), so it doubles as the park-clearing hook: the warp
+// becomes schedulable again the cycle its dependency resolves.
 func (w *Warp) unlock(regs []uint8) {
+	w.parked = 0
 	for _, r := range regs {
 		if w.scoreboard[r] > 0 {
 			w.scoreboard[r]--

@@ -80,6 +80,14 @@ func (d *Display) Tick(cycle uint64) {
 		return
 	}
 	if d.totalReqs == 0 {
+		// First kickoff: scanning starts at the first refresh boundary,
+		// not at whatever cycle the first Tick happens to land on. Tick
+		// and NextWake agree the panel is parked until then, so a
+		// configured-but-idle display cannot busy-pin the loop (and the
+		// kickoff cycle does not depend on how often the owner ticked).
+		if cycle < d.frameStart+d.Period {
+			return
+		}
 		d.beginScan(cycle)
 	}
 
@@ -147,7 +155,16 @@ func (d *Display) NextWake(cycle uint64) uint64 {
 	if d.fb.Width == 0 {
 		return mem.NeverWake
 	}
-	if d.totalReqs == 0 || d.Out.Len() > 0 {
+	if d.totalReqs == 0 {
+		// Awaiting first kickoff: parked until the first refresh
+		// boundary (mirrors Tick exactly). Returning "now" here would
+		// busy-pin the whole loop on an idle panel.
+		if w := d.frameStart + d.Period; w > cycle {
+			return w
+		}
+		return cycle
+	}
+	if d.Out.Len() > 0 {
 		return cycle
 	}
 	for _, r := range d.inflight {

@@ -1,0 +1,49 @@
+package soc
+
+import (
+	"testing"
+
+	"emerald/internal/mem"
+)
+
+// TestIdleDisplayDoesNotDefeatSkipping is the regression test for the
+// display busy-pin: NextWake used to return "now" whenever totalReqs
+// was zero, so a configured-but-never-scanned panel pinned the whole
+// loop to cycle-by-cycle ticking. A parked panel must report its first
+// refresh boundary (NeverWake before any framebuffer is attached), and
+// Tick must agree — no observable state change before the boundary, a
+// kickoff exactly at it.
+func TestIdleDisplayDoesNotDefeatSkipping(t *testing.T) {
+	const period = 10_000
+	d := NewDisplay(period, nil)
+	if got := d.NextWake(0); got != mem.NeverWake {
+		t.Fatalf("unconfigured display NextWake = %d, want NeverWake", got)
+	}
+	d.SetFrontBuffer(testSurface())
+	if got := d.NextWake(0); got != period {
+		t.Fatalf("configured idle display NextWake = %d, want first refresh boundary %d", got, period)
+	}
+	if got := d.NextWake(period / 2); got != period {
+		t.Fatalf("mid-park NextWake = %d, want %d", got, period/2+period/2)
+	}
+
+	// Ticking inside the parked window must be a no-op.
+	d.Tick(period / 2)
+	if d.Out.Len() != 0 || d.FrameStart() != 0 || d.FramesShown()+d.FramesDropped() != 0 {
+		t.Fatal("parked display changed state before the refresh boundary")
+	}
+
+	// The scan kicks off at the boundary, regardless of whether the
+	// owner ticked during the parked window.
+	d.Tick(period)
+	if d.FrameStart() != period {
+		t.Fatalf("scan kickoff at FrameStart %d, want %d", d.FrameStart(), period)
+	}
+	w := d.NextWake(period)
+	if w <= period || w == mem.NeverWake {
+		t.Fatalf("scanning display NextWake = %d, want a finite future cycle", w)
+	}
+	if limit := uint64(2 * period); w > limit {
+		t.Fatalf("scanning display NextWake = %d, beyond next deadline %d", w, limit)
+	}
+}

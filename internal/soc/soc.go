@@ -149,6 +149,15 @@ type SoC struct {
 	// unread by other shards until later serialized phases.
 	phase1 *par.Group
 
+	// wheel holds one slot per phase-1 shard (CPU cores, then the
+	// display): the earliest system cycle at which that shard can change
+	// state on its own. Shards re-arm their slot post-tick; DRAM retires
+	// and frame flips Wake slots when they hand a parked shard new input.
+	// Maintenance always runs — wheelOn gates only the skip — so results
+	// are bit-identical in both modes.
+	wheel   *par.Wheel
+	wheelOn bool
+
 	// trace, when armed via AttachTracer, receives frame submit/complete
 	// spans and blocking-syscall spans; per-CPU state below tracks a
 	// pending (blocked, retried-each-tick) syscall's start cycle.
@@ -198,6 +207,23 @@ func New(cfg Config, reg *stats.Registry) (*SoC, error) {
 	s.GPU = gpu.New(cfg.GPU, memory, reg)
 	s.DRAM = dram.NewController(cfg.DRAM, reg)
 	s.Display = NewDisplay(cfg.DisplayPeriod, reg)
+	s.wheel = par.NewWheel(cfg.NumCPUs + 1)
+	s.wheelOn = true
+	// A retiring DRAM read is the one input that reaches a parked
+	// phase-1 shard from outside: route it to the owner's wheel slot.
+	// The callback runs on parallel channel shards; Wake is an atomic
+	// min. GPU fills need no slot — the GPU's serial L2 phase is never
+	// wheel-gated and routes completions to its own cluster wheel.
+	s.DRAM.SetOnRetire(func(r *mem.Request, cycle uint64) {
+		switch r.Client {
+		case mem.ClientCPU:
+			if r.ClientID >= 0 && r.ClientID < cfg.NumCPUs {
+				s.wheel.Wake(r.ClientID, cycle+1)
+			}
+		case mem.ClientDisplay:
+			s.wheel.Wake(cfg.NumCPUs, cycle+1)
+		}
+	})
 
 	// Ports: CPUs, GPU, display.
 	s.noc = interconnect.New(interconnect.Config{
@@ -349,6 +375,28 @@ func (s *SoC) AttachGuard(g *guard.Checker) {
 	for _, c := range s.CPUs {
 		c.AttachGuard(g)
 	}
+	g.Register("wheel", "soc.shards", s.checkWheel)
+}
+
+// checkWheel audits the phase-1 event wheel at the quiesce point: any
+// CPU or display slot claiming its shard stays a no-op past the next
+// cycle must be backed by a wake computation that agrees. A violation
+// means an input path failed to wake the slot and the wheel is
+// fast-forwarding over actionable work.
+func (s *SoC) checkWheel(cycle uint64) error {
+	for i, core := range s.CPUs {
+		if due := s.wheel.At(i); due > cycle+1 {
+			if w := s.cpuWake(core, cycle+1); w <= cycle+1 {
+				return fmt.Errorf("cpu%d parked until %d but actionable at %d", i, due, cycle+1)
+			}
+		}
+	}
+	if due := s.wheel.At(s.Cfg.NumCPUs); due > cycle+1 {
+		if w := s.Display.NextWake(cycle + 1); w <= cycle+1 {
+			return fmt.Errorf("display parked until %d but actionable at %d", due, cycle+1)
+		}
+	}
+	return nil
 }
 
 // SetWatchdog arms the forward-progress watchdog: RunCtx aborts with a
@@ -486,6 +534,10 @@ func (s *SoC) completeFrame() {
 	front := s.backBuffer()
 	s.backIsA = !s.backIsA
 	s.Display.SetFrontBuffer(front)
+	// The flip is display input from outside its shard; a parked panel
+	// must notice it next cycle (first configuration after construction,
+	// or a geometry change between surfaces).
+	s.wheel.Wake(s.Cfg.NumCPUs, s.cycle+1)
 
 	st := FrameStats{
 		SubmitCycle: s.submitCycle,
@@ -511,6 +563,17 @@ func (s *SoC) Cycle() uint64 { return s.cycle }
 // over cycles whose component ticks are gated no-ops, and jumps are
 // clamped to the watchdog/context poll stride.
 func (s *SoC) SetIdleSkip(on bool) { s.skip = on }
+
+// SetEventWheel toggles the per-shard event wheels across the whole
+// system (CPU cores, display, GPU clusters, DRAM channels). Where idle
+// skipping fast-forwards only when every component is quiet, the wheels
+// park individual components inside busy periods; results are
+// bit-identical either way.
+func (s *SoC) SetEventWheel(on bool) {
+	s.wheelOn = on
+	s.GPU.SetEventWheel(on)
+	s.DRAM.SetEventWheel(on)
+}
 
 // SetProbe attaches a telemetry probe: RunCtx publishes a progress
 // snapshot to it at every stride poll and serves its on-demand
@@ -577,6 +640,12 @@ func (s *SoC) NextWake() uint64 {
 // reads.
 func (s *SoC) tickCPUShard(i int) {
 	c := s.cycle
+	if s.wheelOn && !s.wheel.Due(i, c) {
+		// Parked: the slot value asserts every CPU-domain tick until
+		// then is a gated no-op (core sleeping/halted/blocked, caches
+		// quiet, output drained).
+		return
+	}
 	core := s.CPUs[i]
 	for m := 0; m < s.Cfg.CPUClockMult; m++ {
 		core.Tick(c*uint64(s.Cfg.CPUClockMult) + uint64(m))
@@ -592,6 +661,23 @@ func (s *SoC) tickCPUShard(i int) {
 		}
 		core.Out.Pop()
 	}
+	s.wheel.Arm(i, s.cpuWake(core, c+1))
+}
+
+// cpuWake converts core i's next-wake from its clock domain to system
+// cycles, at or after system cycle `from`, for re-arming its wheel
+// slot. Floor division is exact here: CPU cycle w falls inside system
+// cycle w/mult, whose shard tick covers it.
+func (s *SoC) cpuWake(core *cpu.Core, from uint64) uint64 {
+	mult := uint64(s.Cfg.CPUClockMult)
+	w := core.NextWake(from * mult)
+	if w == mem.NeverWake {
+		return mem.NeverWake
+	}
+	if w /= mult; w < from {
+		return from
+	}
+	return w
 }
 
 // tickDisplayShard advances the display controller and drains its
@@ -601,6 +687,10 @@ func (s *SoC) tickCPUShard(i int) {
 // shards.
 func (s *SoC) tickDisplayShard() {
 	c := s.cycle
+	slot := s.Cfg.NumCPUs
+	if s.wheelOn && !s.wheel.Due(slot, c) {
+		return
+	}
 	s.Display.Tick(c)
 	dport := s.noc.Port(s.Cfg.NumCPUs + 1)
 	for {
@@ -613,6 +703,11 @@ func (s *SoC) tickDisplayShard() {
 		}
 		s.Display.Out.Pop()
 	}
+	w := s.Display.NextWake(c + 1)
+	if w <= c+1 {
+		w = c + 1
+	}
+	s.wheel.Arm(slot, w)
 }
 
 // Tick advances the SoC one system cycle. The cycle is phase-structured

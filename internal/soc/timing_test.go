@@ -92,7 +92,10 @@ func TestDisplayDeadlineAccounting(t *testing.T) {
 			}
 		}
 	}
-	serve(3, true)
+	// The first period is the parked pre-kickoff window (scanning
+	// starts at the first refresh boundary), so four periods give two
+	// completed deadline checks.
+	serve(4, true)
 	shown, dropped := d.FramesShown(), d.FramesDropped()
 	if shown < 2 || dropped != 0 {
 		t.Fatalf("fast phase: shown=%d dropped=%d, want >=2 shown and 0 dropped", shown, dropped)

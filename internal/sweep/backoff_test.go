@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffBounds pins backoff's contract across the tricky attempt
+// counts: the delay is always in (0, ceil*1.5], including attempts
+// whose shift overflows int64 (attempt >= 63 drives base<<(n-1)
+// through zero or negative) and configurations where base already
+// exceeds ceil.
+func TestBackoffBounds(t *testing.T) {
+	cases := []struct {
+		name       string
+		base, ceil time.Duration
+		attempt    int
+	}{
+		{"first", time.Second, 30 * time.Second, 1},
+		{"growing", time.Second, 30 * time.Second, 4},
+		{"at ceil", time.Second, 30 * time.Second, 6},
+		{"past ceil", time.Second, 30 * time.Second, 20},
+		{"shift to zero", time.Second, 30 * time.Second, 64},
+		{"shift overflow negative", time.Second, 30 * time.Second, 63},
+		{"shift far past width", time.Second, 30 * time.Second, 200},
+		{"base above ceil", time.Minute, 5 * time.Second, 1},
+		{"base above ceil retry", time.Minute, 5 * time.Second, 63},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// The jitter term is random; many samples pin the bounds,
+			// not a single lucky draw.
+			for i := 0; i < 200; i++ {
+				d := backoff(tc.base, tc.ceil, tc.attempt)
+				if d <= 0 {
+					t.Fatalf("backoff(%v, %v, %d) = %v, want > 0",
+						tc.base, tc.ceil, tc.attempt, d)
+				}
+				if max := tc.ceil + tc.ceil/2; d > max {
+					t.Fatalf("backoff(%v, %v, %d) = %v, want <= ceil*1.5 = %v",
+						tc.base, tc.ceil, tc.attempt, d, max)
+				}
+			}
+		})
+	}
+}
+
+// TestBackoffDeterministicPart checks the non-jitter part: the delay
+// never undershoots min(base, ceil) — a collapsed delay would turn the
+// retry loop into a hot spin against a failing executor.
+func TestBackoffDeterministicPart(t *testing.T) {
+	for attempt := 1; attempt <= 70; attempt++ {
+		base, ceil := 50*time.Millisecond, 2*time.Second
+		d := backoff(base, ceil, attempt)
+		if d < base {
+			t.Fatalf("backoff(%v, %v, %d) = %v, below base", base, ceil, attempt, d)
+		}
+	}
+}

@@ -155,6 +155,9 @@ type RunnerConfig struct {
 	// executor's simulations (ignored when Exec is set). Results are
 	// identical either way.
 	NoSkip bool
+	// NoWheel disables the per-shard event wheels in the default
+	// executor (results are identical either way).
+	NoWheel bool
 	// Journal, when non-nil, records job lifecycle transitions to the
 	// durable write-ahead log so a crashed daemon can requeue
 	// incomplete jobs on restart.
@@ -183,7 +186,7 @@ func (c RunnerConfig) withDefaults() RunnerConfig {
 		c.RetryMax = 5 * time.Second
 	}
 	if c.Exec == nil {
-		c.Exec = Executor(ExecConfig{Watchdog: c.Watchdog, Guard: c.Guard, NoSkip: c.NoSkip})
+		c.Exec = Executor(ExecConfig{Watchdog: c.Watchdog, Guard: c.Guard, NoSkip: c.NoSkip, NoWheel: c.NoWheel})
 	}
 	return c
 }

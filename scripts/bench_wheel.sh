@@ -1,0 +1,46 @@
+#!/bin/sh
+# Benchmark recorder for the per-shard event wheel: pairs
+# BenchmarkFrameW3 (wheel on, the default) against
+# BenchmarkFrameW3NoWheel (every cluster and DRAM channel ticked every
+# cycle) on the busy W3 frame — the case the wheel must win, not just
+# idle-heavy scan-out gaps — and records the results as JSON in
+# BENCH_wheel.json so the speedup shows up in review diffs. Results
+# are bit-identical between the two arms (TestWheelDeterminismSoC /
+# TestWheelDeterminismStandalone); only wall clock changes. Three
+# interleaved rounds are run and the per-arm minimum kept, which
+# filters scheduler noise on shared machines. Run from the repository
+# root:
+#
+#	scripts/bench_wheel.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_wheel.json
+raw=$(go test -run '^$' -bench 'BenchmarkFrameW3$|BenchmarkFrameW3NoWheel$' \
+	-benchtime=3x -count=3 .)
+echo "$raw"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
+	$1 ~ /^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		if (!(name in best) || $3 < best[name]) { best[name] = $3; iters[name] = $2 }
+	}
+	END {
+		printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, gover
+		n = 0
+		for (name in best) {
+			if (n++) printf ","
+			printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"best_of\": 3}",
+				name, iters[name], best[name]
+		}
+		printf "\n  ]"
+		wheel = best["BenchmarkFrameW3"]
+		nowheel = best["BenchmarkFrameW3NoWheel"]
+		if (wheel > 0 && nowheel > 0)
+			printf ",\n  \"busy_frame_speedup\": %.3f", nowheel / wheel
+		printf "\n}\n"
+	}
+' >"$out"
+echo "wrote $out"

@@ -47,8 +47,31 @@ go test ./...
 echo "== go test -race (short) =="
 go test -race -short ./...
 
-echo "== determinism (workers 1 vs 4, skip vs no-skip) =="
-go test -count=1 -run 'TestParallelDeterminism|TestSkipDeterminism' ./internal/exp
+echo "== determinism (workers 1 vs 4, skip vs no-skip vs wheel) =="
+go test -count=1 -run 'TestParallelDeterminism|TestSkipDeterminism|TestWheelDeterminism' ./internal/exp
+
+echo "== wake-contract sweep =="
+# Every NextWake implementor, driven through a crafted busy period:
+# reporting a wake later than the first self-driven state change is
+# the silent-correctness bug class the wheel turns into wrong results.
+go test -count=1 -run 'TestNextWakeContract' ./internal/exp
+
+echo "== event-wheel busy-frame guard =="
+# The wheel must not cost anything on a busy frame (its win comes from
+# parked components inside busy periods; see BENCH_wheel.json for the
+# recorded speedup). Gate wheel-on at 5% of wheel-off, min-of-3 paired
+# runs to absorb scheduler noise.
+out=$(go test -run '^$' -bench 'BenchmarkFrameW3$|BenchmarkFrameW3NoWheel$' -benchtime=3x -count=3 .)
+echo "$out"
+echo "$out" | awk '
+	$1 ~ /^BenchmarkFrameW3(-[0-9]+)?$/        { if (wheel == 0 || $3 < wheel) wheel = $3 }
+	$1 ~ /^BenchmarkFrameW3NoWheel(-[0-9]+)?$/ { if (nowheel == 0 || $3 < nowheel) nowheel = $3 }
+	END {
+		if (wheel == 0 || nowheel == 0) { print "FAIL: benchmark output missing" > "/dev/stderr"; exit 1 }
+		ratio = wheel / nowheel
+		printf "busy-frame wheel cost: %.1f%% (negative = speedup; gate +5%%)\n", 100 * (ratio - 1)
+		if (ratio > 1.05) { print "FAIL: event wheel slows the busy frame" > "/dev/stderr"; exit 1 }
+	}'
 
 echo "== parallel speedup guard =="
 cores=$(nproc 2>/dev/null || echo 1)
