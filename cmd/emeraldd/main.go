@@ -23,6 +23,21 @@
 // answering status (readiness reports "draining"); the drain is
 // bounded by -drain-timeout, after which in-flight simulations are
 // cancelled through their contexts.
+//
+// Fleet mode: -peers joins this daemon into a distributed sweep plane
+// of emeraldd nodes (see internal/fleet): jobs and result blobs are
+// placed by consistent hashing on the spec key, idle nodes steal
+// queued work from busy peers, completed results are replicated to
+// -replicas ring owners, and a periodic anti-entropy sweep heals
+// corrupt or missing replicas.
+//
+//	emeraldd -addr 127.0.0.1:8401 \
+//	  -peers http://127.0.0.1:8401,http://127.0.0.1:8402,http://127.0.0.1:8403
+//
+// The env var EMERALD_SLEEP_EXEC_MS=<n> replaces the simulator with a
+// synthetic executor that sleeps n milliseconds per job (benchmark
+// harnesses use it to measure fleet-plane scheduling independently of
+// simulation CPU cost; results are NOT simulations).
 package main
 
 import (
@@ -35,9 +50,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"emerald/internal/fleet"
+	"emerald/internal/soc"
 	"emerald/internal/sweep"
 )
 
@@ -55,6 +74,14 @@ func main() {
 	noSkip := flag.Bool("no-skip", false, "disable event-driven idle cycle-skipping in every job (results are identical; for perf comparison/debugging)")
 	noWheel := flag.Bool("no-wheel", false, "disable per-shard event wheels in every job (results are identical; for perf comparison/debugging)")
 	pprofOn := flag.Bool("pprof", false, "mount Go profiler endpoints under /debug/pprof/ (off by default; exposes process internals)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every fleet member (including this node) — enables fleet mode")
+	advertise := flag.String("advertise", "", "this node's base URL as it appears in -peers (default http://<listen addr>)")
+	replicas := flag.Int("replicas", 2, "ring owners holding each completed result blob (fleet mode)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer health-probe period (fleet mode)")
+	stealInterval := flag.Duration("steal-interval", 500*time.Millisecond, "idle work-steal period (fleet mode)")
+	stealBatch := flag.Int("steal-batch", 4, "max queued specs pulled per steal (fleet mode)")
+	antiEntropy := flag.Duration("anti-entropy-interval", 30*time.Second, "replica repair sweep period (fleet mode)")
+	fleetGC := flag.Bool("fleet-gc", false, "let anti-entropy delete blobs this node no longer owns once every owner holds a copy (fleet mode)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -71,6 +98,20 @@ func main() {
 		jobTimeout: *jobTimeout, retries: *retries, drainTimeout: *drainTimeout,
 		watchdog: *watchdog, guard: *guardOn, noSkip: *noSkip, noWheel: *noWheel,
 		pprof: *pprofOn,
+		fleet: fleet.Config{
+			Self:                *advertise,
+			Replicas:            *replicas,
+			ProbeInterval:       *probeInterval,
+			StealInterval:       *stealInterval,
+			StealBatch:          *stealBatch,
+			AntiEntropyInterval: *antiEntropy,
+			GCUnowned:           *fleetGC,
+		},
+	}
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cfg.fleet.Peers = append(cfg.fleet.Peers, strings.TrimRight(p, "/"))
+		}
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "emeraldd:", err)
@@ -88,6 +129,7 @@ type daemonConfig struct {
 	noSkip                   bool
 	noWheel                  bool
 	pprof                    bool
+	fleet                    fleet.Config // fleet mode iff Peers is non-empty
 }
 
 func run(cfg daemonConfig) error {
@@ -114,7 +156,14 @@ func run(cfg daemonConfig) error {
 		defer journal.Close()
 	}
 
-	runner := sweep.NewRunner(store, sweep.RunnerConfig{
+	// Listen before the runner exists: fleet mode derives the default
+	// advertised URL from the bound address.
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+
+	rcfg := sweep.RunnerConfig{
 		Workers:    cfg.jobs,
 		QueueDepth: cfg.queue,
 		JobTimeout: cfg.jobTimeout,
@@ -124,7 +173,31 @@ func run(cfg daemonConfig) error {
 		NoSkip:     cfg.noSkip,
 		NoWheel:    cfg.noWheel,
 		Journal:    journal,
-	})
+	}
+	if ms := os.Getenv("EMERALD_SLEEP_EXEC_MS"); ms != "" {
+		d, err := strconv.Atoi(ms)
+		if err != nil || d < 0 {
+			return fmt.Errorf("bad EMERALD_SLEEP_EXEC_MS %q", ms)
+		}
+		rcfg.Exec = sleepExec(time.Duration(d) * time.Millisecond)
+		fmt.Fprintf(os.Stderr, "emeraldd: EMERALD_SLEEP_EXEC_MS=%d — synthetic sleep executor (bench mode; results are NOT simulations)\n", d)
+	}
+
+	var node *fleet.Node
+	if len(cfg.fleet.Peers) > 0 {
+		if cfg.fleet.Self == "" {
+			cfg.fleet.Self = "http://" + ln.Addr().String()
+		}
+		if node, err = fleet.New(cfg.fleet, store); err != nil {
+			return err
+		}
+		rcfg.OnStored = node.OnStored
+	}
+
+	runner := sweep.NewRunner(store, rcfg)
+	if node != nil {
+		node.SetRunner(runner)
+	}
 	if len(pending) > 0 {
 		requeued, cached := runner.Recover(pending)
 		fmt.Fprintf(os.Stderr, "emeraldd: recovered %d incomplete job(s) from journal (%d requeued, %d already cached)\n",
@@ -132,16 +205,20 @@ func run(cfg daemonConfig) error {
 	}
 	api := sweep.NewServer(runner, store)
 	api.Pprof = cfg.pprof
+	if node != nil {
+		api.Fleet = node
+		node.Start()
+	}
 	srv := &http.Server{Handler: api.Handler()}
 
-	ln, err := net.Listen("tcp", cfg.addr)
-	if err != nil {
-		return err
-	}
 	// The actual address, on stdout: scripts parse this to find a
 	// daemon started with port 0.
 	fmt.Printf("emeraldd: listening on %s (cache %s, %d job workers)\n",
 		ln.Addr(), store.Dir(), cfg.jobs)
+	if node != nil {
+		fmt.Fprintf(os.Stderr, "emeraldd: fleet mode: self %s, %d member(s), %d replica(s)\n",
+			cfg.fleet.Self, len(cfg.fleet.Peers), cfg.fleet.Replicas)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -163,6 +240,11 @@ func run(cfg daemonConfig) error {
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancelDrain()
 	drainErr := runner.Shutdown(drainCtx)
+	if node != nil {
+		// After the drain: draining jobs still replicate their results,
+		// and Close waits for those pushes.
+		node.Close()
+	}
 
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelHTTP()
@@ -174,4 +256,41 @@ func run(cfg daemonConfig) error {
 	}
 	fmt.Fprintln(os.Stderr, "emeraldd: drained cleanly")
 	return nil
+}
+
+// sleepExec is the EMERALD_SLEEP_EXEC_MS executor: it sleeps instead
+// of simulating, returning a spec-derived placeholder result (shaped
+// like the real one, so figure aggregation still works). Benchmark
+// harnesses use it to measure fleet scheduling (placement, stealing,
+// replication) independently of simulation CPU cost on any machine.
+func sleepExec(d time.Duration) sweep.Exec {
+	return func(ctx context.Context, spec sweep.Spec) (*sweep.Result, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(d):
+		}
+		c := spec.Canonical()
+		res := &sweep.Result{Spec: c}
+		switch c.Kind {
+		case sweep.KindCS1:
+			res.CS1 = &soc.Results{
+				Config:          c.Config,
+				Model:           fmt.Sprintf("M%d", c.Model),
+				MeanGPUCycles:   float64(100*c.Model + c.Mbps),
+				MeanFrameCycles: float64(200*c.Model + c.Mbps),
+				DisplayServed:   int64(c.Mbps),
+				FramesShown:     60,
+				RowHitRate:      0.5,
+				BytesPerAct:     64,
+			}
+		case sweep.KindCS2Sweep:
+			for wt := 1; wt <= 8; wt++ {
+				res.Cycles = append(res.Cycles, uint64(1000*c.Workload+wt))
+			}
+		case sweep.KindCS2Policy:
+			res.AvgCycles = float64(1000*c.Workload + len(c.Policy))
+		}
+		return res, nil
+	}
 }

@@ -13,6 +13,15 @@
 //	sweep -fig 9,11 -scale quick -models 1,3
 //	sweep -fig 19 -scale smoke -workloads 2,5
 //
+// Fleet mode: give -addr a comma-separated list of every node in an
+// emeraldd fleet and the sweep fans out across them — jobs are placed
+// by consistent hashing on the spec key (matching where the fleet
+// replicates result blobs), and a node that dies mid-sweep has its
+// pending jobs resubmitted to the next owner on the ring. The tables
+// are byte-identical to the single-node and sequential paths.
+//
+//	sweep -addr http://127.0.0.1:8401,http://127.0.0.1:8402,http://127.0.0.1:8403
+//
 // Tables go to stdout; the cache summary goes to stderr so cold/warm
 // stdouts can be diffed byte-for-byte.
 package main
@@ -26,8 +35,18 @@ import (
 	"strings"
 	"time"
 
+	"emerald/internal/fleet"
 	"emerald/internal/sweep"
 )
+
+// service is what this CLI needs from its backend: the sweep-driving
+// Service plus the job listing the progress ticker polls. Both
+// sweep.Client (one daemon) and fleet.Client (a node fleet) satisfy
+// it.
+type service interface {
+	sweep.Service
+	Jobs(ctx context.Context) ([]sweep.Job, error)
+}
 
 // sweepable lists the figures the service can regenerate, in print
 // order. 10, 14 and 18 need timelines or per-system counter isolation
@@ -35,7 +54,7 @@ import (
 var sweepable = []string{"9", "11", "12", "13", "17", "19"}
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8321", "emeraldd base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8321", "emeraldd base URL, or a comma-separated list of fleet node URLs")
 	fig := flag.String("fig", "all", "figures to regenerate: comma-separated from 9|11|12|13|17|19, or all")
 	scale := flag.String("scale", "quick", "experiment scale: smoke|quick|paper")
 	models := flag.String("models", "", "comma-separated model ids (1=chair 2=cube 3=mask 4=triangles; default all)")
@@ -73,8 +92,34 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	c := &sweep.Client{Base: strings.TrimRight(*addr, "/")}
+	var addrs []string
+	for _, a := range splitList(*addr) {
+		addrs = append(addrs, strings.TrimRight(a, "/"))
+	}
+	var c service
+	switch len(addrs) {
+	case 0:
+		usageErr(fmt.Errorf("-addr needs at least one URL"))
+	case 1:
+		c = &sweep.Client{Base: addrs[0]}
+	default:
+		fc, err := fleet.NewClient(addrs, nil)
+		if err != nil {
+			usageErr(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: fleet of %d node(s)\n", len(addrs))
+		c = fc
+	}
 	if *progress {
+		// Stream each cell's completion as it lands (cache hits included),
+		// alongside the once-a-second running-cell status lines.
+		req.Notify = func(j sweep.Job) {
+			how := "done"
+			if j.Cached {
+				how = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "sweep: %s %s %s\n", j.ID, j.Spec, how)
+		}
 		stop := startProgress(ctx, c, time.Second)
 		defer stop()
 	}
@@ -100,7 +145,7 @@ func main() {
 // line per running cell to stderr (the telemetry snapshots the run
 // loops publish at their stride polls). Stop waits for the goroutine
 // so the last lines land before the cache summary.
-func startProgress(ctx context.Context, c *sweep.Client, every time.Duration) (stop func()) {
+func startProgress(ctx context.Context, c service, every time.Duration) (stop func()) {
 	quit := make(chan struct{})
 	done := make(chan struct{})
 	go func() {

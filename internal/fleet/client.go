@@ -1,0 +1,275 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"emerald/internal/sweep"
+)
+
+// Client fans a sweep across a fleet of emeraldd nodes. It implements
+// sweep.Service, so sweep.RunFigures drives it exactly like a
+// single-node Client — same submission order, same dedup, same
+// aggregation — which is what keeps fleet tables byte-identical to the
+// single-node and sequential-CLI paths.
+//
+// Placement mirrors the nodes' own ring: a spec goes to the first
+// alive owner of its key, so submissions land where the result blob
+// will live and warm-cache sweeps hit without any cross-node fetch.
+// Failover is the ring walk: a node that stops answering is marked
+// down and its pending jobs are resubmitted to the next alive owner —
+// sound because re-execution is byte-identical, so re-placing a job is
+// indistinguishable from having placed it there first.
+type Client struct {
+	ring  *Ring
+	nodes map[string]*sweep.Client
+
+	// DownFor is how long a failed node is skipped before the client
+	// tries it again (default 15s).
+	DownFor time.Duration
+
+	mu      sync.Mutex
+	down    map[string]time.Time // node -> when it was marked down
+	tracked map[string]*placed   // synthetic job id -> placement
+	nextID  int
+}
+
+// placed records where a synthetic job currently lives.
+type placed struct {
+	node   string
+	realID string
+	spec   sweep.Spec
+	key    string
+}
+
+// NewClient builds a fleet client over the same peer list the nodes
+// were started with. httpc overrides the transport (nil = default).
+func NewClient(peers []string, httpc *http.Client) (*Client, error) {
+	ring, err := NewRing(peers, 0)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		ring:    ring,
+		nodes:   make(map[string]*sweep.Client, len(peers)),
+		DownFor: 15 * time.Second,
+		down:    make(map[string]time.Time),
+		tracked: make(map[string]*placed),
+	}
+	for _, p := range ring.Nodes() {
+		// Per-node transport retries stay small: the fleet client's own
+		// failover (next owner on the ring) is the real recovery path.
+		c.nodes[p] = &sweep.Client{
+			Base: p, HTTP: httpc,
+			Retries: 1, RetryBase: 50 * time.Millisecond, RetryMax: 500 * time.Millisecond,
+		}
+	}
+	return c, nil
+}
+
+// Nodes returns the fleet membership (sorted).
+func (c *Client) Nodes() []string { return c.ring.Nodes() }
+
+func (c *Client) alive(node string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	since, isDown := c.down[node]
+	if !isDown {
+		return true
+	}
+	if time.Since(since) > c.DownFor {
+		delete(c.down, node) // give it another chance
+		return true
+	}
+	return false
+}
+
+func (c *Client) markDown(node string) {
+	c.mu.Lock()
+	if _, already := c.down[node]; !already {
+		c.down[node] = time.Now()
+	}
+	c.mu.Unlock()
+}
+
+// place submits spec to the first owner that accepts it, walking the
+// ring past down and failing nodes. exclude skips one node (the one
+// that just died). Returns the accepting node and its job snapshot.
+func (c *Client) place(ctx context.Context, spec sweep.Spec, exclude string) (string, sweep.Job, error) {
+	key := spec.Key()
+	var lastErr error
+	tried := 0
+	for _, node := range c.ring.OwnersAlive(key, len(c.nodes), c.alive) {
+		if node == exclude {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return "", sweep.Job{}, err
+		}
+		tried++
+		job, err := c.nodes[node].Submit(ctx, spec)
+		if err == nil {
+			return node, job, nil
+		}
+		lastErr = err
+		c.markDown(node)
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("fleet: no node available for %s", spec)
+	}
+	return "", sweep.Job{}, fmt.Errorf("fleet: submit failed on all %d candidate node(s): %w", tried, lastErr)
+}
+
+// Submit places one spec on the fleet and returns its job snapshot
+// under a fleet-scoped synthetic id (the underlying node's id is an
+// implementation detail that changes on failover).
+func (c *Client) Submit(ctx context.Context, spec sweep.Spec) (sweep.Job, error) {
+	node, job, err := c.place(ctx, spec, "")
+	if err != nil {
+		return sweep.Job{}, err
+	}
+	c.mu.Lock()
+	c.nextID++
+	sid := fmt.Sprintf("f%d", c.nextID)
+	c.tracked[sid] = &placed{node: node, realID: job.ID, spec: spec, key: spec.Key()}
+	c.mu.Unlock()
+	job.ID = sid
+	return job, nil
+}
+
+func (c *Client) placement(sid string) (*placed, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.tracked[sid]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown job id %q", sid)
+	}
+	return p, nil
+}
+
+// WaitAll polls every listed job to a terminal state, invoking onDone
+// per completion. A node that stops answering mid-wait is marked down
+// and its pending jobs are re-placed on the next alive owner; a job
+// that comes back canceled (its node was force-drained) is re-placed
+// the same way. Zero jobs are lost: every spec either reaches a
+// terminal state on some node or the wait fails loudly once no node
+// will take it.
+func (c *Client) WaitAll(ctx context.Context, ids []string, poll time.Duration, onDone func(sweep.Job)) (map[string]sweep.Job, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	final := make(map[string]sweep.Job, len(ids))
+	pending := append([]string(nil), ids...)
+	for len(pending) > 0 {
+		next := pending[:0]
+		for _, sid := range pending {
+			p, err := c.placement(sid)
+			if err != nil {
+				return nil, err
+			}
+			job, err := c.nodes[p.node].Job(ctx, p.realID)
+			if err != nil && ctx.Err() != nil {
+				return nil, fmt.Errorf("fleet: %d job(s) still pending: %w", len(pending), ctx.Err())
+			}
+			relocate := false
+			switch {
+			case err != nil:
+				// The node is unreachable (or forgot the job after a
+				// restart): fail it over.
+				c.markDown(p.node)
+				relocate = true
+			case job.State == sweep.JobCanceled:
+				// A forced drain on the node abandoned it; it is not
+				// coming back there.
+				relocate = true
+			}
+			if relocate {
+				node, njob, err := c.place(ctx, p.spec, p.node)
+				if err != nil {
+					return nil, fmt.Errorf("fleet: relocating job %s off %s: %w", sid, p.node, err)
+				}
+				c.mu.Lock()
+				p.node, p.realID = node, njob.ID
+				c.mu.Unlock()
+				job = njob // may already be terminal (cache hit on arrival)
+			}
+			if job.Terminal() && job.State != sweep.JobCanceled {
+				job.ID = sid
+				final[sid] = job
+				if onDone != nil {
+					onDone(job)
+				}
+			} else {
+				next = append(next, sid)
+			}
+		}
+		pending = next
+		if len(pending) == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("fleet: %d job(s) still pending: %w", len(pending), ctx.Err())
+		case <-time.After(poll):
+		}
+	}
+	return final, nil
+}
+
+// Result fetches the stored result for key from its owners (alive
+// first), falling back across the ring until a copy answers.
+func (c *Client) Result(ctx context.Context, key string) (*sweep.Result, error) {
+	var lastErr error
+	for _, node := range c.ring.OwnersAlive(key, len(c.nodes), c.alive) {
+		res, err := c.nodes[node].Result(ctx, key)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, fmt.Errorf("fleet: result %s unavailable on every node: %w", key[:12], lastErr)
+}
+
+// Jobs returns the latest snapshot of every job this client placed
+// (synthetic ids), polling each node once. Nodes that do not answer
+// contribute their jobs' last-known placements as-is — the progress
+// display degrades instead of failing.
+func (c *Client) Jobs(ctx context.Context) ([]sweep.Job, error) {
+	c.mu.Lock()
+	byNode := make(map[string]map[string]string) // node -> realID -> sid
+	for sid, p := range c.tracked {
+		m, ok := byNode[p.node]
+		if !ok {
+			m = make(map[string]string)
+			byNode[p.node] = m
+		}
+		m[p.realID] = sid
+	}
+	c.mu.Unlock()
+
+	var out []sweep.Job
+	for node, realToSid := range byNode {
+		if !c.alive(node) {
+			continue
+		}
+		jobs, err := c.nodes[node].Jobs(ctx)
+		if err != nil {
+			continue
+		}
+		for _, j := range jobs {
+			if sid, ok := realToSid[j.ID]; ok {
+				j.ID = sid
+				out = append(out, j)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

@@ -1,0 +1,898 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emerald/internal/sweep"
+	"emerald/internal/telemetry"
+)
+
+// Config parameterizes one fleet member. Zero fields take defaults.
+type Config struct {
+	// Self is this node's advertised base URL (e.g.
+	// "http://127.0.0.1:8401"); it must appear in Peers.
+	Self string
+	// Peers is the full static membership, Self included. Every node
+	// (and every fleet client) must be started with the same list: the
+	// consistent-hash ring is derived from it, so placement agrees
+	// everywhere without any coordination traffic.
+	Peers []string
+	// Replicas is how many ring owners hold each completed result blob
+	// (default 2, capped at the fleet size).
+	Replicas int
+	// VNodes is the virtual nodes per member on the ring (default
+	// DefaultVirtualNodes).
+	VNodes int
+	// ProbeInterval is the health-probe period (default 2s);
+	// ProbeTimeout bounds one probe (default min(ProbeInterval, 2s)).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// StealInterval is how often an idle node tries to pull queued work
+	// from its peers (default 500ms); StealBatch bounds one haul
+	// (default 4).
+	StealInterval time.Duration
+	StealBatch    int
+	// AntiEntropyInterval is the period of the replica repair sweep
+	// (default 30s).
+	AntiEntropyInterval time.Duration
+	// GCUnowned lets anti-entropy delete local blobs this node does not
+	// own once every owner is confirmed to hold a verified copy.
+	GCUnowned bool
+	// HTTP overrides the transport used for fleet-internal traffic.
+	HTTP *http.Client
+	// Logf sinks fleet lifecycle messages (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Self == "" {
+		return c, fmt.Errorf("fleet: config needs a Self address")
+	}
+	if len(c.Peers) == 0 {
+		c.Peers = []string{c.Self}
+	}
+	found := false
+	for _, p := range c.Peers {
+		if p == c.Self {
+			found = true
+		}
+	}
+	if !found {
+		return c, fmt.Errorf("fleet: self %q is not in the peer list %v", c.Self, c.Peers)
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > len(c.Peers) {
+		c.Replicas = len(c.Peers)
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 || c.ProbeTimeout > c.ProbeInterval {
+		c.ProbeTimeout = min(c.ProbeInterval, 2*time.Second)
+	}
+	if c.StealInterval <= 0 {
+		c.StealInterval = 500 * time.Millisecond
+	}
+	if c.StealBatch <= 0 {
+		c.StealBatch = 4
+	}
+	if c.AntiEntropyInterval <= 0 {
+		c.AntiEntropyInterval = 30 * time.Second
+	}
+	if c.HTTP == nil {
+		c.HTTP = http.DefaultClient
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c, nil
+}
+
+// Node is one fleet member: the glue between this process's
+// sweep.Runner/Store and its peers. It implements sweep.FleetPlane, so
+// the sweep server mounts its endpoints, gates readiness on it, and
+// folds its gauges into the Prometheus scrape.
+type Node struct {
+	cfg   Config
+	ring  *Ring
+	store *sweep.Store
+
+	// runner is attached after construction (SetRunner) because the
+	// runner's OnStored hook needs the node first.
+	runner atomic.Pointer[sweep.Runner]
+
+	clients map[string]*sweep.Client // per peer, self excluded
+
+	mu      sync.Mutex
+	peers   map[string]*peerState // self excluded
+	ready   bool
+	victims map[string]string // result key -> peer to replicate back to
+
+	stolenIn       atomic.Int64 // specs pulled from peers
+	replicasPushed atomic.Int64 // successful result pushes
+	repairCorrupt  atomic.Int64 // corrupt local blobs healed from a peer
+	repairPull     atomic.Int64 // owned-but-missing blobs pulled
+	repairPush     atomic.Int64 // under-replicated blobs pushed
+	gcDeleted      atomic.Int64 // unowned blobs deleted (GCUnowned)
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type peerState struct {
+	alive   bool
+	rtt     time.Duration
+	lastErr string
+}
+
+// New builds a fleet node over the given store. Call SetRunner once
+// the runner exists (its OnStored hook should be the node's OnStored),
+// then Start to launch the probe/steal/anti-entropy loops.
+func New(cfg Config, store *sweep.Store) (*Node, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     cfg,
+		ring:    ring,
+		store:   store,
+		clients: make(map[string]*sweep.Client),
+		peers:   make(map[string]*peerState),
+		victims: make(map[string]string),
+		stop:    make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			continue
+		}
+		n.peers[p] = &peerState{}
+		// Fleet traffic keeps the per-request retry budget tight: the
+		// fleet's own failover (next owner on the ring) is the real
+		// recovery path, not transport-level persistence.
+		n.clients[p] = &sweep.Client{
+			Base: p, HTTP: cfg.HTTP,
+			Retries: 1, RetryBase: 50 * time.Millisecond, RetryMax: 500 * time.Millisecond,
+		}
+	}
+	if len(n.peers) == 0 {
+		n.ready = true // a fleet of one has nothing to probe
+	}
+	return n, nil
+}
+
+// SetRunner attaches the job runner. Must be called before Start and
+// before the HTTP surface goes live.
+func (n *Node) SetRunner(r *sweep.Runner) { n.runner.Store(r) }
+
+// Ring exposes the placement ring (fleet clients and tests share it).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Start launches the background loops: peer health probes, the
+// work-steal loop, and the anti-entropy sweep. Close stops them.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go n.probeLoop()
+	if len(n.peers) > 0 {
+		n.wg.Add(2)
+		go n.stealLoop()
+		go n.antiEntropyLoop()
+	}
+}
+
+// Close stops the background loops and waits for in-flight replication
+// pushes to finish.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	for {
+		n.ProbeOnce(context.Background())
+		select {
+		case <-n.stop:
+			return
+		case <-time.After(n.cfg.ProbeInterval):
+		}
+	}
+}
+
+func (n *Node) stealLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-time.After(n.cfg.StealInterval):
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.StealInterval*4+time.Second)
+		n.StealOnce(ctx) //nolint:errcheck // best effort; next tick retries
+		cancel()
+	}
+}
+
+func (n *Node) antiEntropyLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-time.After(n.cfg.AntiEntropyInterval):
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.AntiEntropyInterval)
+		if _, err := n.AntiEntropy(ctx); err != nil {
+			n.cfg.Logf("fleet: anti-entropy sweep: %v", err)
+		}
+		cancel()
+	}
+}
+
+// othersSorted returns the non-self peers in deterministic order.
+func (n *Node) othersSorted() []string {
+	out := make([]string, 0, len(n.peers))
+	for p := range n.peers {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// alive reports whether peer passed its last health probe (self is
+// always alive).
+func (n *Node) alive(peer string) bool {
+	if peer == n.cfg.Self {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ps, ok := n.peers[peer]
+	return ok && ps.alive
+}
+
+// ProbeOnce probes every peer's liveness endpoint once and updates the
+// alive map. The first completed round flips the node ready.
+func (n *Node) ProbeOnce(ctx context.Context) {
+	others := n.othersSorted()
+	type probeResult struct {
+		peer string
+		rtt  time.Duration
+		err  error
+	}
+	results := make(chan probeResult, len(others))
+	for _, p := range others {
+		go func(peer string) {
+			pctx, cancel := context.WithTimeout(ctx, n.cfg.ProbeTimeout)
+			defer cancel()
+			start := time.Now()
+			err := n.probe(pctx, peer)
+			results <- probeResult{peer, time.Since(start), err}
+		}(p)
+	}
+	for range others {
+		r := <-results
+		n.mu.Lock()
+		ps := n.peers[r.peer]
+		was := ps.alive
+		ps.alive = r.err == nil
+		ps.rtt = r.rtt
+		ps.lastErr = ""
+		if r.err != nil {
+			ps.lastErr = r.err.Error()
+		}
+		n.mu.Unlock()
+		if was != (r.err == nil) {
+			if r.err == nil {
+				n.cfg.Logf("fleet: peer %s up (rtt %v)", r.peer, r.rtt.Round(time.Microsecond))
+			} else {
+				n.cfg.Logf("fleet: peer %s down: %v", r.peer, r.err)
+			}
+		}
+	}
+	n.mu.Lock()
+	n.ready = true
+	n.mu.Unlock()
+}
+
+func (n *Node) probe(ctx context.Context, peer string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz/live", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.cfg.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10)) //nolint:errcheck // drain for reuse
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("liveness returned %s", resp.Status)
+	}
+	return nil
+}
+
+// stealRequest and stealResponse are the POST /fleet/steal wire shape.
+type stealRequest struct {
+	Max int `json:"max"`
+}
+type stealResponse struct {
+	Specs []sweep.Spec `json:"specs"`
+}
+
+// StealOnce pulls queued work from peers when this node is idle:
+// specs come back, are recorded against their victim for result
+// replication, and enter the local runner like any other submission.
+// Stealing is safe precisely because execution is deterministic — the
+// worst case is one duplicate, byte-identical execution. Returns how
+// many specs were adopted.
+func (n *Node) StealOnce(ctx context.Context) (int, error) {
+	r := n.runner.Load()
+	if r == nil {
+		return 0, nil
+	}
+	if ok, _ := n.Ready(); !ok {
+		return 0, nil
+	}
+	if m := r.Metrics(); m.QueueDepth > 0 || m.Inflight > 0 {
+		return 0, nil // only idle nodes steal
+	}
+	var lastErr error
+	for _, peer := range n.othersSorted() {
+		if !n.alive(peer) {
+			continue
+		}
+		specs, err := n.stealFrom(ctx, peer)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		adopted := 0
+		for _, spec := range specs {
+			if n.adopt(ctx, peer, spec) {
+				adopted++
+			}
+		}
+		if adopted > 0 {
+			n.stolenIn.Add(int64(adopted))
+			return adopted, nil // politeness: one victim per idle tick
+		}
+	}
+	return 0, lastErr
+}
+
+func (n *Node) stealFrom(ctx context.Context, peer string) ([]sweep.Spec, error) {
+	body, err := json.Marshal(stealRequest{Max: n.cfg.StealBatch})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		peer+"/fleet/steal", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10)) //nolint:errcheck
+		return nil, fmt.Errorf("fleet: steal from %s: %s", peer, resp.Status)
+	}
+	var sr stealResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("fleet: steal from %s: %w", peer, err)
+	}
+	return sr.Specs, nil
+}
+
+// adopt submits one stolen spec locally. The victim is recorded
+// before the submit so the OnStored hook (which may fire immediately
+// from a worker) replicates the result back; a submit that is already
+// a cache hit pushes the existing blob to the victim right away.
+func (n *Node) adopt(ctx context.Context, victim string, spec sweep.Spec) bool {
+	r := n.runner.Load()
+	if r == nil {
+		return false
+	}
+	key := spec.Key()
+	n.mu.Lock()
+	n.victims[key] = victim
+	n.mu.Unlock()
+	job, err := r.Submit(spec)
+	if err != nil || job.Cached {
+		n.mu.Lock()
+		delete(n.victims, key)
+		n.mu.Unlock()
+	}
+	if err != nil {
+		return false
+	}
+	if job.Cached {
+		// Already have the result; hand it straight back so the victim's
+		// queued job completes as a cache hit.
+		if payload, ok, err := n.store.Get(key); err == nil && ok {
+			n.push(ctx, victim, key, payload)
+		}
+	}
+	return true
+}
+
+// OnStored is the runner hook: after a local execution lands its
+// result in the store, replicate the blob to the other ring owners —
+// and to the steal victim, if this was stolen work. Runs the pushes on
+// a background goroutine so the worker is never blocked on a peer.
+func (n *Node) OnStored(key string, payload []byte) {
+	n.mu.Lock()
+	victim, hadVictim := n.victims[key]
+	delete(n.victims, key)
+	n.mu.Unlock()
+
+	targets := make([]string, 0, n.cfg.Replicas)
+	for _, o := range n.ring.Owners(key, n.cfg.Replicas) {
+		if o != n.cfg.Self {
+			targets = append(targets, o)
+		}
+	}
+	if hadVictim && victim != n.cfg.Self {
+		dup := false
+		for _, t := range targets {
+			if t == victim {
+				dup = true
+			}
+		}
+		if !dup {
+			targets = append(targets, victim)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, t := range targets {
+			n.push(ctx, t, key, payload)
+		}
+	}()
+}
+
+// push replicates one result payload to a peer (PUT
+// /fleet/results/{key}). Failures are logged, not fatal: the
+// anti-entropy sweep repairs under-replication later, and the blob can
+// always be recomputed.
+func (n *Node) push(ctx context.Context, peer, key string, payload []byte) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		peer+"/fleet/results/"+key, bytes.NewReader(payload))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.HTTP.Do(req)
+	if err != nil {
+		n.cfg.Logf("fleet: replicate %s to %s: %v", key[:12], peer, err)
+		return
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10)) //nolint:errcheck
+	if resp.StatusCode/100 != 2 {
+		n.cfg.Logf("fleet: replicate %s to %s: %s", key[:12], peer, resp.Status)
+		return
+	}
+	n.replicasPushed.Add(1)
+}
+
+// validatePayload checks that a result payload arriving from a peer
+// decodes and actually belongs under key — the spec embedded in the
+// result re-derives the content-addressed key, so a mislabeled or
+// tampered blob is rejected before it can poison the store.
+func validatePayload(key string, payload []byte) error {
+	var res sweep.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return fmt.Errorf("fleet: result payload does not decode: %w", err)
+	}
+	if got := res.Spec.Key(); got != key {
+		return fmt.Errorf("fleet: result payload key mismatch: body is for %s", got)
+	}
+	return nil
+}
+
+// RepairStats summarizes one anti-entropy sweep.
+type RepairStats struct {
+	// CorruptHealed counts local blobs whose integrity footer failed
+	// verification and were re-fetched byte-identical from a peer.
+	CorruptHealed int `json:"corrupt_healed"`
+	// CorruptDropped counts corrupt blobs no peer could supply; they are
+	// deleted (they already read as cache misses) and will be recomputed
+	// on demand.
+	CorruptDropped int `json:"corrupt_dropped"`
+	// Pushed counts blobs sent to co-owners that were missing them.
+	Pushed int `json:"pushed"`
+	// Pulled counts owned blobs this node was missing and fetched.
+	Pulled int `json:"pulled"`
+	// Deleted counts unowned blobs garbage-collected (GCUnowned only).
+	Deleted int `json:"deleted"`
+}
+
+// AntiEntropy runs one replica repair sweep:
+//
+//  1. verify every local blob's integrity footer; heal corrupt ones
+//     from a peer (or drop them if nobody has a copy),
+//  2. exchange verified key lists with alive peers,
+//  3. push blobs to co-owners that are missing them,
+//  4. pull blobs this node owns but does not hold,
+//  5. optionally GC blobs this node does not own once every owner
+//     holds a verified copy.
+//
+// The store's integrity footer is the only comparison needed: a blob
+// either verifies (and is byte-identical everywhere, by the
+// determinism contract) or reads as a miss and gets repaired.
+func (n *Node) AntiEntropy(ctx context.Context) (RepairStats, error) {
+	var st RepairStats
+	keys, err := n.store.Keys()
+	if err != nil {
+		return st, err
+	}
+	verified := make(map[string]bool, len(keys))
+	for _, key := range keys {
+		if ctx.Err() != nil {
+			return st, ctx.Err()
+		}
+		_, ok, err := n.store.Get(key)
+		if err != nil {
+			continue
+		}
+		if ok {
+			verified[key] = true
+			continue
+		}
+		// Corrupt (or footer-less) blob: heal from a peer or drop it.
+		if n.fetchInto(ctx, key) {
+			st.CorruptHealed++
+			n.repairCorrupt.Add(1)
+			verified[key] = true
+		} else if n.store.Delete(key) == nil {
+			st.CorruptDropped++
+		}
+	}
+
+	if len(n.peers) == 0 {
+		return st, nil
+	}
+	// Key exchange: who verifiably holds what. A peer whose key list
+	// cannot be fetched is excluded from push/GC decisions — absence of
+	// evidence must not look like absence of a blob.
+	peerKeys := make(map[string]map[string]bool)
+	for _, p := range n.othersSorted() {
+		if !n.alive(p) {
+			continue
+		}
+		var ks []string
+		if err := n.getJSON(ctx, p+"/fleet/keys", &ks); err != nil {
+			n.cfg.Logf("fleet: key exchange with %s: %v", p, err)
+			continue
+		}
+		set := make(map[string]bool, len(ks))
+		for _, k := range ks {
+			set[k] = true
+		}
+		peerKeys[p] = set
+	}
+
+	// Push under-replicated blobs to their co-owners.
+	for key := range verified {
+		if ctx.Err() != nil {
+			return st, ctx.Err()
+		}
+		owners := n.ring.Owners(key, n.cfg.Replicas)
+		if !contains(owners, n.cfg.Self) {
+			continue
+		}
+		for _, o := range owners {
+			if o == n.cfg.Self {
+				continue
+			}
+			held, exchanged := peerKeys[o]
+			if !exchanged || held[key] {
+				continue
+			}
+			payload, ok, err := n.store.Get(key)
+			if err != nil || !ok {
+				continue
+			}
+			n.push(ctx, o, key, payload)
+			st.Pushed++
+			n.repairPush.Add(1)
+		}
+	}
+
+	// Pull owned blobs this node is missing.
+	for _, set := range peerKeys {
+		for key := range set {
+			if verified[key] || !n.ring.IsOwner(key, n.cfg.Self, n.cfg.Replicas) {
+				continue
+			}
+			if ctx.Err() != nil {
+				return st, ctx.Err()
+			}
+			if n.fetchInto(ctx, key) {
+				verified[key] = true
+				st.Pulled++
+				n.repairPull.Add(1)
+			}
+		}
+	}
+
+	// GC blobs this node no longer owns, but only when every owner is
+	// confirmed (this sweep, not assumed) to hold a verified copy.
+	if n.cfg.GCUnowned {
+		for key := range verified {
+			owners := n.ring.Owners(key, n.cfg.Replicas)
+			if contains(owners, n.cfg.Self) {
+				continue
+			}
+			safe := true
+			for _, o := range owners {
+				if held, exchanged := peerKeys[o]; !exchanged || !held[key] {
+					safe = false
+					break
+				}
+			}
+			if safe && n.store.Delete(key) == nil {
+				st.Deleted++
+				n.gcDeleted.Add(1)
+			}
+		}
+	}
+	return st, nil
+}
+
+// fetchInto retrieves key's payload from the first alive peer that can
+// serve a valid copy (owners first — they are the likeliest holders)
+// and stores it byte-identical. Reports success.
+func (n *Node) fetchInto(ctx context.Context, key string) bool {
+	for _, p := range n.ring.Owners(key, len(n.cfg.Peers)) {
+		if p == n.cfg.Self || !n.alive(p) {
+			continue
+		}
+		payload, err := n.clients[p].ResultBytes(ctx, key)
+		if err != nil {
+			continue
+		}
+		if err := validatePayload(key, payload); err != nil {
+			n.cfg.Logf("fleet: repair %s from %s: %v", key[:12], p, err)
+			continue
+		}
+		if err := n.store.PutRaw(key, payload); err != nil {
+			n.cfg.Logf("fleet: repair %s: %v", key[:12], err)
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// getJSON fetches a fleet-internal endpoint into v (no retry: callers
+// are periodic loops and simply catch the peer next round).
+func (n *Node) getJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.cfg.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10)) //nolint:errcheck
+		return fmt.Errorf("fleet: GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// --- sweep.FleetPlane ---
+
+// Register mounts the fleet-internal endpoints on the node's mux:
+//
+//	POST /fleet/steal          hand out queued specs (work-stealing)
+//	PUT  /fleet/results/{key}  accept a replicated result blob
+//	GET  /fleet/keys           verified result keys held here
+//	GET  /fleet/info           membership, health and ring view
+func (n *Node) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /fleet/steal", n.handleSteal)
+	mux.HandleFunc("PUT /fleet/results/{key}", n.handleReplicate)
+	mux.HandleFunc("GET /fleet/keys", n.handleKeys)
+	mux.HandleFunc("GET /fleet/info", n.handleInfo)
+}
+
+// Ready reports whether the first probe round has completed — before
+// that, placement decisions would treat every peer as dead.
+func (n *Node) Ready() (bool, string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.ready {
+		return false, "fleet: first peer-probe round pending"
+	}
+	return true, ""
+}
+
+// WriteProm appends the fleet gauges to a Prometheus scrape.
+func (n *Node) WriteProm(w io.Writer) error {
+	n.mu.Lock()
+	ups := []telemetry.LabeledValue{{
+		Labels: [][2]string{{"peer", n.cfg.Self}}, Value: 1, // self is trivially up
+	}}
+	var rtts []telemetry.LabeledValue
+	for _, p := range n.othersSorted() {
+		ps := n.peers[p]
+		up := 0.0
+		if ps.alive {
+			up = 1.0
+		}
+		ups = append(ups, telemetry.LabeledValue{
+			Labels: [][2]string{{"peer", p}}, Value: up,
+		})
+		rtts = append(rtts, telemetry.LabeledValue{
+			Labels: [][2]string{{"peer", p}}, Value: ps.rtt.Seconds(),
+		})
+	}
+	n.mu.Unlock()
+
+	pw := telemetry.NewPromWriter(w)
+	pw.GaugeVec("emerald_fleet_peer_up",
+		"Whether the peer passed its last liveness probe (self always 1).", ups)
+	if len(rtts) > 0 {
+		pw.GaugeVec("emerald_fleet_peer_rtt_seconds",
+			"Last liveness-probe round trip per peer.", rtts)
+	}
+	pw.Counter("emerald_fleet_jobs_stolen_in_total",
+		"Queued specs pulled from peers by the work-steal loop.",
+		float64(n.stolenIn.Load()))
+	pw.Counter("emerald_fleet_replicas_pushed_total",
+		"Result blobs successfully replicated to peers.",
+		float64(n.replicasPushed.Load()))
+	pw.CounterVec("emerald_fleet_repairs_total",
+		"Anti-entropy repairs by kind (corrupt blob healed, missing owned blob pulled, under-replicated blob pushed).",
+		[]telemetry.LabeledValue{
+			{Labels: [][2]string{{"kind", "corrupt"}}, Value: float64(n.repairCorrupt.Load())},
+			{Labels: [][2]string{{"kind", "pull"}}, Value: float64(n.repairPull.Load())},
+			{Labels: [][2]string{{"kind", "push"}}, Value: float64(n.repairPush.Load())},
+		})
+	pw.Counter("emerald_fleet_gc_deleted_total",
+		"Unowned result blobs garbage-collected after full-owner confirmation.",
+		float64(n.gcDeleted.Load()))
+	return pw.Err()
+}
+
+// --- HTTP handlers ---
+
+func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
+	var req stealRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad steal request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Max <= 0 {
+		req.Max = n.cfg.StealBatch
+	}
+	var specs []sweep.Spec
+	if run := n.runner.Load(); run != nil && !run.Draining() {
+		specs = run.StealQueued(req.Max)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(stealResponse{Specs: specs}) //nolint:errcheck
+}
+
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	payload, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := validatePayload(key, payload); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := n.store.PutRaw(key, payload); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (n *Node) handleKeys(w http.ResponseWriter, _ *http.Request) {
+	keys, err := n.store.Keys()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Only verified blobs count: advertising a corrupt file would let a
+	// peer "repair" from garbage (the fetch would fail validation, but
+	// the sweep would waste the round trip and skip a real holder).
+	out := make([]string, 0, len(keys))
+	for _, key := range keys {
+		if _, ok, err := n.store.Get(key); err == nil && ok {
+			out = append(out, key)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out) //nolint:errcheck
+}
+
+// Info is the GET /fleet/info JSON shape.
+type Info struct {
+	Self     string     `json:"self"`
+	Replicas int        `json:"replicas"`
+	Ready    bool       `json:"ready"`
+	Peers    []PeerInfo `json:"peers"`
+}
+
+// PeerInfo is one membership row in Info.
+type PeerInfo struct {
+	URL     string  `json:"url"`
+	Self    bool    `json:"self,omitempty"`
+	Alive   bool    `json:"alive"`
+	RTTMS   float64 `json:"rtt_ms,omitempty"`
+	LastErr string  `json:"last_error,omitempty"`
+}
+
+// Snapshot returns the node's membership/health view (also served as
+// GET /fleet/info).
+func (n *Node) Snapshot() Info {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	info := Info{Self: n.cfg.Self, Replicas: n.cfg.Replicas, Ready: n.ready}
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.Self {
+			info.Peers = append(info.Peers, PeerInfo{URL: p, Self: true, Alive: true})
+			continue
+		}
+		ps := n.peers[p]
+		info.Peers = append(info.Peers, PeerInfo{
+			URL: p, Alive: ps.alive,
+			RTTMS:   float64(ps.rtt) / float64(time.Millisecond),
+			LastErr: ps.lastErr,
+		})
+	}
+	sort.Slice(info.Peers, func(i, j int) bool { return info.Peers[i].URL < info.Peers[j].URL })
+	return info
+}
+
+func (n *Node) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(n.Snapshot()) //nolint:errcheck
+}

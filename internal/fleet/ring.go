@@ -1,0 +1,152 @@
+// Package fleet joins N emeraldd nodes into one logical sweep plane:
+// job placement by consistent hashing on the spec's content-addressed
+// SHA-256 key, gossip-free static membership with per-peer health
+// probes driving failover, pull-based work-stealing between nodes, and
+// R-way result replication kept honest by an anti-entropy sweep built
+// on the store's integrity footers.
+//
+// Everything rests on the determinism contract (DESIGN.md,
+// "Simulation service"): a result is a pure function of its spec key,
+// so any node can run any job, re-execution is byte-identical, and
+// "requeue anywhere" is the entire recovery story — node death needs
+// no coordination beyond what already exists.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the ring points each member contributes.
+// Enough that removing one node spreads its key range roughly evenly
+// over the survivors instead of dumping it on one neighbour.
+const DefaultVirtualNodes = 64
+
+// Ring is a consistent-hash ring over a static membership list. It is
+// immutable after construction — health is layered on top by the
+// caller (Owners gives the full preference order; the caller skips
+// dead nodes, which is exactly "the next node on the ring serves a
+// dead node's key range").
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the given node addresses with vnodes
+// virtual points each (0 = DefaultVirtualNodes). Node order does not
+// matter: placement depends only on the membership set, so every
+// member (and every client) derives the same ring from the same
+// -peers list.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{points: make([]ringPoint, 0, len(nodes)*vnodes)}
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("fleet: empty node address")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("fleet: duplicate node address %q", n)
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: hashPoint(fmt.Sprintf("%s#%d", n, i)),
+				node: n,
+			})
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node // deterministic tie-break
+	})
+	return r, nil
+}
+
+// hashPoint maps an arbitrary string onto the ring.
+func hashPoint(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the membership (sorted).
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owners returns up to n distinct nodes responsible for key, in
+// preference order: the first node clockwise from the key's ring
+// position is the primary, the next distinct node is the first
+// replica, and so on. With n >= len(nodes) this is a total preference
+// order — the failover chain.
+func (r *Ring) Owners(key string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashPoint(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// OwnersAlive returns up to n distinct owners for key, skipping nodes
+// the alive predicate rejects and continuing clockwise — a dead node's
+// key range is served by the next node on the ring. Falls back to the
+// dead owners (in preference order) when fewer than n alive nodes
+// exist, so callers can still try them last.
+func (r *Ring) OwnersAlive(key string, n int, alive func(string) bool) []string {
+	all := r.Owners(key, len(r.nodes))
+	out := make([]string, 0, n)
+	for _, node := range all {
+		if len(out) >= n {
+			return out
+		}
+		if alive(node) {
+			out = append(out, node)
+		}
+	}
+	for _, node := range all {
+		if len(out) >= n {
+			break
+		}
+		if !alive(node) {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// IsOwner reports whether node is among the first n owners of key.
+func (r *Ring) IsOwner(key, node string, n int) bool {
+	for _, o := range r.Owners(key, n) {
+		if o == node {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+var threeNodes = []string{
+	"http://10.0.0.1:8401",
+	"http://10.0.0.2:8401",
+	"http://10.0.0.3:8401",
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+// Placement must depend only on the membership set: every node and
+// every client derives the ring from its own copy of -peers, possibly
+// in a different order, and they must all agree.
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a, err := NewRing(threeNodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []string{threeNodes[2], threeNodes[0], threeNodes[1]}
+	b, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(100) {
+		if !reflect.DeepEqual(a.Owners(key, 2), b.Owners(key, 2)) {
+			t.Fatalf("placement of %q differs across membership orderings: %v vs %v",
+				key, a.Owners(key, 2), b.Owners(key, 2))
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndCapped(t *testing.T) {
+	r, err := NewRing(threeNodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(50) {
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("Owners(%q, 2) = %v, want 2 distinct nodes", key, owners)
+		}
+		if all := r.Owners(key, 10); len(all) != len(threeNodes) {
+			t.Fatalf("Owners(%q, 10) = %v, want capped at fleet size", key, all)
+		}
+		if !r.IsOwner(key, owners[0], 2) || r.IsOwner(key, "http://nowhere", 2) {
+			t.Fatal("IsOwner disagrees with Owners")
+		}
+	}
+}
+
+// Removing a node must not move keys between surviving nodes: the dead
+// node's range flows to the next node on the ring, everything else
+// stays put. This is the whole point of consistent hashing.
+func TestRingRemovalOnlyMovesOrphanedKeys(t *testing.T) {
+	full, err := NewRing(threeNodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := threeNodes[1]
+	reduced, err := NewRing([]string{threeNodes[0], threeNodes[2]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(200) {
+		want := full.Owners(key, len(threeNodes)) // full preference order
+		// First preference that is not the dead node...
+		for _, w := range want {
+			if w != dead {
+				// ...must be the reduced ring's primary.
+				if got := reduced.Owners(key, 1)[0]; got != w {
+					t.Fatalf("key %q: reduced primary %s, want %s", key, got, w)
+				}
+				break
+			}
+		}
+	}
+}
+
+// OwnersAlive is the failover walk: a dead node's key range is served
+// by the next node on the ring, and dead nodes only reappear at the
+// tail as a last resort.
+func TestOwnersAliveFailover(t *testing.T) {
+	r, err := NewRing(threeNodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(50) {
+		pref := r.Owners(key, len(threeNodes))
+		dead := pref[0] // kill the primary
+		alive := func(n string) bool { return n != dead }
+		got := r.OwnersAlive(key, 2, alive)
+		if len(got) != 2 || got[0] != pref[1] || got[1] != pref[2] {
+			t.Fatalf("key %q with %s dead: OwnersAlive = %v, want %v", key, dead, got, pref[1:])
+		}
+		// Ask for more than the alive count: dead nodes trail.
+		all := r.OwnersAlive(key, 3, alive)
+		if len(all) != 3 || all[2] != dead {
+			t.Fatalf("key %q: OwnersAlive(3) = %v, want dead node last", key, all)
+		}
+	}
+}
+
+// Virtual nodes must spread primaries roughly evenly.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(threeNodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 3000
+	for _, key := range testKeys(n) {
+		counts[r.Owners(key, 1)[0]]++
+	}
+	for node, c := range counts {
+		if c < n/6 { // perfectly even would be n/3; allow 2x skew
+			t.Fatalf("node %s is primary for only %d/%d keys — ring is unbalanced: %v",
+				node, c, n, counts)
+		}
+	}
+}
+
+func TestNewRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member address accepted")
+	}
+}

@@ -11,6 +11,17 @@ import (
 	"emerald/internal/stats"
 )
 
+// Service is the submit/poll/fetch surface RunFigures drives. It is
+// implemented by Client (one emeraldd) and by fleet.Client (a sweep
+// fanned across a fleet of nodes with consistent-hash placement and
+// node-death failover); the aggregation is identical either way, which
+// is what keeps fleet tables byte-identical to single-node tables.
+type Service interface {
+	Submit(ctx context.Context, spec Spec) (Job, error)
+	WaitAll(ctx context.Context, ids []string, poll time.Duration, onDone func(Job)) (map[string]Job, error)
+	Result(ctx context.Context, key string) (*Result, error)
+}
+
 // FigureRequest describes a client-side sweep: which figures to
 // regenerate, at which scale, over which slices of the paper's config
 // matrices (Tables 6/8).
@@ -29,6 +40,12 @@ type FigureRequest struct {
 	Workloads []int
 	// Workers sets each job's tick-engine worker count.
 	Workers int
+	// Notify, when non-nil, is invoked once per job as it reaches a
+	// terminal state (including jobs already terminal at submit — cache
+	// hits), streaming partial sweep completion while the matrix is
+	// still in flight. Calls arrive from the polling goroutine in
+	// completion order.
+	Notify func(Job)
 }
 
 func (r FigureRequest) withDefaults() FigureRequest {
@@ -86,10 +103,11 @@ func (fs *FigureSet) CacheHits() int {
 // submission order, so overlapping figures (9 and 11 share the
 // regular-load matrix) cost one job per unique simulation point.
 type submitter struct {
-	c    *Client
-	poll time.Duration
-	seen map[string]Job
-	jobs []Job
+	c      Service
+	poll   time.Duration
+	seen   map[string]Job
+	jobs   []Job
+	notify func(Job)
 }
 
 func (s *submitter) submit(ctx context.Context, spec Spec) error {
@@ -102,6 +120,9 @@ func (s *submitter) submit(ctx context.Context, spec Spec) error {
 	}
 	s.seen[spec.Key()] = job
 	s.jobs = append(s.jobs, job)
+	if job.Terminal() && s.notify != nil {
+		s.notify(job) // cache hit at submit: the cell is already done
+	}
 	return nil
 }
 
@@ -114,7 +135,7 @@ func (s *submitter) wait(ctx context.Context) (map[string]*Result, error) {
 			pending = append(pending, j.ID)
 		}
 	}
-	final, err := s.c.WaitAll(ctx, pending, s.poll)
+	final, err := s.c.WaitAll(ctx, pending, s.poll, s.notify)
 	if err != nil {
 		return nil, err
 	}
@@ -146,13 +167,13 @@ func (s *submitter) wait(ctx context.Context) (map[string]*Result, error) {
 // use — so the output is byte-identical to memstudy/dfsl on the same
 // points. Figure 19 submits in two phases: the WT sweeps must finish
 // before the SOPT policy jobs can be specified.
-func RunFigures(ctx context.Context, c *Client, req FigureRequest, poll time.Duration) (*FigureSet, error) {
+func RunFigures(ctx context.Context, c Service, req FigureRequest, poll time.Duration) (*FigureSet, error) {
 	req = req.withDefaults()
 	opt, err := ScaleOptions(req.Scale)
 	if err != nil {
 		return nil, err
 	}
-	sub := &submitter{c: c, poll: poll, seen: make(map[string]Job)}
+	sub := &submitter{c: c, poll: poll, seen: make(map[string]Job), notify: req.Notify}
 
 	cs1 := func(mbps int) error {
 		for _, m := range req.Models {

@@ -4,18 +4,34 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"time"
 )
 
-// Client talks to an emeraldd instance over HTTP.
+// Client talks to an emeraldd instance over HTTP. Transport-level
+// failures (connection refused, resets) and 503 responses are
+// transient: the daemon may be restarting, draining, or briefly
+// queue-full, so requests retry with the runner's backoff schedule
+// (honoring Retry-After) before giving up. Retries are safe because
+// every API call here is idempotent — submits are deduplicated by the
+// spec's content-addressed key, and reads are reads.
 type Client struct {
 	// Base is the service root, e.g. "http://127.0.0.1:8321".
 	Base string
 	// HTTP overrides the transport (default http.DefaultClient).
 	HTTP *http.Client
+	// Retries is how many times a transient failure re-issues the
+	// request after the first attempt (default 3; negative disables).
+	Retries int
+	// RetryBase and RetryMax bound the backoff between attempts
+	// (defaults 100ms / 2s), overridden by a server Retry-After.
+	RetryBase time.Duration
+	RetryMax  time.Duration
 }
 
 func (c *Client) client() *http.Client {
@@ -25,26 +41,114 @@ func (c *Client) client() *http.Client {
 	return http.DefaultClient
 }
 
+func (c *Client) retries() int {
+	if c.Retries < 0 {
+		return 0
+	}
+	if c.Retries == 0 {
+		return 3
+	}
+	return c.Retries
+}
+
+func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
+	base, ceil := c.RetryBase, c.RetryMax
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if ceil <= 0 {
+		ceil = 2 * time.Second
+	}
+	// A 503 carries the daemon's own estimate of when to come back;
+	// trust it over the client-side schedule.
+	if resp != nil {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return backoff(base, ceil, attempt)
+}
+
 // readError turns a non-2xx response into an error carrying the body.
 func readError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 	return fmt.Errorf("sweep: %s: %s", resp.Status, bytes.TrimSpace(body))
 }
 
+// transientTransport reports whether a round-trip error is worth
+// retrying: anything the transport produced (dial refused, reset,
+// truncated response) except a context cancellation, which means the
+// caller is done waiting.
+func transientTransport(err error) bool {
+	var uerr *url.Error
+	if !errors.As(err, &uerr) {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// do issues one request with transient retry. build constructs a fresh
+// request per attempt (bodies are consumed by failed attempts). The
+// caller owns the response body. A non-503 HTTP status is returned to
+// the caller as a response, not an error — only transport failures and
+// 503s retry.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	var delay time.Duration
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("sweep: retry abandoned: %w", ctx.Err())
+			case <-time.After(delay):
+			}
+		}
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.client().Do(req)
+		if err != nil {
+			if transientTransport(err) && attempt < c.retries() {
+				delay = c.retryDelay(attempt+1, nil)
+				continue
+			}
+			if attempt > 0 {
+				return nil, fmt.Errorf("sweep: %d attempt(s) failed, last: %w", attempt+1, err)
+			}
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.retries() {
+			delay = c.retryDelay(attempt+1, resp)
+			resp.Body.Close()
+			continue
+		}
+		return resp, nil
+	}
+}
+
+// maxResultBytes bounds a fetched result payload (replication and
+// repair transfers); far above any real figure-cell result.
+const maxResultBytes = 32 << 20
+
 // Submit posts one job spec and returns the job snapshot (which is
-// already terminal when the submit was served from cache).
+// already terminal when the submit was served from cache). Transient
+// failures retry: resubmitting a spec is idempotent (the daemon
+// deduplicates by content-addressed key, and re-execution is
+// byte-identical anyway).
 func (c *Client) Submit(ctx context.Context, spec Spec) (Job, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return Job{}, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.Base+"/jobs", bytes.NewReader(body))
-	if err != nil {
-		return Job{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.client().Do(req)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.Base+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return Job{}, err
 	}
@@ -59,13 +163,11 @@ func (c *Client) Submit(ctx context.Context, spec Spec) (Job, error) {
 	return job, nil
 }
 
-// getJSON fetches path into v.
+// getJSON fetches path into v, retrying transient failures.
 func (c *Client) getJSON(ctx context.Context, path string, v any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.client().Do(req)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -110,6 +212,23 @@ func (c *Client) Result(ctx context.Context, key string) (*Result, error) {
 	return &res, nil
 }
 
+// ResultBytes fetches the stored result payload for key byte-for-byte
+// (the fleet's replication and anti-entropy repair move these exact
+// bytes between stores).
+func (c *Client) ResultBytes(ctx context.Context, key string) ([]byte, error) {
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/results/"+key, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readError(resp)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxResultBytes))
+}
+
 // Metrics fetches the service metrics.
 func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
 	var m MetricsSnapshot
@@ -118,9 +237,12 @@ func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
 }
 
 // WaitAll polls until every listed job is terminal (or ctx expires)
-// and returns the final snapshots keyed by job id. A failed job is not
-// an error here — callers inspect the snapshots.
-func (c *Client) WaitAll(ctx context.Context, ids []string, poll time.Duration) (map[string]Job, error) {
+// and returns the final snapshots keyed by job id, invoking onDone (if
+// non-nil) as each job reaches a terminal state. A failed job is not
+// an error here — callers inspect the snapshots. Transient poll
+// failures retry inside Job; only an exhausted retry budget (the
+// daemon stayed unreachable) aborts the wait.
+func (c *Client) WaitAll(ctx context.Context, ids []string, poll time.Duration, onDone func(Job)) (map[string]Job, error) {
 	if poll <= 0 {
 		poll = 100 * time.Millisecond
 	}
@@ -135,6 +257,9 @@ func (c *Client) WaitAll(ctx context.Context, ids []string, poll time.Duration) 
 			}
 			if job.Terminal() {
 				final[id] = job
+				if onDone != nil {
+					onDone(job)
+				}
 			} else {
 				next = append(next, id)
 			}

@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A daemon that answers 503 (queue full, draining, restarting) must be
+// retried, honoring its Retry-After, instead of aborting the sweep.
+func TestClientRetries503OnSubmit(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "queue full", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"j1","state":"queued"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, RetryBase: time.Millisecond, RetryMax: 10 * time.Millisecond}
+	job, err := c.Submit(context.Background(), wlSpec(1))
+	if err != nil {
+		t.Fatalf("Submit did not survive transient 503s: %v", err)
+	}
+	if job.ID != "j1" || hits.Load() != 3 {
+		t.Fatalf("job=%+v after %d attempts, want j1 after 3", job, hits.Load())
+	}
+}
+
+// An exhausted retry budget surfaces the 503 instead of spinning.
+func TestClientRetryBudgetExhausts(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, Retries: 2, RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond}
+	if _, err := c.Submit(context.Background(), wlSpec(1)); err == nil {
+		t.Fatal("Submit succeeded against a permanently-503 daemon")
+	}
+	if hits.Load() != 3 { // 1 attempt + 2 retries
+		t.Fatalf("attempts = %d, want 3", hits.Load())
+	}
+}
+
+// A connection refused mid-WaitAll (daemon restarting between polls)
+// must not abort the poll loop: the transport-level retry rides it out.
+func TestWaitAllSurvivesTransportBlip(t *testing.T) {
+	var hits atomic.Int64
+	// A reverse-door handler: poll 2 closes the connection without a
+	// response (simulating a refused/reset connection), later polls
+	// report the job done.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch hits.Add(1) {
+		case 1:
+			w.Write([]byte(`{"id":"j1","state":"running"}`)) //nolint:errcheck
+		case 2:
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("no hijacker")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Close() // mid-flight connection death
+		default:
+			w.Write([]byte(`{"id":"j1","state":"done"}`)) //nolint:errcheck
+		}
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond}
+	done := 0
+	final, err := c.WaitAll(context.Background(), []string{"j1"}, time.Millisecond,
+		func(Job) { done++ })
+	if err != nil {
+		t.Fatalf("WaitAll died on a transport blip: %v", err)
+	}
+	if final["j1"].State != JobDone || done != 1 {
+		t.Fatalf("final=%+v done=%d, want done state with one notification", final["j1"], done)
+	}
+}
+
+// A cancelled context stops the retry loop promptly — cancellation is
+// never "transient".
+func TestClientRetryStopsOnCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "queue full", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &Client{Base: ts.URL, RetryBase: time.Hour, RetryMax: time.Hour}
+	start := time.Now()
+	if _, err := c.Submit(ctx, wlSpec(1)); err == nil {
+		t.Fatal("Submit succeeded with a cancelled context")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled retry loop did not stop promptly")
+	}
+}

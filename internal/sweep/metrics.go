@@ -25,6 +25,7 @@ type metrics struct {
 	failed     atomic.Int64
 	cancels    atomic.Int64
 	retries    atomic.Int64
+	stolenOut  atomic.Int64
 
 	mu        sync.Mutex // guards latencyMS only
 	latencyMS stats.Distribution
@@ -41,6 +42,7 @@ type MetricsSnapshot struct {
 	JobsFailed   int64   `json:"jobs_failed"`
 	JobsCanceled int64   `json:"jobs_canceled"`
 	Retries      int64   `json:"retries"`
+	JobsStolen   int64   `json:"jobs_stolen"`
 
 	LatencyMS LatencySummary `json:"latency_ms"`
 }
@@ -67,6 +69,9 @@ func (m *metrics) started() {
 }
 
 func (m *metrics) retried() { m.retries.Add(1) }
+
+// stolen counts queued specs handed out to fleet peers.
+func (m *metrics) stolen(n int) { m.stolenOut.Add(int64(n)) }
 
 // canceled counts a queued job reaching the terminal canceled state.
 func (m *metrics) canceled() { m.cancels.Add(1) }
@@ -106,6 +111,7 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		JobsFailed:   m.failed.Load(),
 		JobsCanceled: m.cancels.Load(),
 		Retries:      m.retries.Load(),
+		JobsStolen:   m.stolenOut.Load(),
 	}
 	m.mu.Lock()
 	s.LatencyMS = LatencySummary{
@@ -144,6 +150,8 @@ func (m *metrics) writeProm(w io.Writer) error {
 		"Queued jobs canceled before execution.", float64(m.cancels.Load()))
 	pw.Counter("emerald_sweep_job_retries_total",
 		"Transient-failure retry attempts.", float64(m.retries.Load()))
+	pw.Counter("emerald_sweep_jobs_stolen_total",
+		"Queued job specs handed out to fleet peers for work-stealing.", float64(m.stolenOut.Load()))
 
 	m.mu.Lock()
 	sBuckets := m.latencyMS.CumulativeBuckets()

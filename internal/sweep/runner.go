@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -64,6 +65,11 @@ type Job struct {
 	Error    string `json:"error,omitempty"`
 	// Recovered marks a job requeued from the journal after a crash.
 	Recovered bool `json:"recovered,omitempty"`
+	// Steals counts how many fleet peers pulled this job's spec while it
+	// sat in the queue (see StealQueued). The job itself stays queued —
+	// when the thief's replicated result lands first, the local worker
+	// completes it as a cache hit instead of re-executing.
+	Steals int `json:"steals,omitempty"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at"`
@@ -162,6 +168,11 @@ type RunnerConfig struct {
 	// durable write-ahead log so a crashed daemon can requeue
 	// incomplete jobs on restart.
 	Journal *Journal
+	// OnStored, when non-nil, is invoked after a locally-executed job's
+	// result lands in the store, with the canonical payload bytes. The
+	// fleet layer hangs result replication off this hook. Called from
+	// the worker goroutine; implementations must not block long.
+	OnStored func(key string, payload []byte)
 }
 
 func (c RunnerConfig) withDefaults() RunnerConfig {
@@ -387,6 +398,46 @@ func idNum(id string) int {
 	return n
 }
 
+// StealQueued hands out up to max queued job specs to a fleet peer
+// (POST /fleet/steal). The steal is non-destructive: the jobs stay
+// queued here, each marked stolen at most once, and the local worker
+// that eventually dequeues one either finds the thief's replicated
+// result already in the store (a cache hit) or re-executes — which is
+// byte-identical, so the race is harmless and no job can ever be lost
+// to a dead thief. Newest jobs are handed out first: the local workers
+// drain the queue oldest-first, so stealing from the far end minimizes
+// duplicate execution.
+func (r *Runner) StealQueued(max int) []Spec {
+	if max <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	jbs := make([]*job, 0, len(r.jobs))
+	for _, jb := range r.jobs {
+		jbs = append(jbs, jb)
+	}
+	r.mu.Unlock()
+	sort.Slice(jbs, func(i, j int) bool { // newest first
+		return idNum(jbs[i].j.ID) > idNum(jbs[j].j.ID)
+	})
+	var out []Spec
+	for _, jb := range jbs {
+		if len(out) >= max {
+			break
+		}
+		jb.mu.Lock()
+		if jb.j.State == JobQueued && jb.j.Steals == 0 {
+			jb.j.Steals++
+			out = append(out, jb.j.Spec)
+		}
+		jb.mu.Unlock()
+	}
+	if len(out) > 0 {
+		r.met.stolen(len(out))
+	}
+	return out
+}
+
 // Draining reports whether Shutdown has begun; the HTTP readiness
 // endpoint surfaces this as 503 "draining".
 func (r *Runner) Draining() bool {
@@ -597,13 +648,17 @@ attempts:
 		if err == nil {
 			// Store first, journal second: a crash between the two
 			// requeues the job, and the rerun completes as a cache hit.
-			if _, err = r.store.Put(key, res); err == nil {
+			var payload []byte
+			if payload, err = r.store.Put(key, res); err == nil {
 				jb.update(func(j *Job) {
 					j.State = JobDone
 					j.FinishedAt = time.Now()
 				})
 				r.journal.Done(snap.ID)
 				r.met.finished(true, float64(time.Since(start))/float64(time.Millisecond))
+				if r.cfg.OnStored != nil {
+					r.cfg.OnStored(key, payload)
+				}
 				return
 			}
 		}

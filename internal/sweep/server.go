@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strings"
@@ -40,6 +41,26 @@ type Server struct {
 	// -pprof flag). Off by default: profiler endpoints expose internals
 	// and can run CPU profiles, so operators opt in. Set before Handler.
 	Pprof bool
+
+	// Fleet, when non-nil, folds the distributed sweep plane into this
+	// node's surface: its routes mount under /fleet/, readiness gates on
+	// fleet warmup (the first peer-probe round), and the Prometheus
+	// scrape gains the per-peer gauges. Set before Handler.
+	Fleet FleetPlane
+}
+
+// FleetPlane is what the server needs from internal/fleet (an
+// interface here so sweep does not import its own consumer).
+type FleetPlane interface {
+	// Register mounts the fleet endpoints (steal, replication, keys,
+	// info) on the node's mux.
+	Register(mux *http.ServeMux)
+	// Ready reports whether the fleet plane can place work (the first
+	// health-probe round has completed); reason explains a false.
+	Ready() (ok bool, reason string)
+	// WriteProm appends the fleet's per-peer gauges and repair counters
+	// to a Prometheus scrape.
+	WriteProm(w io.Writer) error
 }
 
 // NewServer wires the HTTP surface.
@@ -73,6 +94,9 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+	if s.Fleet != nil {
+		s.Fleet.Register(mux)
+	}
 	return mux
 }
 
@@ -93,6 +117,14 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "queue full")
 	default:
+		if s.Fleet != nil {
+			if ok, reason := s.Fleet.Ready(); !ok {
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, reason)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ready")
 	}
 }
@@ -236,6 +268,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			return // headers are out; nothing recoverable
 		}
 		telemetry.SampleRuntime().WriteProm(telemetry.NewPromWriter(w))
+		if s.Fleet != nil {
+			s.Fleet.WriteProm(w) //nolint:errcheck // best effort: headers are out
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, s.runner.Metrics())

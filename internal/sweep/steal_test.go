@@ -1,0 +1,146 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+)
+
+// StealQueued hands out queued specs newest-first, marks each job
+// stolen at most once, and never touches the running job.
+func TestStealQueuedHandsOutNewestFirst(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	r := newTestRunner(t, RunnerConfig{
+		Workers: 1,
+		Exec: func(ctx context.Context, spec Spec) (*Result, error) {
+			started <- struct{}{}
+			<-gate
+			return okExec(ctx, spec)
+		},
+	})
+	defer close(gate)
+
+	var ids []string
+	for w := 1; w <= 4; w++ {
+		j, err := r.Submit(wlSpec(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	<-started // worker claimed job 1; jobs 2..4 sit queued
+
+	got := r.StealQueued(2)
+	if len(got) != 2 || got[0].Workload != 4 || got[1].Workload != 3 {
+		t.Fatalf("StealQueued(2) = %v, want workloads 4 then 3", got)
+	}
+	if rest := r.StealQueued(10); len(rest) != 1 || rest[0].Workload != 2 {
+		t.Fatalf("second steal = %v, want workload 2 only", rest)
+	}
+	if again := r.StealQueued(10); len(again) != 0 {
+		t.Fatalf("third steal = %v, want nothing (each job stolen once)", again)
+	}
+	if m := r.Metrics(); m.JobsStolen != 3 {
+		t.Fatalf("JobsStolen = %d, want 3", m.JobsStolen)
+	}
+	// Stolen jobs are still queued — nothing was lost — and complete
+	// normally once the gate opens.
+	if j, _ := r.Job(ids[3]); j.State != JobQueued || j.Steals != 1 {
+		t.Fatalf("stolen job = %+v, want queued with Steals=1", j)
+	}
+}
+
+// A stolen job whose result lands in the store (a thief replicating it
+// back) completes as a cache hit instead of re-executing.
+func TestStolenJobCompletesAsCacheHit(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	execs := 0
+	var mu sync.Mutex
+	r := newTestRunner(t, RunnerConfig{
+		Workers: 1,
+		Exec: func(ctx context.Context, spec Spec) (*Result, error) {
+			mu.Lock()
+			execs++
+			mu.Unlock()
+			started <- struct{}{}
+			<-gate
+			return okExec(ctx, spec)
+		},
+	})
+	blocker, err := r.Submit(wlSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := r.Submit(wlSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	if specs := r.StealQueued(1); len(specs) != 1 || specs[0].Workload != 2 {
+		t.Fatalf("steal = %v, want workload 2", specs)
+	}
+	// The "thief" executes remotely and replicates the blob back.
+	res, err := okExec(context.Background(), wlSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.store.Put(wlSpec(2).Key(), res); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	if j := waitTerminal(t, r, queued.ID); j.State != JobDone || !j.Cached {
+		t.Fatalf("stolen job = %+v, want done via cache hit", j)
+	}
+	waitTerminal(t, r, blocker.ID)
+	mu.Lock()
+	defer mu.Unlock()
+	if execs != 1 {
+		t.Fatalf("execs = %d, want 1 (stolen job must not re-execute)", execs)
+	}
+}
+
+// OnStored fires with the canonical payload after a local execution
+// stores its result — and not for cache hits, which would re-replicate
+// blobs that already made the rounds.
+func TestOnStoredHookFiresOncePerExecution(t *testing.T) {
+	type stored struct {
+		key     string
+		payload []byte
+	}
+	var mu sync.Mutex
+	var calls []stored
+	r := newTestRunner(t, RunnerConfig{
+		Workers: 1,
+		Exec:    okExec,
+		OnStored: func(key string, payload []byte) {
+			mu.Lock()
+			calls = append(calls, stored{key, append([]byte(nil), payload...)})
+			mu.Unlock()
+		},
+	})
+	j, err := r.Submit(wlSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, r, j.ID)
+	hit, err := r.Submit(wlSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatalf("resubmit = %+v, want cache hit", hit)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 || calls[0].key != wlSpec(1).Key() {
+		t.Fatalf("OnStored calls = %d, want exactly 1 for the execution", len(calls))
+	}
+	want, ok, err := r.store.Get(calls[0].key)
+	if err != nil || !ok || !bytes.Equal(want, calls[0].payload) {
+		t.Fatal("OnStored payload differs from the stored bytes")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -152,15 +153,78 @@ func (s *Store) Put(key string, r *Result) ([]byte, error) {
 	return data, nil
 }
 
-// Len counts stored results.
-func (s *Store) Len() (int, error) {
+// PutRaw stores an already-encoded result payload (the exact bytes a
+// peer's Get returned) under key, re-deriving the integrity footer.
+// Replication uses this so a blob stays byte-identical across every
+// node that holds it; like Put, the write is atomic.
+func (s *Store) PutRaw(key string, payload []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("sweep: malformed result key %q", key)
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("sweep: store result: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: store result: %w", err)
+	}
+	if _, err := tmp.Write(footerFor(payload)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: store result: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sweep: store result: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		return fmt.Errorf("sweep: store result: %w", err)
+	}
+	return nil
+}
+
+// Keys enumerates every stored key, sorted, without verifying file
+// contents: a key whose file is corrupt is still listed (its Get
+// reports the corruption), which is exactly what the fleet's
+// anti-entropy sweep needs to find blobs worth repairing.
+func (s *Store) Keys() ([]string, error) {
 	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, e := range entries {
+		if name, found := strings.CutSuffix(e.Name(), ".json"); found && validKey(name) {
+			keys = append(keys, name)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete removes the stored result for key. Deleting a key that is not
+// stored is not an error — the end state is the same.
+func (s *Store) Delete(key string) error {
+	if !validKey(key) {
+		return fmt.Errorf("sweep: malformed result key %q", key)
+	}
+	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("sweep: delete result %s: %w", key, err)
+	}
+	return nil
+}
+
+// Len counts stored results whose integrity footer verifies. A corrupt
+// or truncated blob reads as a cache miss everywhere else, so it must
+// not count as a cached result here either.
+func (s *Store) Len() (int, error) {
+	keys, err := s.Keys()
 	if err != nil {
 		return 0, err
 	}
 	n := 0
-	for _, e := range entries {
-		if name, found := strings.CutSuffix(e.Name(), ".json"); found && validKey(name) {
+	for _, key := range keys {
+		if _, ok, err := s.Get(key); err == nil && ok {
 			n++
 		}
 	}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"sort"
 	"testing"
 
 	"emerald/internal/soc"
@@ -48,6 +49,84 @@ func TestStoreRoundTrip(t *testing.T) {
 	}
 	if n, err := st.Len(); err != nil || n != 1 {
 		t.Fatalf("Len = (%d, %v), want 1", n, err)
+	}
+}
+
+// Keys enumerates stored keys (sorted), Delete removes them, and
+// PutRaw reinstalls the exact bytes a peer served — the primitives the
+// fleet's anti-entropy sweep is built on.
+func TestStoreKeysDeletePutRaw(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := testResult()
+	r2 := &Result{
+		Spec:   Spec{Kind: KindCS2Sweep, Scale: "smoke", Workload: 3}.Canonical(),
+		Cycles: []uint64{10, 20, 30},
+	}
+	k1, k2 := r1.Spec.Key(), r2.Spec.Key()
+	payload1, err := st.Put(k1, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(k2, r2); err != nil {
+		t.Fatal(err)
+	}
+
+	keys, err := st.Keys()
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("Keys = (%v, %v), want both keys", keys, err)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("Keys not sorted: %v", keys)
+	}
+
+	if err := st.Delete(k1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(k1); err != nil {
+		t.Fatalf("Delete of an absent key = %v, want nil", err)
+	}
+	if _, ok, _ := st.Get(k1); ok {
+		t.Fatal("deleted key still reads back")
+	}
+	if err := st.Delete("../nope"); err == nil {
+		t.Fatal("Delete accepted a malformed key")
+	}
+
+	// PutRaw restores the replica byte-for-byte.
+	if err := st.PutRaw(k1, payload1); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(k1)
+	if err != nil || !ok || !bytes.Equal(got, payload1) {
+		t.Fatalf("PutRaw round trip = (ok=%v, err=%v), bytes equal=%v",
+			ok, err, bytes.Equal(got, payload1))
+	}
+}
+
+// A corrupt blob must not count as a cached result: Len skips files
+// whose integrity footer fails, and Keys still lists them so
+// anti-entropy can find and repair them.
+func TestStoreLenSkipsCorrupt(t *testing.T) {
+	st, key := corruptStore(t, func(data []byte) []byte {
+		data[len(data)/3] ^= 0x01
+		return data
+	})
+	if n, err := st.Len(); err != nil || n != 0 {
+		t.Fatalf("Len with one corrupt blob = (%d, %v), want 0", n, err)
+	}
+	keys, err := st.Keys()
+	if err != nil || len(keys) != 1 || keys[0] != key {
+		t.Fatalf("Keys with one corrupt blob = (%v, %v), want [%s]", keys, err, key)
+	}
+	// A fresh Put heals it and Len counts it again.
+	if _, err := st.Put(key, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Fatalf("Len after heal = (%d, %v), want 1", n, err)
 	}
 }
 

@@ -85,6 +85,55 @@ func (p *PromWriter) Gauge(name, help string, v float64) {
 	p.printf("%s %s\n", name, formatFloat(v))
 }
 
+// escapeLabel escapes a label value per the exposition format
+// (backslash, double quote and newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// LabeledValue is one sample of a labeled metric family: an ordered
+// list of label name/value pairs and the sample value.
+type LabeledValue struct {
+	Labels [][2]string
+	Value  float64
+}
+
+func (p *PromWriter) series(name string, lv LabeledValue) {
+	var b strings.Builder
+	b.WriteString(name)
+	if len(lv.Labels) > 0 {
+		b.WriteByte('{')
+		for i, kv := range lv.Labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=\"%s\"", kv[0], escapeLabel(kv[1]))
+		}
+		b.WriteByte('}')
+	}
+	p.printf("%s %s\n", b.String(), formatFloat(lv.Value))
+}
+
+// GaugeVec writes one gauge family with one labeled sample per entry,
+// in the given order (callers sort for a deterministic scrape).
+func (p *PromWriter) GaugeVec(name, help string, samples []LabeledValue) {
+	p.header(name, help, "gauge")
+	for _, lv := range samples {
+		p.series(name, lv)
+	}
+}
+
+// CounterVec writes one counter family with one labeled sample per
+// entry, in the given order. Values must be cumulative totals.
+func (p *PromWriter) CounterVec(name, help string, samples []LabeledValue) {
+	p.header(name, help, "counter")
+	for _, lv := range samples {
+		p.series(name, lv)
+	}
+}
+
 // Histogram writes one native prometheus histogram: cumulative
 // le-labeled buckets (an +Inf bucket holding count is appended
 // automatically), plus _sum and _count series. Buckets must be in

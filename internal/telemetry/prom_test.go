@@ -55,6 +55,55 @@ func TestPromWriterEscaping(t *testing.T) {
 	}
 }
 
+// Labeled families: golden-match the series syntax (the fleet's
+// per-peer gauges ride this), and label values must be escaped so a
+// hostile peer address cannot break the scrape.
+func TestPromWriterVecGolden(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.GaugeVec("emerald_fleet_peer_up", "Peer liveness.", []LabeledValue{
+		{Labels: [][2]string{{"peer", "http://127.0.0.1:8401"}}, Value: 1},
+		{Labels: [][2]string{{"peer", "http://127.0.0.1:8402"}}, Value: 0},
+	})
+	pw.CounterVec("emerald_fleet_repairs_total", "Anti-entropy repairs.", []LabeledValue{
+		{Labels: [][2]string{{"kind", "healed"}}, Value: 3},
+		{Labels: [][2]string{{"kind", "pushed"}}, Value: 5},
+	})
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP emerald_fleet_peer_up Peer liveness.
+# TYPE emerald_fleet_peer_up gauge
+emerald_fleet_peer_up{peer="http://127.0.0.1:8401"} 1
+emerald_fleet_peer_up{peer="http://127.0.0.1:8402"} 0
+# HELP emerald_fleet_repairs_total Anti-entropy repairs.
+# TYPE emerald_fleet_repairs_total counter
+emerald_fleet_repairs_total{kind="healed"} 3
+emerald_fleet_repairs_total{kind="pushed"} 5
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ValidateExposition(&buf); err != nil {
+		t.Fatalf("vec output fails validation: %v", err)
+	}
+}
+
+func TestPromWriterLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.GaugeVec("m", "h", []LabeledValue{
+		{Labels: [][2]string{{"peer", "a\"b\\c\nd"}}, Value: 1},
+	})
+	got := buf.String()
+	if !strings.Contains(got, `m{peer="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label value not escaped: %q", got)
+	}
+	if err := ValidateExposition(strings.NewReader(got)); err != nil {
+		t.Fatalf("escaped label fails validation: %v", err)
+	}
+}
+
 func TestPromWriterStickyError(t *testing.T) {
 	pw := NewPromWriter(failWriter{})
 	pw.Counter("a", "h", 1)

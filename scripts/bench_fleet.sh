@@ -1,0 +1,173 @@
+#!/bin/sh
+# Benchmark recorder for the distributed sweep fleet: times the same
+# cold 16-cell figure-9 smoke matrix against 1 emeraldd node and
+# against a 3-node fleet, and records the wall-clock ratio in
+# BENCH_fleet.json so the scaling shows up in review diffs.
+#
+# Two pairs are measured:
+#
+#   - "plane": every node runs the EMERALD_SLEEP_EXEC_MS executor
+#     (sleep instead of simulate), so the pair isolates the fleet
+#     plane itself — placement, stealing, replication, polling — from
+#     simulation CPU cost. This works on any machine, including
+#     single-core CI containers where three simulating daemons would
+#     just time-slice one core. Gated: the 3-node run must be >= 2x
+#     faster.
+#
+#   - "real": the same pair with real simulations. Only measured with
+#     >= 4 cores (mirroring check.sh's parallel speedup guard);
+#     recorded as skipped otherwise.
+#
+# Results are byte-identical across arms by the determinism contract;
+# only wall clock changes. Run from the repository root:
+#
+#	scripts/bench_fleet.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_fleet.json
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+	for p in $pids; do
+		kill -9 "$p" 2>/dev/null || true
+		wait "$p" 2>/dev/null || true
+	done
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/emeraldd" ./cmd/emeraldd
+go build -o "$tmp/sweep" ./cmd/sweep
+
+matrix="-fig 9 -scale smoke -models 1,2,3,4 -configs BAS,DCB,DTB,HMC -poll 25ms"
+
+# Shell arithmetic, not awk: some awks clamp %d at 32 bits, which
+# silently turns nanosecond epochs into INT_MAX.
+now_ms() {
+	echo $(($(date +%s%N) / 1000000))
+}
+
+wait_addr() { # logfile -> $addr
+	addr=""
+	for _ in $(seq 1 50); do
+		addr=$(awk '/listening on/ { print $4; exit }' "$1" 2>/dev/null || true)
+		[ -n "$addr" ] && break
+		sleep 0.1
+	done
+	if [ -z "$addr" ]; then
+		echo "FAIL: emeraldd never reported its address" >&2
+		cat "$1" >&2
+		exit 1
+	fi
+}
+
+wait_ready() { # base URL
+	for _ in $(seq 1 100); do
+		curl -sf "$1/healthz/ready" >/dev/null 2>&1 && return 0
+		sleep 0.1
+	done
+	echo "FAIL: $1 never became ready" >&2
+	exit 1
+}
+
+stop_all() {
+	for p in $pids; do
+		kill "$p" 2>/dev/null || true
+		wait "$p" 2>/dev/null || true
+	done
+	pids=""
+}
+
+# time_single <cache> <sleep_ms or 0>: cold sweep against one node.
+# Sets $elapsed (milliseconds).
+time_single() {
+	env_sleep=""
+	[ "$2" -gt 0 ] && env_sleep=$2
+	EMERALD_SLEEP_EXEC_MS=$env_sleep "$tmp/emeraldd" -addr 127.0.0.1:0 \
+		-cache "$tmp/$1" >"$tmp/$1.log" 2>&1 &
+	pids="$pids $!"
+	wait_addr "$tmp/$1.log"
+	wait_ready "http://$addr"
+	t0=$(now_ms)
+	"$tmp/sweep" -addr "http://$addr" $matrix >/dev/null 2>"$tmp/$1.err"
+	t1=$(now_ms)
+	stop_all
+	elapsed=$((t1 - t0))
+}
+
+# time_fleet <cacheprefix> <sleep_ms or 0>: cold sweep fanned across 3
+# nodes. Sets $elapsed (milliseconds).
+time_fleet() {
+	env_sleep=""
+	[ "$2" -gt 0 ] && env_sleep=$2
+	set -- $(go run ./scripts/freeport 3) "$1"
+	peers="http://127.0.0.1:$1,http://127.0.0.1:$2,http://127.0.0.1:$3"
+	i=1
+	for port in $1 $2 $3; do
+		EMERALD_SLEEP_EXEC_MS=$env_sleep "$tmp/emeraldd" -addr "127.0.0.1:$port" \
+			-cache "$tmp/$4-$i" -peers "$peers" \
+			-probe-interval 100ms -steal-interval 50ms \
+			>"$tmp/$4-$i.log" 2>&1 &
+		pids="$pids $!"
+		i=$((i + 1))
+	done
+	for port in $1 $2 $3; do
+		wait_ready "http://127.0.0.1:$port"
+	done
+	t0=$(now_ms)
+	"$tmp/sweep" -addr "$peers" $matrix >/dev/null 2>"$tmp/$4.err"
+	t1=$(now_ms)
+	stop_all
+	elapsed=$((t1 - t0))
+}
+
+echo "== fleet plane pair (sleep executor, 200ms/job, 16 jobs) =="
+time_single plane1 200
+plane1=$elapsed
+echo "1 node:  ${plane1}ms"
+time_fleet plane3 200
+plane3=$elapsed
+echo "3 nodes: ${plane3}ms"
+plane_speedup=$(awk -v a="$plane1" -v b="$plane3" 'BEGIN { printf "%.3f", a / b }')
+echo "plane speedup: ${plane_speedup}x"
+
+cores=$(nproc 2>/dev/null || echo 1)
+real1=null
+real3=null
+real_speedup=null
+if [ "$cores" -lt 4 ]; then
+	echo "== real-sim pair skipped: $cores core(s); needs >= 4 =="
+else
+	echo "== real-sim pair =="
+	time_single real1 0
+	real1=$elapsed
+	echo "1 node:  ${real1}ms"
+	time_fleet real3 0
+	real3=$elapsed
+	echo "3 nodes: ${real3}ms"
+	real_speedup=$(awk -v a="$real1" -v b="$real3" 'BEGIN { printf "%.3f", a / b }')
+	echo "real speedup: ${real_speedup}x"
+fi
+
+cat >"$out" <<EOF
+{
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "go": "$(go env GOVERSION)",
+  "cores": $cores,
+  "jobs": 16,
+  "sleep_exec_ms": 200,
+  "plane_1node_ms": $plane1,
+  "plane_3node_ms": $plane3,
+  "plane_speedup": $plane_speedup,
+  "real_1node_ms": $real1,
+  "real_3node_ms": $real3,
+  "real_speedup": $real_speedup
+}
+EOF
+echo "wrote $out"
+
+awk -v s="$plane_speedup" 'BEGIN {
+	if (s < 2.0) { print "FAIL: 3-node fleet plane speedup " s "x below 2x" > "/dev/stderr"; exit 1 }
+}'

@@ -97,11 +97,16 @@ echo "== sweep service smoke test =="
 # (b) its stdout to be byte-identical to the cold run.
 tmp=$(mktemp -d)
 daemon_pid=""
+fleet_pids=""
 cleanup() {
 	if [ -n "$daemon_pid" ]; then
 		kill "$daemon_pid" 2>/dev/null || true
 		wait "$daemon_pid" 2>/dev/null || true
 	fi
+	for fp in $fleet_pids; do
+		kill -9 "$fp" 2>/dev/null || true
+		wait "$fp" 2>/dev/null || true
+	done
 	rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -187,6 +192,119 @@ if ! cmp -s "$tmp/cold.out" "$tmp/resumed.out"; then
 	exit 1
 fi
 cat "$tmp/resumed.err"
+echo "ok"
+
+echo "== fleet smoke test (3 nodes) =="
+# Start three emeraldd nodes as one fleet (static -peers membership),
+# fan the same two-point sweep across them through the fleet client,
+# and require: (a) the cold fleet table byte-identical to the
+# single-node cold run above, (b) a warm re-run 100% cache hits with
+# the same bytes, (c) every result blob replicated to R=2 nodes, and
+# (d) kill -9 of one node mid-sweep loses zero jobs and still produces
+# the single-node table.
+set -- $(go run ./scripts/freeport 3)
+fport1=$1 fport2=$2 fport3=$3
+peers="http://127.0.0.1:$fport1,http://127.0.0.1:$fport2,http://127.0.0.1:$fport3"
+i=1
+for fport in $fport1 $fport2 $fport3; do
+	"$tmp/emeraldd" -addr "127.0.0.1:$fport" -cache "$tmp/fleet$i" \
+		-peers "$peers" -probe-interval 200ms -steal-interval 100ms \
+		>"$tmp/fleet$i.log" 2>&1 &
+	fleet_pids="$fleet_pids $!"
+	i=$((i + 1))
+done
+# Fleet readiness gates on the first peer-probe round; wait for it.
+for fport in $fport1 $fport2 $fport3; do
+	ready=""
+	for _ in $(seq 1 100); do
+		if curl -sf "http://127.0.0.1:$fport/healthz/ready" >/dev/null 2>&1; then
+			ready=yes
+			break
+		fi
+		sleep 0.1
+	done
+	if [ -z "$ready" ]; then
+		echo "FAIL: fleet node on port $fport never became ready:" >&2
+		cat "$tmp"/fleet*.log >&2
+		exit 1
+	fi
+done
+fleet_args="-addr $peers -fig 9 -scale smoke -models 2 -configs BAS,DCB"
+"$tmp/sweep" $fleet_args >"$tmp/fleetcold.out" 2>"$tmp/fleetcold.err"
+if ! grep -q "cache 0/2" "$tmp/fleetcold.err"; then
+	echo "FAIL: cold fleet sweep was not 0/2 cache hits:" >&2
+	cat "$tmp/fleetcold.err" >&2
+	exit 1
+fi
+if ! cmp -s "$tmp/cold.out" "$tmp/fleetcold.out"; then
+	echo "FAIL: fleet tables differ from the single-node run:" >&2
+	diff "$tmp/cold.out" "$tmp/fleetcold.out" >&2 || true
+	exit 1
+fi
+"$tmp/sweep" $fleet_args >"$tmp/fleetwarm.out" 2>"$tmp/fleetwarm.err"
+if ! grep -q "cache 2/2 hits (100.0%)" "$tmp/fleetwarm.err"; then
+	echo "FAIL: warm fleet sweep was not 100% cache hits:" >&2
+	cat "$tmp/fleetwarm.err" >&2
+	exit 1
+fi
+if ! cmp -s "$tmp/cold.out" "$tmp/fleetwarm.out"; then
+	echo "FAIL: warm fleet tables differ:" >&2
+	diff "$tmp/cold.out" "$tmp/fleetwarm.out" >&2 || true
+	exit 1
+fi
+cat "$tmp/fleetwarm.err"
+# Replication is asynchronous; wait for both result blobs to reach
+# their R=2 owners (>= 4 blob files across the three caches).
+blobs=0
+for _ in $(seq 1 100); do
+	blobs=$(ls "$tmp"/fleet1 "$tmp"/fleet2 "$tmp"/fleet3 2>/dev/null | grep -c '\.json$' || true)
+	[ "$blobs" -ge 4 ] && break
+	sleep 0.1
+done
+if [ "$blobs" -lt 4 ]; then
+	echo "FAIL: expected >= 4 replicated blobs across 3 caches, found $blobs" >&2
+	exit 1
+fi
+echo "replication: $blobs blobs across 3 caches (2 keys, R=2)"
+# Node death mid-sweep: reference table first (uninterrupted single
+# node, 4 cells), then the same sweep through the fleet with one node
+# killed -9 while work is in flight.
+"$tmp/emeraldd" -addr 127.0.0.1:0 -cache "$tmp/fleetref" >"$tmp/fleetref.log" 2>&1 &
+daemon_pid=$!
+wait_addr "$tmp/fleetref.log"
+kill_args="-fig 9 -scale smoke -models 2 -configs BAS,DCB,DTB,HMC"
+"$tmp/sweep" -addr "http://$addr" $kill_args >"$tmp/fleetref.out" 2>/dev/null
+kill "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+"$tmp/sweep" -addr "$peers" $kill_args >"$tmp/fleetkill.out" 2>"$tmp/fleetkill.err" &
+sweep_pid=$!
+sleep 0.3
+last_pid=${fleet_pids##* }
+kill -9 "$last_pid" 2>/dev/null || true
+wait "$last_pid" 2>/dev/null || true
+if ! wait "$sweep_pid"; then
+	echo "FAIL: fleet sweep did not survive the node kill:" >&2
+	cat "$tmp/fleetkill.err" >&2
+	cat "$tmp"/fleet*.log >&2
+	exit 1
+fi
+if ! grep -q "cache [0-9]*/4 hits" "$tmp/fleetkill.err"; then
+	echo "FAIL: fleet sweep lost jobs after the node kill:" >&2
+	cat "$tmp/fleetkill.err" >&2
+	exit 1
+fi
+if ! cmp -s "$tmp/fleetref.out" "$tmp/fleetkill.out"; then
+	echo "FAIL: tables after node kill differ from the uninterrupted run:" >&2
+	diff "$tmp/fleetref.out" "$tmp/fleetkill.out" >&2 || true
+	exit 1
+fi
+grep "marking .* down\|down:" "$tmp/fleetkill.err" | head -2 || true
+for fp in $fleet_pids; do
+	kill -9 "$fp" 2>/dev/null || true
+	wait "$fp" 2>/dev/null || true
+done
+fleet_pids=""
 echo "ok"
 
 echo "== live telemetry smoke test =="

@@ -1,0 +1,41 @@
+// Command freeport prints N free loopback TCP ports (default 1), one
+// per line. Fleet scripts use it to pick the fixed ports a static
+// -peers list needs before any daemon starts: all listeners are held
+// open until every port is allocated, so the ports are distinct.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+)
+
+func main() {
+	n := 1
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "freeport: bad count %q\n", os.Args[1])
+			os.Exit(2)
+		}
+		n = v
+	}
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "freeport:", err)
+			os.Exit(1)
+		}
+		lns = append(lns, ln)
+	}
+	for _, ln := range lns {
+		fmt.Println(ln.Addr().(*net.TCPAddr).Port)
+	}
+}
