@@ -55,8 +55,8 @@ import (
 	"syscall"
 	"time"
 
+	"emerald/internal/chaos"
 	"emerald/internal/fleet"
-	"emerald/internal/soc"
 	"emerald/internal/sweep"
 )
 
@@ -75,13 +75,25 @@ func main() {
 	noWheel := flag.Bool("no-wheel", false, "disable per-shard event wheels in every job (results are identical; for perf comparison/debugging)")
 	pprofOn := flag.Bool("pprof", false, "mount Go profiler endpoints under /debug/pprof/ (off by default; exposes process internals)")
 	peers := flag.String("peers", "", "comma-separated base URLs of every fleet member (including this node) — enables fleet mode")
+	join := flag.String("join", "", "base URL of an existing fleet member to join through — enables fleet mode with dynamic membership")
 	advertise := flag.String("advertise", "", "this node's base URL as it appears in -peers (default http://<listen addr>)")
 	replicas := flag.Int("replicas", 2, "ring owners holding each completed result blob (fleet mode)")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer health-probe period (fleet mode)")
+	probeFails := flag.Int("probe-fails", 3, "consecutive probe failures before a peer is marked down; one success recovers it (fleet mode)")
 	stealInterval := flag.Duration("steal-interval", 500*time.Millisecond, "idle work-steal period (fleet mode)")
 	stealBatch := flag.Int("steal-batch", 4, "max queued specs pulled per steal (fleet mode)")
 	antiEntropy := flag.Duration("anti-entropy-interval", 30*time.Second, "replica repair sweep period (fleet mode)")
 	fleetGC := flag.Bool("fleet-gc", false, "let anti-entropy delete blobs this node no longer owns once every owner holds a copy (fleet mode)")
+	leaveOnShutdown := flag.Bool("leave-on-shutdown", false, "on SIGINT/SIGTERM, gracefully leave the fleet (membership handoff + verified blob delivery) before draining")
+	chaosSeed := flag.Int64("chaos-seed", 0, "enable seeded fault injection on fleet-internal traffic and the result store (0 = off; same seed reproduces the same fault schedule)")
+	chaosDrop := flag.Float64("chaos-drop", 0.05, "probability an outbound fleet request is dropped (with -chaos-seed)")
+	chaosDelay := flag.Float64("chaos-delay", 0.10, "probability an outbound fleet request is stalled (with -chaos-seed)")
+	chaosMaxDelay := flag.Duration("chaos-max-delay", 10*time.Millisecond, "upper bound of an injected stall (with -chaos-seed)")
+	chaosErr5xx := flag.Float64("chaos-err5xx", 0.05, "probability an outbound fleet request is answered by a synthetic 503 (with -chaos-seed)")
+	chaosTruncate := flag.Float64("chaos-truncate", 0.02, "probability a fleet response body is truncated mid-stream (with -chaos-seed)")
+	chaosTorn := flag.Float64("chaos-torn", 0, "probability a result-store write lands truncated (with -chaos-seed)")
+	chaosFlip := flag.Float64("chaos-flip", 0, "probability a result-store write lands with a flipped byte (with -chaos-seed)")
+	chaosENOSPC := flag.Float64("chaos-enospc", 0, "probability a result-store write fails like a full disk (with -chaos-seed)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -97,16 +109,33 @@ func main() {
 		jobs: *jobs, queue: *queue,
 		jobTimeout: *jobTimeout, retries: *retries, drainTimeout: *drainTimeout,
 		watchdog: *watchdog, guard: *guardOn, noSkip: *noSkip, noWheel: *noWheel,
-		pprof: *pprofOn,
+		pprof:           *pprofOn,
+		leaveOnShutdown: *leaveOnShutdown,
 		fleet: fleet.Config{
 			Self:                *advertise,
+			Join:                strings.TrimRight(strings.TrimSpace(*join), "/"),
 			Replicas:            *replicas,
 			ProbeInterval:       *probeInterval,
+			ProbeFails:          *probeFails,
 			StealInterval:       *stealInterval,
 			StealBatch:          *stealBatch,
 			AntiEntropyInterval: *antiEntropy,
 			GCUnowned:           *fleetGC,
 		},
+	}
+	if *chaosSeed != 0 {
+		cfg.chaos = &chaos.Config{
+			Seed:      *chaosSeed,
+			Drop:      *chaosDrop,
+			Delay:     *chaosDelay,
+			MaxDelay:  *chaosMaxDelay,
+			Err5xx:    *chaosErr5xx,
+			Truncate:  *chaosTruncate,
+			TornWrite: *chaosTorn, BitFlip: *chaosFlip, NoSpace: *chaosENOSPC,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "emeraldd: "+format+"\n", args...)
+			},
+		}
 	}
 	for _, p := range strings.Split(*peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -129,7 +158,9 @@ type daemonConfig struct {
 	noSkip                   bool
 	noWheel                  bool
 	pprof                    bool
-	fleet                    fleet.Config // fleet mode iff Peers is non-empty
+	leaveOnShutdown          bool
+	fleet                    fleet.Config  // fleet mode iff Peers or Join is set
+	chaos                    *chaos.Config // seeded fault injection (nil = off)
 }
 
 func run(cfg daemonConfig) error {
@@ -179,14 +210,30 @@ func run(cfg daemonConfig) error {
 		if err != nil || d < 0 {
 			return fmt.Errorf("bad EMERALD_SLEEP_EXEC_MS %q", ms)
 		}
-		rcfg.Exec = sleepExec(time.Duration(d) * time.Millisecond)
+		rcfg.Exec = sweep.SyntheticExec(time.Duration(d) * time.Millisecond)
 		fmt.Fprintf(os.Stderr, "emeraldd: EMERALD_SLEEP_EXEC_MS=%d — synthetic sleep executor (bench mode; results are NOT simulations)\n", d)
 	}
 
+	fleetMode := len(cfg.fleet.Peers) > 0 || cfg.fleet.Join != ""
+	var engine *chaos.Engine
+	if cfg.chaos != nil {
+		if !fleetMode {
+			return fmt.Errorf("-chaos-seed needs fleet mode (-peers or -join)")
+		}
+		engine = chaos.New(*cfg.chaos)
+	}
+
 	var node *fleet.Node
-	if len(cfg.fleet.Peers) > 0 {
+	if fleetMode {
 		if cfg.fleet.Self == "" {
 			cfg.fleet.Self = "http://" + ln.Addr().String()
+		}
+		if engine != nil {
+			cfg.fleet.HTTP = &http.Client{Transport: engine.Transport(cfg.fleet.Self, nil)}
+			if c := cfg.chaos; c.TornWrite > 0 || c.BitFlip > 0 || c.NoSpace > 0 {
+				store.SetFault(engine.StoreFault(cfg.fleet.Self))
+			}
+			fmt.Fprintf(os.Stderr, "emeraldd: chaos fault schedule:\n%s", engine.Schedule())
 		}
 		if node, err = fleet.New(cfg.fleet, store); err != nil {
 			return err
@@ -199,14 +246,36 @@ func run(cfg daemonConfig) error {
 		node.SetRunner(runner)
 	}
 	if len(pending) > 0 {
+		if node != nil {
+			// Journal-aware failover: a peer may have re-executed these
+			// jobs while this daemon was down. Learn who is alive, pull
+			// blobs they already hold, and let Recover turn those journal
+			// entries into cache hits instead of re-executions.
+			rctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			node.ProbeOnce(rctx)
+			if fetched := node.ReconcilePending(rctx, pending); fetched > 0 {
+				fmt.Fprintf(os.Stderr, "emeraldd: reconciled %d journaled job(s) from peer replicas\n", fetched)
+			}
+			cancel()
+		}
 		requeued, cached := runner.Recover(pending)
 		fmt.Fprintf(os.Stderr, "emeraldd: recovered %d incomplete job(s) from journal (%d requeued, %d already cached)\n",
 			len(pending), requeued, cached)
 	}
 	api := sweep.NewServer(runner, store)
 	api.Pprof = cfg.pprof
+	leaveRequested := make(chan struct{}, 1)
 	if node != nil {
 		api.Fleet = node
+		// POST /fleet/leave asks this daemon to exit gracefully: the
+		// membership handoff runs first (inside node.Leave), then the
+		// normal drain path below.
+		node.OnLeave = func() {
+			select {
+			case leaveRequested <- struct{}{}:
+			default:
+			}
+		}
 		node.Start()
 	}
 	srv := &http.Server{Handler: api.Handler()}
@@ -226,12 +295,19 @@ func run(cfg daemonConfig) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
+	leaving := false
 	select {
 	case err := <-serveErr:
 		return err
+	case <-leaveRequested:
+		// POST /fleet/leave already ran the membership handoff inside
+		// node.Leave; what remains is the drain and a final verified
+		// handoff of results produced while draining.
+		leaving = true
+		fmt.Fprintln(os.Stderr, "emeraldd: leave requested, draining jobs...")
 	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "emeraldd: shutting down, draining jobs...")
 	}
-	fmt.Fprintln(os.Stderr, "emeraldd: shutting down, draining jobs...")
 
 	// Drain the runner while HTTP stays up: new submissions get 503 +
 	// Retry-After, readiness reports "draining", and status endpoints
@@ -239,8 +315,20 @@ func run(cfg daemonConfig) error {
 	// HTTP server close.
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancelDrain()
+	if node != nil && cfg.leaveOnShutdown && !leaving {
+		if err := node.Leave(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "emeraldd: fleet leave:", err)
+		} else {
+			leaving = true
+		}
+	}
 	drainErr := runner.Shutdown(drainCtx)
 	if node != nil {
+		if leaving {
+			// Results produced while draining replicated fire-and-forget;
+			// hand them off again, verified, before the surface disappears.
+			node.Handoff(drainCtx)
+		}
 		// After the drain: draining jobs still replicate their results,
 		// and Close waits for those pushes.
 		node.Close()
@@ -256,41 +344,4 @@ func run(cfg daemonConfig) error {
 	}
 	fmt.Fprintln(os.Stderr, "emeraldd: drained cleanly")
 	return nil
-}
-
-// sleepExec is the EMERALD_SLEEP_EXEC_MS executor: it sleeps instead
-// of simulating, returning a spec-derived placeholder result (shaped
-// like the real one, so figure aggregation still works). Benchmark
-// harnesses use it to measure fleet scheduling (placement, stealing,
-// replication) independently of simulation CPU cost on any machine.
-func sleepExec(d time.Duration) sweep.Exec {
-	return func(ctx context.Context, spec sweep.Spec) (*sweep.Result, error) {
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(d):
-		}
-		c := spec.Canonical()
-		res := &sweep.Result{Spec: c}
-		switch c.Kind {
-		case sweep.KindCS1:
-			res.CS1 = &soc.Results{
-				Config:          c.Config,
-				Model:           fmt.Sprintf("M%d", c.Model),
-				MeanGPUCycles:   float64(100*c.Model + c.Mbps),
-				MeanFrameCycles: float64(200*c.Model + c.Mbps),
-				DisplayServed:   int64(c.Mbps),
-				FramesShown:     60,
-				RowHitRate:      0.5,
-				BytesPerAct:     64,
-			}
-		case sweep.KindCS2Sweep:
-			for wt := 1; wt <= 8; wt++ {
-				res.Cycles = append(res.Cycles, uint64(1000*c.Workload+wt))
-			}
-		case sweep.KindCS2Policy:
-			res.AvgCycles = float64(1000*c.Workload + len(c.Policy))
-		}
-		return res, nil
-	}
 }

@@ -64,6 +64,8 @@ func main() {
 	poll := flag.Duration("poll", 100*time.Millisecond, "job poll interval")
 	timeout := flag.Duration("timeout", 30*time.Minute, "overall sweep deadline")
 	progress := flag.Bool("progress", false, "print live progress lines for running cells to stderr every second")
+	hedgeMin := flag.Duration("hedge-min", 0, "fleet mode: floor before a slow job is hedged to the next ring owner (0 = client default of 2s)")
+	noHedge := flag.Bool("no-hedge", false, "fleet mode: never hedge slow jobs to a second node")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -107,6 +109,7 @@ func main() {
 		if err != nil {
 			usageErr(err)
 		}
+		fc.Hedge = fleet.HedgePolicy{Disabled: *noHedge, Min: *hedgeMin}
 		fmt.Fprintf(os.Stderr, "sweep: fleet of %d node(s)\n", len(addrs))
 		c = fc
 	}

@@ -1,0 +1,234 @@
+// Package chaos is a seeded, deterministic fault-injection layer for
+// the sweep fleet. It attacks the three seams failures really enter
+// through:
+//
+//   - the network: an http.RoundTripper / http.Handler wrapper that
+//     injects drops, delays, asymmetric partitions (A sees B dead
+//     while B sees A alive), synthesized 5xx responses, and truncated
+//     bodies (Transport, Handler);
+//   - the store: a sweep.StoreFault that injects torn writes, bit
+//     flips, and ENOSPC on the result-blob write path (StoreFault);
+//   - the process: a node-lifecycle driver that crash-kills, restarts,
+//     joins and gracefully removes fleet members (Cluster, Member).
+//
+// Every decision is a pure function of (seed, kind, scope, attempt) —
+// hashed, not sampled from shared mutable RNG state — so a fault
+// schedule is reproducible from its seed alone regardless of goroutine
+// interleaving: the Nth request from A to B on a given endpoint sees
+// the same fate in every run. That is what turns "survives a storm"
+// into a regression gate instead of an anecdote.
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config parameterizes an Engine. All probabilities are in [0, 1] and
+// independent; zero disables that fault class.
+type Config struct {
+	// Seed selects the deterministic fault schedule. The same seed and
+	// the same request/write sequence reproduce the same faults.
+	Seed int64
+
+	// Drop is the probability a request errors before reaching the
+	// wire (connection refused/reset analog — retried as transient).
+	Drop float64
+	// Delay is the probability a request is stalled; the stall length
+	// is a seed-derived fraction of MaxDelay (default 10ms).
+	Delay    float64
+	MaxDelay time.Duration
+	// Err5xx is the probability a request is answered by a synthesized
+	// 503 (Retry-After: 0) without reaching the peer.
+	Err5xx float64
+	// Truncate is the probability a response body is cut short
+	// mid-stream (decoders choke; integrity checks catch the rest).
+	Truncate float64
+
+	// Partitions are asymmetric link cuts: while active, From's
+	// requests to To fail outright, while To can still reach From.
+	Partitions []Partition
+
+	// TornWrite, BitFlip and NoSpace drive the store-side injector
+	// (StoreFault): a truncated file image, a flipped byte, or an
+	// ENOSPC-style write error (surfaced as a transient job failure).
+	TornWrite float64
+	BitFlip   float64
+	NoSpace   float64
+
+	// Logf, when set, receives one line per injected fault.
+	Logf func(format string, args ...any)
+}
+
+// Partition is one asymmetric link cut, active for [Start, End)
+// measured from the engine's construction.
+type Partition struct {
+	From  string        `json:"from"`
+	To    string        `json:"to"`
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+}
+
+// Engine is the shared fault oracle every injector consults. One
+// engine per storm: transports, handlers, and store injectors made
+// from it share the seed and the per-scope attempt counters.
+type Engine struct {
+	cfg   Config
+	start time.Time
+
+	mu       sync.Mutex
+	attempts map[string]uint64
+	counts   map[string]int64
+}
+
+// New builds an engine. The partition clock starts now.
+func New(cfg Config) *Engine {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10 * time.Millisecond
+	}
+	return &Engine{
+		cfg:      cfg,
+		start:    time.Now(),
+		attempts: make(map[string]uint64),
+		counts:   make(map[string]int64),
+	}
+}
+
+// nextAttempt returns (and advances) the per-scope attempt counter.
+// Scoping attempts by (from, to, endpoint) — not globally — is what
+// makes decisions independent of cross-scope interleaving.
+func (e *Engine) nextAttempt(scope string) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.attempts[scope]
+	e.attempts[scope] = n + 1
+	return n
+}
+
+// roll returns a uniform [0, 1) value that is a pure function of
+// (seed, kind, scope, attempt).
+func (e *Engine) roll(kind, scope string, attempt uint64) float64 {
+	h := sha256.Sum256(fmt.Appendf(nil, "%d|%s|%s|%d", e.cfg.Seed, kind, scope, attempt))
+	return float64(binary.BigEndian.Uint64(h[:8])>>11) / float64(uint64(1)<<53)
+}
+
+// SetPartitions installs (or replaces) the partition schedule after
+// construction — cluster member URLs are typically only known once the
+// listeners are bound, after the engine already exists. The partition
+// clock still runs from engine construction.
+func (e *Engine) SetPartitions(ps []Partition) {
+	e.mu.Lock()
+	e.cfg.Partitions = append([]Partition(nil), ps...)
+	e.mu.Unlock()
+}
+
+// partitioned reports whether a From->To link cut is active at offset
+// at from engine start.
+func (e *Engine) partitioned(from, to string, at time.Duration) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, p := range e.cfg.Partitions {
+		if p.From == from && p.To == to && at >= p.Start && at < p.End {
+			return true
+		}
+	}
+	return false
+}
+
+// note records one injected fault for Counts and the fault log.
+func (e *Engine) note(kind, detail string) {
+	e.mu.Lock()
+	e.counts[kind]++
+	e.mu.Unlock()
+	if e.cfg.Logf != nil {
+		e.cfg.Logf("chaos: %s: %s", kind, detail)
+	}
+}
+
+// Counts returns how many faults of each kind have been injected.
+func (e *Engine) Counts() map[string]int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]int64, len(e.counts))
+	for k, v := range e.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the total number of injected faults.
+func (e *Engine) Total() int64 {
+	var t int64
+	for _, v := range e.Counts() {
+		t += v
+	}
+	return t
+}
+
+// Schedule renders the engine's deterministic fault plan — seed,
+// probabilities, and partition windows — as a stable string. Two
+// engines with equal configs render identically, which is the
+// reproducibility contract the soak gate asserts ("the same seed
+// reproduces the same fault schedule").
+func (e *Engine) Schedule() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d drop=%.3f delay=%.3f(max=%s) err5xx=%.3f truncate=%.3f torn=%.3f flip=%.3f enospc=%.3f\n",
+		e.cfg.Seed, e.cfg.Drop, e.cfg.Delay, e.cfg.MaxDelay, e.cfg.Err5xx, e.cfg.Truncate,
+		e.cfg.TornWrite, e.cfg.BitFlip, e.cfg.NoSpace)
+	e.mu.Lock()
+	parts := append([]Partition(nil), e.cfg.Partitions...)
+	e.mu.Unlock()
+	sort.Slice(parts, func(i, j int) bool {
+		if parts[i].Start != parts[j].Start {
+			return parts[i].Start < parts[j].Start
+		}
+		if parts[i].From != parts[j].From {
+			return parts[i].From < parts[j].From
+		}
+		return parts[i].To < parts[j].To
+	})
+	for _, p := range parts {
+		fmt.Fprintf(&b, "partition %s -> %s [%s, %s)\n", p.From, p.To, p.Start, p.End)
+	}
+	return b.String()
+}
+
+// GeneratePartitions derives n asymmetric partition windows among
+// members deterministically from seed: window i cuts one ordered pair
+// for a seed-derived slice of [0, within). The generator never cuts a
+// pair symmetrically in the same window — the point is exercising the
+// "A sees B dead, B sees A alive" disagreement.
+func GeneratePartitions(seed int64, members []string, n int, within, maxDur time.Duration) []Partition {
+	if len(members) < 2 || n <= 0 || within <= 0 {
+		return nil
+	}
+	if maxDur <= 0 || maxDur > within {
+		maxDur = within / 4
+	}
+	ms := append([]string(nil), members...)
+	sort.Strings(ms)
+	rollAt := func(kind string, i int) float64 {
+		h := sha256.Sum256(fmt.Appendf(nil, "%d|partition|%s|%d", seed, kind, i))
+		return float64(binary.BigEndian.Uint64(h[:8])>>11) / float64(uint64(1)<<53)
+	}
+	out := make([]Partition, 0, n)
+	for i := 0; i < n; i++ {
+		from := int(rollAt("from", i) * float64(len(ms)))
+		to := int(rollAt("to", i) * float64(len(ms)-1))
+		if to >= from {
+			to++
+		}
+		start := time.Duration(rollAt("start", i) * float64(within-maxDur))
+		dur := time.Duration((0.25 + 0.75*rollAt("dur", i)) * float64(maxDur))
+		out = append(out, Partition{
+			From: ms[from], To: ms[to],
+			Start: start, End: start + dur,
+		})
+	}
+	return out
+}

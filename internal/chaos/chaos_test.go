@@ -1,0 +1,179 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The whole point of the seeded engine: the same (seed, kind, scope,
+// attempt) tuple always draws the same fate, two engines with the same
+// config render the same schedule, and different seeds diverge.
+func TestEngineIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Drop: 0.3, Err5xx: 0.2,
+		Partitions: GeneratePartitions(42, []string{"a", "b", "c"}, 3, time.Second, 250*time.Millisecond)}
+	a, b := New(cfg), New(cfg)
+
+	if as, bs := a.Schedule(), b.Schedule(); as != bs {
+		t.Fatalf("same config rendered different schedules:\n%s\nvs\n%s", as, bs)
+	}
+	for attempt := uint64(0); attempt < 200; attempt++ {
+		for _, kind := range []string{"drop", "err5xx", "delay"} {
+			if av, bv := a.roll(kind, "a->b GET /jobs/{id}", attempt), b.roll(kind, "a->b GET /jobs/{id}", attempt); av != bv {
+				t.Fatalf("roll(%s, %d) = %v vs %v across same-seed engines", kind, attempt, av, bv)
+			}
+		}
+	}
+
+	other := New(Config{Seed: 43, Drop: 0.3})
+	same := 0
+	for attempt := uint64(0); attempt < 200; attempt++ {
+		if a.roll("drop", "s", attempt) == other.roll("drop", "s", attempt) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("different seeds produced identical roll sequences")
+	}
+}
+
+func TestGeneratePartitionsDeterministicAndAsymmetric(t *testing.T) {
+	members := []string{"http://c", "http://a", "http://b"}
+	p1 := GeneratePartitions(7, members, 8, time.Second, 200*time.Millisecond)
+	p2 := GeneratePartitions(7, []string{"http://a", "http://b", "http://c"}, 8, time.Second, 200*time.Millisecond)
+	if len(p1) != 8 {
+		t.Fatalf("got %d partitions, want 8", len(p1))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("partition %d differs across member orderings: %+v vs %+v", i, p1[i], p2[i])
+		}
+		if p1[i].From == p1[i].To {
+			t.Fatalf("partition %d cuts a self-link: %+v", i, p1[i])
+		}
+		if p1[i].Start < 0 || p1[i].End <= p1[i].Start || p1[i].End > time.Second+200*time.Millisecond {
+			t.Fatalf("partition %d window out of range: %+v", i, p1[i])
+		}
+	}
+}
+
+func TestTransportDropNeverReachesPeer(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+	}))
+	defer ts.Close()
+
+	e := New(Config{Seed: 1, Drop: 1})
+	c := &http.Client{Transport: e.Transport("http://client", nil)}
+	if _, err := c.Get(ts.URL + "/jobs"); err == nil {
+		t.Fatal("Drop=1 let a request through")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("dropped request reached the server %d time(s)", hits.Load())
+	}
+	if e.Counts()["drop"] == 0 {
+		t.Fatal("drop not accounted")
+	}
+}
+
+func TestTransportSynthesizes503(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+	}))
+	defer ts.Close()
+
+	e := New(Config{Seed: 1, Err5xx: 1})
+	c := &http.Client{Transport: e.Transport("http://client", nil)}
+	resp, err := c.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("synthesized 503 is missing Retry-After")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("synthesized 503 still reached the server")
+	}
+}
+
+func TestTransportTruncatesBody(t *testing.T) {
+	full := strings.Repeat("x", 4096)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, full) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	e := New(Config{Seed: 1, Truncate: 1})
+	c := &http.Client{Transport: e.Transport("http://client", nil)}
+	resp, err := c.Get(ts.URL + "/results/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) >= len(full) {
+		t.Fatalf("body not truncated: got %d bytes of %d", len(body), len(full))
+	}
+}
+
+// Partitions are asymmetric: From cannot reach To while To can still
+// reach From — the disagreement that makes failure detection hard.
+func TestTransportPartitionIsAsymmetric(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {}))
+	defer ts.Close()
+	peer := "http://" + strings.TrimPrefix(ts.URL, "http://")
+
+	e := New(Config{Seed: 1, Partitions: []Partition{
+		{From: "http://a", To: peer, Start: 0, End: time.Hour},
+	}})
+	blocked := &http.Client{Transport: e.Transport("http://a", nil)}
+	if _, err := blocked.Get(ts.URL + "/jobs"); err == nil {
+		t.Fatal("partitioned direction succeeded")
+	}
+	open := &http.Client{Transport: e.Transport("http://b", nil)}
+	resp, err := open.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatalf("reverse direction blocked: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestHandlerInjects503(t *testing.T) {
+	e := New(Config{Seed: 1, Err5xx: 1})
+	h := e.Handler("http://srv", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		t.Fatal("inner handler ran despite Err5xx=1")
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/jobs", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rr.Code)
+	}
+}
+
+func TestNormalizePath(t *testing.T) {
+	hex := strings.Repeat("ab", 32)
+	cases := map[string]string{
+		"/jobs":           "/jobs",
+		"/jobs/j17":       "/jobs/{id}",
+		"/jobs/f3":        "/jobs/{id}",
+		"/results/" + hex: "/results/{id}",
+		"/fleet/keys":     "/fleet/keys",
+		"/jobs/jx17":      "/jobs/jx17",      // not a job id
+		"/results/deadbe": "/results/deadbe", // too short for a key
+	}
+	for in, want := range cases {
+		if got := NormalizePath(in); got != want {
+			t.Errorf("NormalizePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

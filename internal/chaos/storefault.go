@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"fmt"
+
+	"emerald/internal/sweep"
+)
+
+// StoreFault returns a sweep.StoreFault that injects write-path faults
+// for one node's store, driven by the engine's seed. Decisions key on
+// (node, blob key, per-blob attempt), so a retried write draws a fresh
+// fate and the schedule is independent of cross-blob ordering.
+//
+// Fault model and why each is survivable:
+//   - ENOSPC: the write fails with an error wrapping sweep.ErrTransient
+//     — the runner's retry loop re-attempts, replication pushes fail
+//     loudly and anti-entropy repairs later;
+//   - torn write: the file lands truncated, so the integrity footer
+//     fails verification and the blob reads as a miss — the runner's
+//     read-back check retries, fetch paths skip it, anti-entropy heals;
+//   - bit flip: one byte is corrupted with the same footer-mismatch
+//     consequences as a torn write.
+func (e *Engine) StoreFault(node string) sweep.StoreFault {
+	return &storeFault{e: e, node: node}
+}
+
+type storeFault struct {
+	e    *Engine
+	node string
+}
+
+func (f *storeFault) OnWrite(key string, file []byte) ([]byte, error) {
+	e := f.e
+	scope := "store|" + f.node + "|" + key
+	attempt := e.nextAttempt(scope)
+	if e.cfg.NoSpace > 0 && e.roll("enospc", scope, attempt) < e.cfg.NoSpace {
+		e.note("enospc", scope)
+		return nil, fmt.Errorf("chaos: injected ENOSPC writing %s on %s: %w", key[:12], f.node, sweep.ErrTransient)
+	}
+	if e.cfg.TornWrite > 0 && e.roll("torn", scope, attempt) < e.cfg.TornWrite && len(file) > 1 {
+		e.note("torn", scope)
+		cut := 1 + int(e.roll("torn-cut", scope, attempt)*float64(len(file)-1))
+		return file[:cut], nil
+	}
+	if e.cfg.BitFlip > 0 && e.roll("flip", scope, attempt) < e.cfg.BitFlip && len(file) > 0 {
+		e.note("flip", scope)
+		idx := int(e.roll("flip-idx", scope, attempt) * float64(len(file)))
+		out := append([]byte(nil), file...)
+		out[idx] ^= 0x40
+		return out, nil
+	}
+	return file, nil
+}

@@ -1,0 +1,177 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with seeded fault injection for
+// traffic leaving self (a member URL or a client name). base nil means
+// http.DefaultTransport. Injected transport errors surface to callers
+// wrapped in *url.Error by net/http — exactly the shape the sweep
+// client classifies as transient and retries, so the injected faults
+// exercise the real recovery paths, not special cases.
+func (e *Engine) Transport(self string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{e: e, self: self, base: base}
+}
+
+type transport struct {
+	e    *Engine
+	self string
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	e := t.e
+	peer := "http://" + req.URL.Host
+	scope := t.self + "->" + peer + " " + req.Method + " " + NormalizePath(req.URL.Path)
+
+	if at := time.Since(e.start); e.partitioned(t.self, peer, at) {
+		e.note("partition", scope)
+		return nil, fmt.Errorf("chaos: partition: %s cannot reach %s", t.self, peer)
+	}
+	attempt := e.nextAttempt(scope)
+	if e.cfg.Drop > 0 && e.roll("drop", scope, attempt) < e.cfg.Drop {
+		e.note("drop", scope)
+		return nil, fmt.Errorf("chaos: dropped %s (attempt %d)", scope, attempt)
+	}
+	if e.cfg.Delay > 0 && e.roll("delay", scope, attempt) < e.cfg.Delay {
+		d := time.Duration(e.roll("delay-len", scope, attempt) * float64(e.cfg.MaxDelay))
+		e.note("delay", fmt.Sprintf("%s (%s)", scope, d))
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d):
+		}
+	}
+	if e.cfg.Err5xx > 0 && e.roll("err5xx", scope, attempt) < e.cfg.Err5xx {
+		e.note("err5xx", scope)
+		return synth503(req), nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if e.cfg.Truncate > 0 && e.roll("truncate", scope, attempt) < e.cfg.Truncate && resp.Body != nil {
+		e.note("truncate", scope)
+		// Cut the body roughly in half; every consumer either decodes
+		// (and fails loudly) or verifies content hashes downstream.
+		n := resp.ContentLength / 2
+		if n <= 0 {
+			n = 64
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remain: n}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+	}
+	return resp, nil
+}
+
+// truncatedBody serves at most remain bytes then reports EOF, closing
+// the underlying body properly either way.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (t *truncatedBody) Read(p []byte) (int, error) {
+	if t.remain <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > t.remain {
+		p = p[:t.remain]
+	}
+	n, err := t.rc.Read(p)
+	t.remain -= int64(n)
+	return n, err
+}
+
+func (t *truncatedBody) Close() error { return t.rc.Close() }
+
+func synth503(req *http.Request) *http.Response {
+	const body = "chaos: injected 503\n"
+	h := http.Header{}
+	h.Set("Retry-After", "0")
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// Handler wraps a server-side handler with inbound fault injection:
+// seed-derived 503s and delays before the real handler runs. The
+// server seam complements the transport seam — a client with a clean
+// transport still sees this node misbehave.
+func (e *Engine) Handler(self string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		scope := self + "<-" + " " + r.Method + " " + NormalizePath(r.URL.Path)
+		attempt := e.nextAttempt(scope)
+		if e.cfg.Delay > 0 && e.roll("hdelay", scope, attempt) < e.cfg.Delay {
+			d := time.Duration(e.roll("hdelay-len", scope, attempt) * float64(e.cfg.MaxDelay))
+			e.note("hdelay", fmt.Sprintf("%s (%s)", scope, d))
+			select {
+			case <-r.Context().Done():
+			case <-time.After(d):
+			}
+		}
+		if e.cfg.Err5xx > 0 && e.roll("herr5xx", scope, attempt) < e.cfg.Err5xx {
+			e.note("herr5xx", scope)
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "chaos: injected 503", http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// NormalizePath collapses per-request path segments (job ids, result
+// keys) so the (peer, endpoint) scope is stable across a run: the Nth
+// request to "GET /jobs/{id}" draws the Nth fate regardless of which
+// job id it names.
+func NormalizePath(path string) string {
+	segs := strings.Split(path, "/")
+	for i, s := range segs {
+		if isHexKey(s) || isJobID(s) {
+			segs[i] = "{id}"
+		}
+	}
+	return strings.Join(segs, "/")
+}
+
+func isHexKey(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, c := range s {
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func isJobID(s string) bool {
+	if len(s) < 2 || (s[0] != 'j' && s[0] != 'f') {
+		return false
+	}
+	for _, c := range s[1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}

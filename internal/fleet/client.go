@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"emerald/internal/sweep"
@@ -32,18 +33,72 @@ type Client struct {
 	// tries it again (default 15s).
 	DownFor time.Duration
 
+	// ResultWait bounds how long Result keeps re-walking the fleet for
+	// a blob no node currently serves (default 8s). A result that a
+	// node finished just before crashing is briefly unavailable until
+	// the node restarts, anti-entropy repairs the replica, or a leave
+	// handoff delivers it — fetches should ride out that window rather
+	// than fail a whole sweep on a heal in progress.
+	ResultWait time.Duration
+
+	// Hedge is the tail-latency hedging policy (see HedgePolicy).
+	Hedge HedgePolicy
+
 	mu      sync.Mutex
 	down    map[string]time.Time // node -> when it was marked down
 	tracked map[string]*placed   // synthetic job id -> placement
 	nextID  int
+
+	latMu sync.Mutex
+	lats  []time.Duration // completed-job wall times (non-cached), ring buffer
+	latAt int
+
+	hedgeFired atomic.Int64
+	hedgeWon   atomic.Int64
+}
+
+// HedgePolicy controls hedged requests: once a job has been pending
+// longer than max(Min, Factor × p95 of observed completions), the
+// client submits a second copy to the next alive ring owner and takes
+// whichever placement reaches a terminal state first. Determinism
+// makes this free of coordination: both executions produce
+// byte-identical results, so "first wins" needs no reconciliation.
+type HedgePolicy struct {
+	// Disabled turns hedging off entirely.
+	Disabled bool
+	// Min is the floor before any hedge fires (default 2s) — also the
+	// deadline used before MinSamples completions have been observed.
+	Min time.Duration
+	// Factor multiplies the observed p95 completion latency (default 2).
+	Factor float64
+	// MinSamples is how many completions the latency tracker needs
+	// before the percentile deadline is trusted (default 5).
+	MinSamples int
+}
+
+// HedgeStats reports how many hedges fired and how many completed
+// before the primary placement did.
+type HedgeStats struct {
+	Fired int64 `json:"fired"`
+	Won   int64 `json:"won"`
+}
+
+// HedgeStats returns the client's hedging counters.
+func (c *Client) HedgeStats() HedgeStats {
+	return HedgeStats{Fired: c.hedgeFired.Load(), Won: c.hedgeWon.Load()}
 }
 
 // placed records where a synthetic job currently lives.
 type placed struct {
-	node   string
-	realID string
-	spec   sweep.Spec
-	key    string
+	node        string
+	realID      string
+	spec        sweep.Spec
+	key         string
+	submittedAt time.Time
+	hedged      bool   // a hedge was attempted (at most one per job)
+	altNode     string // hedge placement, if any
+	altID       string
+	failovers   int // times a failed execution was re-placed elsewhere
 }
 
 // NewClient builds a fleet client over the same peer list the nodes
@@ -135,10 +190,54 @@ func (c *Client) Submit(ctx context.Context, spec sweep.Spec) (sweep.Job, error)
 	c.mu.Lock()
 	c.nextID++
 	sid := fmt.Sprintf("f%d", c.nextID)
-	c.tracked[sid] = &placed{node: node, realID: job.ID, spec: spec, key: spec.Key()}
+	c.tracked[sid] = &placed{
+		node: node, realID: job.ID, spec: spec, key: spec.Key(),
+		submittedAt: time.Now(),
+	}
 	c.mu.Unlock()
 	job.ID = sid
 	return job, nil
+}
+
+// recordLatency feeds one completed (non-cached) job's wall time into
+// the bounded latency window the hedge deadline derives from.
+func (c *Client) recordLatency(d time.Duration) {
+	const window = 256
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	if len(c.lats) < window {
+		c.lats = append(c.lats, d)
+		return
+	}
+	c.lats[c.latAt%window] = d
+	c.latAt++
+}
+
+// hedgeDeadline returns how long a job may stay pending before a hedge
+// fires. Below MinSamples completions only the Min floor applies; with
+// enough samples the deadline is max(Min, Factor × p95), so hedging
+// targets the tail without duplicating median-latency work.
+func (c *Client) hedgeDeadline() time.Duration {
+	h := c.Hedge
+	if h.Min <= 0 {
+		h.Min = 2 * time.Second
+	}
+	if h.Factor <= 0 {
+		h.Factor = 2
+	}
+	if h.MinSamples <= 0 {
+		h.MinSamples = 5
+	}
+	c.latMu.Lock()
+	n := len(c.lats)
+	sorted := append([]time.Duration(nil), c.lats...)
+	c.latMu.Unlock()
+	if n < h.MinSamples {
+		return h.Min
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p95 := sorted[(len(sorted)*95)/100]
+	return max(h.Min, time.Duration(h.Factor*float64(p95)))
 }
 
 func (c *Client) placement(sid string) (*placed, error) {
@@ -155,9 +254,11 @@ func (c *Client) placement(sid string) (*placed, error) {
 // per completion. A node that stops answering mid-wait is marked down
 // and its pending jobs are re-placed on the next alive owner; a job
 // that comes back canceled (its node was force-drained) is re-placed
-// the same way. Zero jobs are lost: every spec either reaches a
-// terminal state on some node or the wait fails loudly once no node
-// will take it.
+// the same way. A job pending past the hedge deadline gets a second
+// placement on the next alive owner, and whichever copy finishes first
+// wins (results are byte-identical by construction). Zero jobs are
+// lost: every spec either reaches a terminal state on some node or the
+// wait fails loudly once no node will take it.
 func (c *Client) WaitAll(ctx context.Context, ids []string, poll time.Duration, onDone func(sweep.Job)) (map[string]sweep.Job, error) {
 	if poll <= 0 {
 		poll = 100 * time.Millisecond
@@ -171,7 +272,12 @@ func (c *Client) WaitAll(ctx context.Context, ids []string, poll time.Duration, 
 			if err != nil {
 				return nil, err
 			}
-			job, err := c.nodes[p.node].Job(ctx, p.realID)
+			c.mu.Lock()
+			node, realID := p.node, p.realID
+			altNode, altID := p.altNode, p.altID
+			failovers := p.failovers
+			c.mu.Unlock()
+			job, err := c.nodes[node].Job(ctx, realID)
 			if err != nil && ctx.Err() != nil {
 				return nil, fmt.Errorf("fleet: %d job(s) still pending: %w", len(pending), ctx.Err())
 			}
@@ -180,31 +286,66 @@ func (c *Client) WaitAll(ctx context.Context, ids []string, poll time.Duration, 
 			case err != nil:
 				// The node is unreachable (or forgot the job after a
 				// restart): fail it over.
-				c.markDown(p.node)
+				c.markDown(node)
 				relocate = true
 			case job.State == sweep.JobCanceled:
 				// A forced drain on the node abandoned it; it is not
 				// coming back there.
 				relocate = true
+			case job.State == sweep.JobFailed && failovers < len(c.nodes)-1:
+				// The node exhausted its local retries — a sick disk or
+				// injected store faults, not necessarily the spec's fate.
+				// Determinism means any other node computes the identical
+				// result, so re-place instead of failing the sweep; a spec
+				// that genuinely cannot run fails on every node and the
+				// failover budget (one try per other node) runs out.
+				relocate = true
+				c.mu.Lock()
+				p.failovers++
+				c.mu.Unlock()
 			}
 			if relocate {
-				node, njob, err := c.place(ctx, p.spec, p.node)
+				if altNode != "" {
+					// The hedge already holds a live placement; promote it
+					// instead of opening a third.
+					c.mu.Lock()
+					p.node, p.realID = altNode, altID
+					p.altNode, p.altID = "", ""
+					c.mu.Unlock()
+					next = append(next, sid)
+					continue
+				}
+				nnode, njob, err := c.place(ctx, p.spec, node)
 				if err != nil {
-					return nil, fmt.Errorf("fleet: relocating job %s off %s: %w", sid, p.node, err)
+					return nil, fmt.Errorf("fleet: relocating job %s off %s: %w", sid, node, err)
 				}
 				c.mu.Lock()
-				p.node, p.realID = node, njob.ID
+				p.node, p.realID = nnode, njob.ID
 				c.mu.Unlock()
 				job = njob // may already be terminal (cache hit on arrival)
 			}
-			if job.Terminal() && job.State != sweep.JobCanceled {
-				job.ID = sid
-				final[sid] = job
-				if onDone != nil {
-					onDone(job)
+			done := job.Terminal() && job.State != sweep.JobCanceled
+			if !done && altNode != "" {
+				// Poll the hedge; first terminal placement wins.
+				if ajob, aerr := c.nodes[altNode].Job(ctx, altID); aerr == nil &&
+					ajob.Terminal() && ajob.State != sweep.JobCanceled {
+					job = ajob
+					done = true
+					c.hedgeWon.Add(1)
 				}
-			} else {
+			}
+			if !done {
+				c.maybeHedge(ctx, p)
 				next = append(next, sid)
+				continue
+			}
+			if !job.Cached {
+				c.recordLatency(time.Since(p.submittedAt))
+			}
+			job.ID = sid
+			final[sid] = job
+			if onDone != nil {
+				onDone(job)
 			}
 		}
 		pending = next
@@ -220,21 +361,64 @@ func (c *Client) WaitAll(ctx context.Context, ids []string, poll time.Duration, 
 	return final, nil
 }
 
+// maybeHedge opens a second placement for a job pending past the hedge
+// deadline. At most one hedge per job: the point is cutting the tail,
+// not flooding the fleet with duplicates (which would be correct —
+// executions are byte-identical — but wasteful).
+func (c *Client) maybeHedge(ctx context.Context, p *placed) {
+	if c.Hedge.Disabled {
+		return
+	}
+	c.mu.Lock()
+	hedged := p.hedged
+	node := p.node
+	age := time.Since(p.submittedAt)
+	c.mu.Unlock()
+	if hedged || age < c.hedgeDeadline() {
+		return
+	}
+	c.mu.Lock()
+	p.hedged = true // even if placement fails: one attempt per job
+	c.mu.Unlock()
+	anode, ajob, err := c.place(ctx, p.spec, node)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	p.altNode, p.altID = anode, ajob.ID
+	c.mu.Unlock()
+	c.hedgeFired.Add(1)
+}
+
 // Result fetches the stored result for key from its owners (alive
 // first), falling back across the ring until a copy answers.
 func (c *Client) Result(ctx context.Context, key string) (*sweep.Result, error) {
+	wait := c.ResultWait
+	if wait <= 0 {
+		wait = 8 * time.Second
+	}
+	deadline := time.Now().Add(wait)
 	var lastErr error
-	for _, node := range c.ring.OwnersAlive(key, len(c.nodes), c.alive) {
-		res, err := c.nodes[node].Result(ctx, key)
-		if err == nil {
-			return res, nil
+	for attempt := 0; ; attempt++ {
+		for _, node := range c.ring.OwnersAlive(key, len(c.nodes), c.alive) {
+			res, err := c.nodes[node].Result(ctx, key)
+			if err == nil {
+				return res, nil
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, lastErr
+			}
 		}
-		lastErr = err
-		if ctx.Err() != nil {
-			return nil, lastErr
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("fleet: result %s unavailable on every node: %w", key[:12], lastErr)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(250 * time.Millisecond):
 		}
 	}
-	return nil, fmt.Errorf("fleet: result %s unavailable on every node: %w", key[:12], lastErr)
 }
 
 // Jobs returns the latest snapshot of every job this client placed

@@ -9,6 +9,7 @@ import (
 	"log"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,14 +23,25 @@ type Config struct {
 	// Self is this node's advertised base URL (e.g.
 	// "http://127.0.0.1:8401"); it must appear in Peers.
 	Self string
-	// Peers is the full static membership, Self included. Every node
-	// (and every fleet client) must be started with the same list: the
-	// consistent-hash ring is derived from it, so placement agrees
-	// everywhere without any coordination traffic.
+	// Peers is the initial membership, Self included. Nodes started
+	// with the same list agree on the ring immediately; membership can
+	// then drift dynamically via join/leave, reconciled by the
+	// epoch-versioned membership protocol (higher epoch wins,
+	// propagated by explicit broadcast and piggybacked on every health
+	// probe).
 	Peers []string
+	// Join, when set, is the base URL of an existing fleet member to
+	// join through: the node starts as a fleet of one, POSTs
+	// /fleet/join to the seed, and adopts the membership view it gets
+	// back. Peers may be empty (it defaults to just Self).
+	Join string
 	// Replicas is how many ring owners hold each completed result blob
-	// (default 2, capped at the fleet size).
+	// (default 2; when the fleet is smaller, every member holds a copy).
 	Replicas int
+	// ProbeFails is how many *consecutive* failed health probes it
+	// takes to mark a peer down (default 3). One dropped packet must
+	// not trigger ring failover; one successful probe recovers.
+	ProbeFails int
 	// VNodes is the virtual nodes per member on the ring (default
 	// DefaultVirtualNodes).
 	VNodes int
@@ -73,8 +85,8 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Replicas <= 0 {
 		c.Replicas = 2
 	}
-	if c.Replicas > len(c.Peers) {
-		c.Replicas = len(c.Peers)
+	if c.ProbeFails <= 0 {
+		c.ProbeFails = 3
 	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 2 * time.Second
@@ -106,18 +118,26 @@ func (c Config) withDefaults() (Config, error) {
 // folds its gauges into the Prometheus scrape.
 type Node struct {
 	cfg   Config
-	ring  *Ring
 	store *sweep.Store
 
 	// runner is attached after construction (SetRunner) because the
 	// runner's OnStored hook needs the node first.
 	runner atomic.Pointer[sweep.Runner]
 
-	clients map[string]*sweep.Client // per peer, self excluded
+	// OnLeave, when set before Start, is invoked (once, on a background
+	// goroutine) after a remote POST /fleet/leave finishes the handoff —
+	// the embedding daemon uses it to trigger its graceful shutdown.
+	OnLeave func()
 
 	mu      sync.Mutex
-	peers   map[string]*peerState // self excluded
+	epoch   uint64                   // membership version; strictly-higher wins
+	members []string                 // current membership, sorted, self included
+	ring    *Ring                    // rebuilt on every membership change
+	clients map[string]*sweep.Client // per current peer, self excluded
+	peers   map[string]*peerState    // self excluded
 	ready   bool
+	joined  bool // Join handshake done (or not configured)
+	leaving bool
 	victims map[string]string // result key -> peer to replicate back to
 
 	stolenIn       atomic.Int64 // specs pulled from peers
@@ -126,6 +146,8 @@ type Node struct {
 	repairPull     atomic.Int64 // owned-but-missing blobs pulled
 	repairPush     atomic.Int64 // under-replicated blobs pushed
 	gcDeleted      atomic.Int64 // unowned blobs deleted (GCUnowned)
+	handoffPushed  atomic.Int64 // blobs pushed to new owners on graceful leave
+	reconciled     atomic.Int64 // journaled jobs completed via peer blobs at restart
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -134,6 +156,7 @@ type Node struct {
 
 type peerState struct {
 	alive   bool
+	fails   int // consecutive probe failures (debounce)
 	rtt     time.Duration
 	lastErr string
 }
@@ -146,55 +169,93 @@ func New(cfg Config, store *sweep.Store) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	members := normalizeMembers(cfg.Peers)
+	ring, err := NewRing(members, cfg.VNodes)
 	if err != nil {
 		return nil, err
 	}
 	n := &Node{
 		cfg:     cfg,
+		members: members,
 		ring:    ring,
 		store:   store,
 		clients: make(map[string]*sweep.Client),
 		peers:   make(map[string]*peerState),
 		victims: make(map[string]string),
+		joined:  cfg.Join == "",
 		stop:    make(chan struct{}),
 	}
-	for _, p := range cfg.Peers {
+	for _, p := range members {
 		if p == cfg.Self {
 			continue
 		}
 		n.peers[p] = &peerState{}
-		// Fleet traffic keeps the per-request retry budget tight: the
-		// fleet's own failover (next owner on the ring) is the real
-		// recovery path, not transport-level persistence.
-		n.clients[p] = &sweep.Client{
-			Base: p, HTTP: cfg.HTTP,
-			Retries: 1, RetryBase: 50 * time.Millisecond, RetryMax: 500 * time.Millisecond,
-		}
+		n.clients[p] = n.newClient(p)
 	}
-	if len(n.peers) == 0 {
+	if len(n.peers) == 0 && n.joined {
 		n.ready = true // a fleet of one has nothing to probe
 	}
 	return n, nil
+}
+
+// newClient builds the sweep client for fleet-internal traffic to one
+// peer. The per-request retry budget stays tight: the fleet's own
+// failover (next owner on the ring) is the real recovery path, not
+// transport-level persistence.
+func (n *Node) newClient(p string) *sweep.Client {
+	return &sweep.Client{
+		Base: p, HTTP: n.cfg.HTTP,
+		Retries: 1, RetryBase: 50 * time.Millisecond, RetryMax: 500 * time.Millisecond,
+	}
+}
+
+// normalizeMembers sorts and deduplicates a membership list, dropping
+// empties and trailing slashes.
+func normalizeMembers(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := make([]string, 0, len(in))
+	for _, m := range in {
+		m = strings.TrimRight(strings.TrimSpace(m), "/")
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // SetRunner attaches the job runner. Must be called before Start and
 // before the HTTP surface goes live.
 func (n *Node) SetRunner(r *sweep.Runner) { n.runner.Store(r) }
 
-// Ring exposes the placement ring (fleet clients and tests share it).
-func (n *Node) Ring() *Ring { return n.ring }
+// Ring exposes the current placement ring (fleet clients and tests
+// share it). The ring is immutable; membership changes swap in a new
+// one.
+func (n *Node) Ring() *Ring {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ring
+}
+
+// Members returns the current membership view (sorted, self included)
+// and its epoch.
+func (n *Node) Members() (uint64, []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch, append([]string(nil), n.members...)
+}
 
 // Start launches the background loops: peer health probes, the
-// work-steal loop, and the anti-entropy sweep. Close stops them.
+// work-steal loop, and the anti-entropy sweep. Close stops them. The
+// steal and anti-entropy loops always run — membership is dynamic, so
+// a fleet of one may grow peers later.
 func (n *Node) Start() {
-	n.wg.Add(1)
+	n.wg.Add(3)
 	go n.probeLoop()
-	if len(n.peers) > 0 {
-		n.wg.Add(2)
-		go n.stealLoop()
-		go n.antiEntropyLoop()
-	}
+	go n.stealLoop()
+	go n.antiEntropyLoop()
 }
 
 // Close stops the background loops and waits for in-flight replication
@@ -207,6 +268,13 @@ func (n *Node) Close() {
 func (n *Node) probeLoop() {
 	defer n.wg.Done()
 	for {
+		if n.cfg.Join != "" && !n.isJoined() {
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeInterval+2*time.Second)
+			if err := n.JoinFleet(ctx); err != nil {
+				n.cfg.Logf("fleet: join via %s: %v (retrying)", n.cfg.Join, err)
+			}
+			cancel()
+		}
 		n.ProbeOnce(context.Background())
 		select {
 		case <-n.stop:
@@ -214,6 +282,12 @@ func (n *Node) probeLoop() {
 		case <-time.After(n.cfg.ProbeInterval):
 		}
 	}
+}
+
+func (n *Node) isJoined() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.joined
 }
 
 func (n *Node) stealLoop() {
@@ -246,14 +320,30 @@ func (n *Node) antiEntropyLoop() {
 	}
 }
 
-// othersSorted returns the non-self peers in deterministic order.
+// othersSorted returns the current non-self members in deterministic
+// order.
 func (n *Node) othersSorted() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	out := make([]string, 0, len(n.peers))
 	for p := range n.peers {
 		out = append(out, p)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// client returns (creating if needed) the sweep client for a current
+// or recent peer.
+func (n *Node) client(p string) *sweep.Client {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.clients[p]
+	if !ok {
+		c = n.newClient(p)
+		n.clients[p] = c
+	}
+	return c
 }
 
 // alive reports whether peer passed its last health probe (self is
@@ -268,13 +358,19 @@ func (n *Node) alive(peer string) bool {
 	return ok && ps.alive
 }
 
-// ProbeOnce probes every peer's liveness endpoint once and updates the
-// alive map. The first completed round flips the node ready.
+// ProbeOnce probes every peer once and updates the alive map. Probes
+// are debounced: it takes cfg.ProbeFails *consecutive* failures to
+// mark a peer down (one dropped packet must not reshuffle the ring)
+// and a single success to bring it back. Each probe hits the peer's
+// /fleet/info endpoint, so membership convergence rides along for
+// free: a peer advertising a newer membership epoch is adopted on the
+// spot. The first completed round flips the node ready.
 func (n *Node) ProbeOnce(ctx context.Context) {
 	others := n.othersSorted()
 	type probeResult struct {
 		peer string
 		rtt  time.Duration
+		info *Info
 		err  error
 	}
 	results := make(chan probeResult, len(others))
@@ -283,28 +379,44 @@ func (n *Node) ProbeOnce(ctx context.Context) {
 			pctx, cancel := context.WithTimeout(ctx, n.cfg.ProbeTimeout)
 			defer cancel()
 			start := time.Now()
-			err := n.probe(pctx, peer)
-			results <- probeResult{peer, time.Since(start), err}
+			info, err := n.probe(pctx, peer)
+			results <- probeResult{peer, time.Since(start), info, err}
 		}(p)
 	}
 	for range others {
 		r := <-results
 		n.mu.Lock()
-		ps := n.peers[r.peer]
+		ps, ok := n.peers[r.peer]
+		if !ok {
+			// The peer left the membership while its probe was in flight.
+			n.mu.Unlock()
+			continue
+		}
 		was := ps.alive
-		ps.alive = r.err == nil
 		ps.rtt = r.rtt
 		ps.lastErr = ""
-		if r.err != nil {
+		if r.err == nil {
+			ps.alive = true
+			ps.fails = 0
+		} else {
+			ps.fails++
 			ps.lastErr = r.err.Error()
+			if ps.fails >= n.cfg.ProbeFails {
+				ps.alive = false
+			}
 		}
+		now := ps.alive
+		fails := ps.fails
 		n.mu.Unlock()
-		if was != (r.err == nil) {
-			if r.err == nil {
+		if was != now {
+			if now {
 				n.cfg.Logf("fleet: peer %s up (rtt %v)", r.peer, r.rtt.Round(time.Microsecond))
 			} else {
-				n.cfg.Logf("fleet: peer %s down: %v", r.peer, r.err)
+				n.cfg.Logf("fleet: peer %s down after %d consecutive probe failures: %v", r.peer, fails, r.err)
 			}
+		}
+		if r.info != nil {
+			n.maybeAdopt(r.info.Epoch, r.info.Members, r.peer)
 		}
 	}
 	n.mu.Lock()
@@ -312,21 +424,351 @@ func (n *Node) ProbeOnce(ctx context.Context) {
 	n.mu.Unlock()
 }
 
-func (n *Node) probe(ctx context.Context, peer string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz/live", nil)
+// probe hits a peer's /fleet/info endpoint and returns the decoded
+// view. A 200 whose body fails to decode still counts as a successful
+// probe (health and gossip are separate concerns).
+func (n *Node) probe(ctx context.Context, peer string) (*Info, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/fleet/info", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10)) //nolint:errcheck // drain for reuse
+		return nil, fmt.Errorf("fleet info returned %s", resp.Status)
+	}
+	var info Info
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&info); err != nil {
+		return nil, nil //nolint:nilnil // alive but not gossiping
+	}
+	return &info, nil
+}
+
+// --- dynamic membership ---
+
+// memberView is the membership wire shape (POST /fleet/membership,
+// and the POST /fleet/join response).
+type memberView struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+}
+
+// joinRequest is the POST /fleet/join body.
+type joinRequest struct {
+	URL string `json:"url"`
+}
+
+// viewLess orders membership views: a strictly higher epoch wins, and
+// a tied epoch falls back to the lexicographic member fingerprint so
+// every node converges on the same view no matter the arrival order.
+func viewLess(epochA uint64, fpA string, epochB uint64, fpB string) bool {
+	if epochA != epochB {
+		return epochA < epochB
+	}
+	return fpA < fpB
+}
+
+func fingerprint(members []string) string { return strings.Join(members, ",") }
+
+// maybeAdopt installs a peer-advertised membership view if it is newer
+// than the local one (see viewLess). A view that drops this node —
+// which only a buggy or partitioned peer can produce, since membership
+// changes flow through join/leave — is self-healed: the node re-adds
+// itself at a higher epoch and broadcasts the correction. Returns
+// whether the view was adopted.
+func (n *Node) maybeAdopt(epoch uint64, members []string, from string) bool {
+	members = normalizeMembers(members)
+	if len(members) == 0 {
+		return false
+	}
+	fp := fingerprint(members)
+
+	n.mu.Lock()
+	if n.leaving || !viewLess(n.epoch, fingerprint(n.members), epoch, fp) {
+		n.mu.Unlock()
+		return false
+	}
+	readd := false
+	if !contains(members, n.cfg.Self) {
+		members = normalizeMembers(append(members, n.cfg.Self))
+		epoch++
+		readd = true
+	}
+	ring, err := NewRing(members, n.cfg.VNodes)
+	if err != nil {
+		n.mu.Unlock()
+		n.cfg.Logf("fleet: rejecting membership view from %s: %v", from, err)
+		return false
+	}
+	n.epoch, n.members, n.ring = epoch, members, ring
+	n.syncPeersLocked()
+	view := memberView{Epoch: n.epoch, Members: append([]string(nil), n.members...)}
+	n.mu.Unlock()
+
+	n.cfg.Logf("fleet: adopted membership epoch %d from %s: %d member(s)", epoch, from, len(members))
+	if readd {
+		n.cfg.Logf("fleet: view from %s dropped self; re-added at epoch %d", from, epoch)
+		n.broadcast(view, from)
+	}
+	return true
+}
+
+// syncPeersLocked reconciles the peer-state and client maps with
+// n.members. Callers hold n.mu. New peers start dead with zero fails:
+// the next probe round brings them up (a single success suffices), and
+// until then placement simply prefers established members.
+func (n *Node) syncPeersLocked() {
+	want := make(map[string]bool, len(n.members))
+	for _, m := range n.members {
+		if m == n.cfg.Self {
+			continue
+		}
+		want[m] = true
+		if _, ok := n.peers[m]; !ok {
+			n.peers[m] = &peerState{}
+		}
+		if _, ok := n.clients[m]; !ok {
+			n.clients[m] = n.newClient(m)
+		}
+	}
+	for p := range n.peers {
+		if !want[p] {
+			delete(n.peers, p)
+		}
+	}
+	// Departed members' clients are kept: in-flight work (a steal
+	// victim's push-back, a reconcile fetch) may still reference them.
+}
+
+// JoinFleet performs the join handshake against cfg.Join: POST
+// /fleet/join announces this node, and the seed's response is the
+// authoritative membership view to adopt. Idempotent — joining twice
+// (e.g. after a crash/restart with the same URL) just returns the
+// current view.
+func (n *Node) JoinFleet(ctx context.Context) error {
+	seed := strings.TrimRight(n.cfg.Join, "/")
+	if seed == "" {
+		return nil
+	}
+	body, err := json.Marshal(joinRequest{URL: n.cfg.Self})
 	if err != nil {
 		return err
 	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		seed+"/fleet/join", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
 	resp, err := n.cfg.HTTP.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10)) //nolint:errcheck // drain for reuse
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("liveness returned %s", resp.Status)
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return fmt.Errorf("fleet: join via %s: %s: %s", seed, resp.Status, bytes.TrimSpace(b))
+	}
+	var view memberView
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&view); err != nil {
+		return fmt.Errorf("fleet: join via %s: %w", seed, err)
+	}
+	n.maybeAdopt(view.Epoch, view.Members, seed)
+	n.mu.Lock()
+	n.joined = contains(n.members, n.cfg.Self) && len(n.members) > 1
+	ok := n.joined
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fleet: join via %s: response did not include self", seed)
+	}
+	n.cfg.Logf("fleet: joined via %s (epoch %d, %d member(s))", seed, view.Epoch, len(view.Members))
+	return nil
+}
+
+// Leave gracefully removes this node from the fleet: bump the epoch,
+// drop self from the membership, hand off every locally-held verified
+// blob to its new ring owners, then broadcast the new view. The node
+// keeps serving its HTTP surface afterwards (so an in-flight sweep can
+// drain its queued jobs), but reports not-ready and stops stealing.
+func (n *Node) Leave(ctx context.Context) error {
+	n.mu.Lock()
+	if n.leaving {
+		n.mu.Unlock()
+		return nil
+	}
+	n.leaving = true
+	n.epoch++
+	remaining := make([]string, 0, len(n.members))
+	for _, m := range n.members {
+		if m != n.cfg.Self {
+			remaining = append(remaining, m)
+		}
+	}
+	n.members = remaining
+	var newRing *Ring
+	if len(remaining) > 0 {
+		var err error
+		if newRing, err = NewRing(remaining, n.cfg.VNodes); err != nil {
+			n.mu.Unlock()
+			return err
+		}
+		n.ring = newRing
+	}
+	n.syncPeersLocked()
+	view := memberView{Epoch: n.epoch, Members: append([]string(nil), remaining...)}
+	n.mu.Unlock()
+
+	n.cfg.Logf("fleet: leaving (epoch %d, %d member(s) remain)", view.Epoch, len(remaining))
+	if newRing != nil {
+		n.handoff(ctx, newRing)
+		n.broadcastSync(ctx, view, "")
 	}
 	return nil
+}
+
+// Handoff re-pushes every verified local blob to its current ring
+// owners. It backs the graceful-leave path, and a leaving daemon calls
+// it again after draining its queue: results produced during the drain
+// replicate via OnStored, but those pushes are fire-and-forget and a
+// flaky network can drop them — this pass is the verified, retried
+// delivery that makes "graceful leave loses nothing" hold.
+func (n *Node) Handoff(ctx context.Context) {
+	if ring := n.Ring(); ring != nil {
+		n.handoff(ctx, ring)
+	}
+}
+
+// handoff pushes every verified local blob to its post-leave ring
+// owners so no range loses its replicas when this node departs. Pushes
+// are idempotent (PutRaw overwrites with identical bytes), so
+// re-pushing a blob an owner already holds costs one round trip and
+// nothing else. Failed pushes are retried for a few rounds: the
+// handoff runs exactly once per departure, so it must out-stubborn a
+// lossy network rather than lean on a later repair pass that will
+// never come.
+func (n *Node) handoff(ctx context.Context, ring *Ring) {
+	keys, err := n.store.Keys()
+	if err != nil {
+		n.cfg.Logf("fleet: leave handoff: %v", err)
+		return
+	}
+	type target struct {
+		key, owner string
+	}
+	var due []target
+	for _, key := range keys {
+		for _, o := range ring.Owners(key, n.cfg.Replicas) {
+			if o != n.cfg.Self {
+				due = append(due, target{key, o})
+			}
+		}
+	}
+	pushed := 0
+	for round := 0; len(due) > 0 && round < 4; round++ {
+		if round > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(100 * time.Millisecond << (round - 1)):
+			}
+		}
+		var failed []target
+		for _, tg := range due {
+			if ctx.Err() != nil {
+				n.cfg.Logf("fleet: leave handoff interrupted: %v", ctx.Err())
+				return
+			}
+			payload, ok, err := n.store.Get(tg.key)
+			if err != nil || !ok {
+				continue // corrupt blobs are not worth handing off
+			}
+			if !n.push(ctx, tg.owner, tg.key, payload) {
+				failed = append(failed, tg)
+				continue
+			}
+			pushed++
+			n.handoffPushed.Add(1)
+		}
+		due = failed
+	}
+	if len(due) > 0 {
+		n.cfg.Logf("fleet: leave handoff gave up on %d blob replica(s)", len(due))
+	}
+	n.cfg.Logf("fleet: leave handoff pushed %d blob replica(s)", pushed)
+}
+
+// broadcast fans a membership view out to every other member (minus
+// exclude) on a background goroutine.
+func (n *Node) broadcast(view memberView, exclude string) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		n.broadcastSync(ctx, view, exclude)
+	}()
+}
+
+func (n *Node) broadcastSync(ctx context.Context, view memberView, exclude string) {
+	body, err := json.Marshal(view)
+	if err != nil {
+		return
+	}
+	for _, m := range view.Members {
+		if m == n.cfg.Self || m == exclude {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			m+"/fleet/membership", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := n.cfg.HTTP.Do(req)
+		if err != nil {
+			// Probe-piggybacked gossip converges any member the
+			// broadcast misses.
+			n.cfg.Logf("fleet: membership broadcast to %s: %v", m, err)
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10)) //nolint:errcheck
+		resp.Body.Close()
+	}
+}
+
+// ReconcilePending fetches already-computed results for journaled jobs
+// from the fleet before the runner re-queues them: a restarted node
+// whose peers raced re-execution (or stole the work) while it was down
+// completes those jobs as cache hits instead of double-running them.
+// Returns how many blobs were fetched. Call after a probe round (so
+// peer liveness is known) and before Runner.Recover.
+func (n *Node) ReconcilePending(ctx context.Context, pending []sweep.PendingJob) int {
+	fetched := 0
+	seen := make(map[string]bool, len(pending))
+	for _, p := range pending {
+		if ctx.Err() != nil {
+			break
+		}
+		key := p.Spec.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok, err := n.store.Get(key); err == nil && ok {
+			continue // already held locally; Recover completes it as a hit
+		}
+		if n.fetchInto(ctx, key) {
+			fetched++
+			n.reconciled.Add(1)
+		}
+	}
+	if fetched > 0 {
+		n.cfg.Logf("fleet: reconciled %d journaled job(s) via peer blobs", fetched)
+	}
+	return fetched
 }
 
 // stealRequest and stealResponse are the POST /fleet/steal wire shape.
@@ -448,7 +890,7 @@ func (n *Node) OnStored(key string, payload []byte) {
 	n.mu.Unlock()
 
 	targets := make([]string, 0, n.cfg.Replicas)
-	for _, o := range n.ring.Owners(key, n.cfg.Replicas) {
+	for _, o := range n.Ring().Owners(key, n.cfg.Replicas) {
 		if o != n.cfg.Self {
 			targets = append(targets, o)
 		}
@@ -482,25 +924,26 @@ func (n *Node) OnStored(key string, payload []byte) {
 // /fleet/results/{key}). Failures are logged, not fatal: the
 // anti-entropy sweep repairs under-replication later, and the blob can
 // always be recomputed.
-func (n *Node) push(ctx context.Context, peer, key string, payload []byte) {
+func (n *Node) push(ctx context.Context, peer, key string, payload []byte) bool {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
 		peer+"/fleet/results/"+key, bytes.NewReader(payload))
 	if err != nil {
-		return
+		return false
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := n.cfg.HTTP.Do(req)
 	if err != nil {
 		n.cfg.Logf("fleet: replicate %s to %s: %v", key[:12], peer, err)
-		return
+		return false
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10)) //nolint:errcheck
 	if resp.StatusCode/100 != 2 {
 		n.cfg.Logf("fleet: replicate %s to %s: %s", key[:12], peer, resp.Status)
-		return
+		return false
 	}
 	n.replicasPushed.Add(1)
+	return true
 }
 
 // validatePayload checks that a result payload arriving from a peer
@@ -550,6 +993,7 @@ type RepairStats struct {
 // determinism contract) or reads as a miss and gets repaired.
 func (n *Node) AntiEntropy(ctx context.Context) (RepairStats, error) {
 	var st RepairStats
+	ring := n.Ring()
 	keys, err := n.store.Keys()
 	if err != nil {
 		return st, err
@@ -577,14 +1021,15 @@ func (n *Node) AntiEntropy(ctx context.Context) (RepairStats, error) {
 		}
 	}
 
-	if len(n.peers) == 0 {
+	others := n.othersSorted()
+	if len(others) == 0 {
 		return st, nil
 	}
 	// Key exchange: who verifiably holds what. A peer whose key list
 	// cannot be fetched is excluded from push/GC decisions — absence of
 	// evidence must not look like absence of a blob.
 	peerKeys := make(map[string]map[string]bool)
-	for _, p := range n.othersSorted() {
+	for _, p := range others {
 		if !n.alive(p) {
 			continue
 		}
@@ -605,7 +1050,7 @@ func (n *Node) AntiEntropy(ctx context.Context) (RepairStats, error) {
 		if ctx.Err() != nil {
 			return st, ctx.Err()
 		}
-		owners := n.ring.Owners(key, n.cfg.Replicas)
+		owners := ring.Owners(key, n.cfg.Replicas)
 		if !contains(owners, n.cfg.Self) {
 			continue
 		}
@@ -630,7 +1075,7 @@ func (n *Node) AntiEntropy(ctx context.Context) (RepairStats, error) {
 	// Pull owned blobs this node is missing.
 	for _, set := range peerKeys {
 		for key := range set {
-			if verified[key] || !n.ring.IsOwner(key, n.cfg.Self, n.cfg.Replicas) {
+			if verified[key] || !ring.IsOwner(key, n.cfg.Self, n.cfg.Replicas) {
 				continue
 			}
 			if ctx.Err() != nil {
@@ -648,7 +1093,7 @@ func (n *Node) AntiEntropy(ctx context.Context) (RepairStats, error) {
 	// confirmed (this sweep, not assumed) to hold a verified copy.
 	if n.cfg.GCUnowned {
 		for key := range verified {
-			owners := n.ring.Owners(key, n.cfg.Replicas)
+			owners := ring.Owners(key, n.cfg.Replicas)
 			if contains(owners, n.cfg.Self) {
 				continue
 			}
@@ -672,11 +1117,12 @@ func (n *Node) AntiEntropy(ctx context.Context) (RepairStats, error) {
 // serve a valid copy (owners first — they are the likeliest holders)
 // and stores it byte-identical. Reports success.
 func (n *Node) fetchInto(ctx context.Context, key string) bool {
-	for _, p := range n.ring.Owners(key, len(n.cfg.Peers)) {
+	ring := n.Ring()
+	for _, p := range ring.Owners(key, len(ring.Nodes())) {
 		if p == n.cfg.Self || !n.alive(p) {
 			continue
 		}
-		payload, err := n.clients[p].ResultBytes(ctx, key)
+		payload, err := n.client(p).ResultBytes(ctx, key)
 		if err != nil {
 			continue
 		}
@@ -729,18 +1175,31 @@ func contains(ss []string, s string) bool {
 //	PUT  /fleet/results/{key}  accept a replicated result blob
 //	GET  /fleet/keys           verified result keys held here
 //	GET  /fleet/info           membership, health and ring view
+//	POST /fleet/join           admit a new member, return the view
+//	POST /fleet/leave          gracefully leave the fleet (handoff)
+//	POST /fleet/membership     adopt a broadcast membership view
 func (n *Node) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /fleet/steal", n.handleSteal)
 	mux.HandleFunc("PUT /fleet/results/{key}", n.handleReplicate)
 	mux.HandleFunc("GET /fleet/keys", n.handleKeys)
 	mux.HandleFunc("GET /fleet/info", n.handleInfo)
+	mux.HandleFunc("POST /fleet/join", n.handleJoin)
+	mux.HandleFunc("POST /fleet/leave", n.handleLeave)
+	mux.HandleFunc("POST /fleet/membership", n.handleMembership)
 }
 
-// Ready reports whether the first probe round has completed — before
-// that, placement decisions would treat every peer as dead.
+// Ready reports whether the node can accept fleet work: the join
+// handshake (if configured) has completed, the first probe round has
+// run, and the node is not leaving.
 func (n *Node) Ready() (bool, string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.leaving {
+		return false, "fleet: leaving the fleet"
+	}
+	if !n.joined {
+		return false, "fleet: join handshake pending"
+	}
 	if !n.ready {
 		return false, "fleet: first peer-probe round pending"
 	}
@@ -754,7 +1213,12 @@ func (n *Node) WriteProm(w io.Writer) error {
 		Labels: [][2]string{{"peer", n.cfg.Self}}, Value: 1, // self is trivially up
 	}}
 	var rtts []telemetry.LabeledValue
-	for _, p := range n.othersSorted() {
+	others := make([]string, 0, len(n.peers))
+	for p := range n.peers {
+		others = append(others, p)
+	}
+	sort.Strings(others)
+	for _, p := range others {
 		ps := n.peers[p]
 		up := 0.0
 		if ps.alive {
@@ -767,6 +1231,7 @@ func (n *Node) WriteProm(w io.Writer) error {
 			Labels: [][2]string{{"peer", p}}, Value: ps.rtt.Seconds(),
 		})
 	}
+	epoch, memberCount := n.epoch, len(n.members)
 	n.mu.Unlock()
 
 	pw := telemetry.NewPromWriter(w)
@@ -792,6 +1257,16 @@ func (n *Node) WriteProm(w io.Writer) error {
 	pw.Counter("emerald_fleet_gc_deleted_total",
 		"Unowned result blobs garbage-collected after full-owner confirmation.",
 		float64(n.gcDeleted.Load()))
+	pw.Gauge("emerald_fleet_membership_epoch",
+		"Current membership view version (higher wins).", float64(epoch))
+	pw.Gauge("emerald_fleet_members",
+		"Members in the current view, self included.", float64(memberCount))
+	pw.Counter("emerald_fleet_handoff_pushed_total",
+		"Blob replicas pushed to new owners during a graceful leave.",
+		float64(n.handoffPushed.Load()))
+	pw.Counter("emerald_fleet_reconciled_total",
+		"Journaled jobs completed via peer blobs at restart instead of re-executing.",
+		float64(n.reconciled.Load()))
 	return pw.Err()
 }
 
@@ -851,11 +1326,16 @@ func (n *Node) handleKeys(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(out) //nolint:errcheck
 }
 
-// Info is the GET /fleet/info JSON shape.
+// Info is the GET /fleet/info JSON shape. Epoch and Members double as
+// the gossip payload: every health probe reads them, so membership
+// changes reach probe-connected members within one probe interval even
+// if the explicit broadcast was lost.
 type Info struct {
 	Self     string     `json:"self"`
 	Replicas int        `json:"replicas"`
 	Ready    bool       `json:"ready"`
+	Epoch    uint64     `json:"epoch"`
+	Members  []string   `json:"members"`
 	Peers    []PeerInfo `json:"peers"`
 }
 
@@ -873,13 +1353,21 @@ type PeerInfo struct {
 func (n *Node) Snapshot() Info {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	info := Info{Self: n.cfg.Self, Replicas: n.cfg.Replicas, Ready: n.ready}
-	for _, p := range n.cfg.Peers {
+	info := Info{
+		Self: n.cfg.Self, Replicas: n.cfg.Replicas,
+		Ready:   n.ready && n.joined && !n.leaving,
+		Epoch:   n.epoch,
+		Members: append([]string(nil), n.members...),
+	}
+	for _, p := range n.members {
 		if p == n.cfg.Self {
 			info.Peers = append(info.Peers, PeerInfo{URL: p, Self: true, Alive: true})
 			continue
 		}
-		ps := n.peers[p]
+		ps, ok := n.peers[p]
+		if !ok {
+			continue
+		}
 		info.Peers = append(info.Peers, PeerInfo{
 			URL: p, Alive: ps.alive,
 			RTTMS:   float64(ps.rtt) / float64(time.Millisecond),
@@ -895,4 +1383,86 @@ func (n *Node) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(n.Snapshot()) //nolint:errcheck
+}
+
+// handleJoin admits a new member: bump the epoch, extend the ring, and
+// return the authoritative view. The rest of the fleet learns via
+// broadcast (and, failing that, via probe-piggybacked gossip).
+func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad join request: %v", err), http.StatusBadRequest)
+		return
+	}
+	joiner := strings.TrimRight(strings.TrimSpace(req.URL), "/")
+	if joiner == "" {
+		http.Error(w, "join request needs a url", http.StatusBadRequest)
+		return
+	}
+
+	n.mu.Lock()
+	if n.leaving {
+		n.mu.Unlock()
+		http.Error(w, "fleet: this node is leaving; join via another member", http.StatusServiceUnavailable)
+		return
+	}
+	added := false
+	if !contains(n.members, joiner) {
+		members := normalizeMembers(append(append([]string(nil), n.members...), joiner))
+		ring, err := NewRing(members, n.cfg.VNodes)
+		if err != nil {
+			n.mu.Unlock()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n.epoch++
+		n.members, n.ring = members, ring
+		n.syncPeersLocked()
+		// The joiner just reached us over HTTP; start it alive rather
+		// than waiting out a probe round.
+		if ps, ok := n.peers[joiner]; ok {
+			ps.alive = true
+		}
+		added = true
+	}
+	view := memberView{Epoch: n.epoch, Members: append([]string(nil), n.members...)}
+	n.mu.Unlock()
+
+	if added {
+		n.cfg.Logf("fleet: admitted %s (epoch %d, %d member(s))", joiner, view.Epoch, len(view.Members))
+		n.broadcast(view, joiner)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(view) //nolint:errcheck
+}
+
+// handleLeave triggers a graceful leave on a background goroutine and
+// returns 202 immediately (the handoff can outlive the request). The
+// OnLeave callback then lets the embedding daemon drain and exit.
+func (n *Node) handleLeave(w http.ResponseWriter, _ *http.Request) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := n.Leave(ctx); err != nil {
+			n.cfg.Logf("fleet: leave: %v", err)
+			return
+		}
+		if cb := n.OnLeave; cb != nil {
+			cb()
+		}
+	}()
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// handleMembership adopts a broadcast view.
+func (n *Node) handleMembership(w http.ResponseWriter, r *http.Request) {
+	var view memberView
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&view); err != nil {
+		http.Error(w, fmt.Sprintf("bad membership view: %v", err), http.StatusBadRequest)
+		return
+	}
+	n.maybeAdopt(view.Epoch, view.Members, r.RemoteAddr)
+	w.WriteHeader(http.StatusNoContent)
 }

@@ -91,7 +91,10 @@ func startCluster(t *testing.T, size int, mkExec func(i int) sweep.Exec, mut fun
 			Self: urls[i], Peers: urls, Replicas: 2,
 			ProbeInterval: time.Hour, StealInterval: time.Hour,
 			AntiEntropyInterval: time.Hour,
-			Logf:                t.Logf,
+			// Tests step probes by hand, one round per expected
+			// transition; the debounce default gets its own test.
+			ProbeFails: 1,
+			Logf:       t.Logf,
 		}
 		if mut != nil {
 			mut(i, &cfg)

@@ -142,3 +142,67 @@ func TestNewRingRejectsBadMembership(t *testing.T) {
 		t.Fatal("empty member address accepted")
 	}
 }
+
+// Membership changes must move only the orphaned ranges: adding a node
+// only reassigns keys onto the newcomer, and removing a node only
+// touches keys the leaver owned — everyone else's placement is stable.
+// This is the property that makes join/leave cheap: the rebalance cost
+// is proportional to the departed/arrived share, not the keyspace.
+func TestRingRebalanceMovesOnlyOrphanedRanges(t *testing.T) {
+	const added = "http://10.0.0.4:8401"
+	small, err := NewRing(threeNodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing(append(append([]string(nil), threeNodes...), added), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := func(ss []string, s string) bool {
+		for _, x := range ss {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	moved := 0
+	for _, key := range testKeys(2000) {
+		before := small.Owners(key, 2)
+		after := big.Owners(key, 2)
+
+		// Grow: any new owner must be the newcomer — an add never
+		// shuffles a key between pre-existing nodes.
+		for _, o := range after {
+			if o != added && !in(before, o) {
+				t.Fatalf("key %s: add moved replica to %s (before %v, after %v)",
+					key, o, before, after)
+			}
+		}
+
+		// Shrink (read the same pair as `added` leaving big): keys the
+		// leaver did not own keep their owner set verbatim; keys it did
+		// own fall back to the leaver-free prefix of big's preference
+		// chain, never to an arbitrary node.
+		if !in(after, added) {
+			if !reflect.DeepEqual(before, after) {
+				t.Fatalf("key %s not owned by the leaver changed owners: %v -> %v",
+					key, after, before)
+			}
+			continue
+		}
+		moved++
+		chain := big.Owners(key, 3)
+		for _, o := range before {
+			if o == added || !in(chain, o) {
+				t.Fatalf("key %s: leave promoted %s from outside the preference chain %v",
+					key, o, chain)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("vacuous test: the new node owns nothing")
+	}
+	t.Logf("membership change moved %d/2000 keys", moved)
+}

@@ -60,10 +60,15 @@ func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
 		ceil = 2 * time.Second
 	}
 	// A 503 carries the daemon's own estimate of when to come back;
-	// trust it over the client-side schedule.
+	// trust it over the client-side schedule — but clamp it to the
+	// client's own ceiling. An overloaded (or chaos-injected) server
+	// advertising a huge Retry-After must not inflate the retry budget
+	// past what the caller configured; cancellation still interrupts
+	// the sleep either way, since every backoff selects on ctx.Done().
 	if resp != nil {
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
-			return time.Duration(secs) * time.Second
+			d := time.Duration(secs) * time.Second
+			return min(d, ceil)
 		}
 	}
 	return backoff(base, ceil, attempt)

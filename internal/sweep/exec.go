@@ -3,9 +3,11 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"emerald/internal/exp"
 	"emerald/internal/par"
+	"emerald/internal/soc"
 	"emerald/internal/telemetry"
 )
 
@@ -99,4 +101,45 @@ func execute(ctx context.Context, spec Spec, cfg ExecConfig) (*Result, error) {
 		return nil, fmt.Errorf("sweep: unknown job kind %q", spec.Kind)
 	}
 	return res, nil
+}
+
+// SyntheticExec returns an executor that sleeps for d instead of
+// simulating, producing a deterministic spec-derived placeholder
+// result shaped like the real one (so figure aggregation and the
+// content-addressed store behave identically). Benchmark harnesses and
+// the chaos soak use it to exercise fleet scheduling — placement,
+// stealing, replication, failover — independently of simulation CPU
+// cost; its results are NOT simulations.
+func SyntheticExec(d time.Duration) Exec {
+	return func(ctx context.Context, spec Spec) (*Result, error) {
+		if d > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		c := spec.Canonical()
+		res := &Result{Spec: c}
+		switch c.Kind {
+		case KindCS1:
+			res.CS1 = &soc.Results{
+				Config:          c.Config,
+				Model:           fmt.Sprintf("M%d", c.Model),
+				MeanGPUCycles:   float64(100*c.Model + c.Mbps),
+				MeanFrameCycles: float64(200*c.Model + c.Mbps),
+				DisplayServed:   int64(c.Mbps),
+				FramesShown:     60,
+				RowHitRate:      0.5,
+				BytesPerAct:     64,
+			}
+		case KindCS2Sweep:
+			for wt := 1; wt <= 8; wt++ {
+				res.Cycles = append(res.Cycles, uint64(1000*c.Workload+wt))
+			}
+		case KindCS2Policy:
+			res.AvgCycles = float64(1000*c.Workload + len(c.Policy))
+		}
+		return res, nil
+	}
 }

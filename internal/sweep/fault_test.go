@@ -1,0 +1,197 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A server advertising a huge Retry-After must not inflate the retry
+// schedule past the client's own ceiling — an overloaded or malicious
+// daemon would otherwise stall a sweep for hours per attempt.
+func TestRetryAfterClampedToCeiling(t *testing.T) {
+	c := &Client{RetryMax: 50 * time.Millisecond}
+	resp := &http.Response{Header: http.Header{}}
+	resp.Header.Set("Retry-After", "3600")
+	if d := c.retryDelay(1, resp); d > 50*time.Millisecond {
+		t.Fatalf("retryDelay honored a 1h Retry-After: %s", d)
+	}
+	// A sane Retry-After below the ceiling is honored as-is.
+	resp.Header.Set("Retry-After", "0")
+	if d := c.retryDelay(1, resp); d != 0 {
+		t.Fatalf("retryDelay = %s for Retry-After: 0", d)
+	}
+}
+
+// Cancelling the context mid-backoff returns promptly even while the
+// client is honoring a server-provided Retry-After.
+func TestClientCancelDuringRetryAfterSleep(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, Retries: 10}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(25 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Submit(ctx, wlSpec(1))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Submit succeeded against a permanently-503 daemon")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit error = %v, want context.Canceled", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("Submit took %s after cancel; backoff sleep ignored ctx", elapsed)
+	}
+}
+
+// faultFunc adapts a closure to the StoreFault interface.
+type faultFunc func(key string, file []byte) ([]byte, error)
+
+func (f faultFunc) OnWrite(key string, file []byte) ([]byte, error) { return f(key, file) }
+
+// A torn result write is not silently served back: the integrity
+// footer fails verification and the blob reads as a miss.
+func TestStoreFaultTornWriteReadsAsMiss(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetFault(faultFunc(func(key string, file []byte) ([]byte, error) {
+		return file[:len(file)/2], nil
+	}))
+	res := &Result{Spec: wlSpec(1), Cycles: []uint64{42}}
+	if _, err := st.Put(wlSpec(1).Key(), res); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, ok, err := st.Get(wlSpec(1).Key()); err != nil || ok {
+		t.Fatalf("torn blob served back: ok=%v err=%v", ok, err)
+	}
+
+	// Clearing the fault restores clean writes.
+	st.SetFault(nil)
+	if _, err := st.Put(wlSpec(1).Key(), res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := st.Get(wlSpec(1).Key()); !ok {
+		t.Fatal("clean rewrite not readable")
+	}
+}
+
+// The runner's read-back verification converts a torn result write
+// into a transient retry: the job re-executes and completes once a
+// write lands intact, rather than reporting success over a blob that
+// will never verify.
+func TestRunnerReadBackRetriesTornWrite(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writes atomic.Int64
+	st.SetFault(faultFunc(func(key string, file []byte) ([]byte, error) {
+		if writes.Add(1) == 1 {
+			return file[:len(file)/2], nil // tear only the first write
+		}
+		return file, nil
+	}))
+	var execs atomic.Int64
+	r := NewRunner(st, RunnerConfig{
+		Workers:    1,
+		MaxRetries: 3,
+		RetryBase:  time.Millisecond,
+		RetryMax:   5 * time.Millisecond,
+		Exec: func(_ context.Context, spec Spec) (*Result, error) {
+			execs.Add(1)
+			return &Result{Spec: spec, Cycles: []uint64{42}}, nil
+		},
+	})
+	defer shutdownRunner(t, r)
+
+	j, err := r.Submit(wlSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := waitDone(t, r, j.ID)
+	if job.State != JobDone {
+		t.Fatalf("job = %s (%s), want done after read-back retry", job.State, job.Error)
+	}
+	if execs.Load() < 2 {
+		t.Fatalf("execs = %d; the torn write should have forced a retry", execs.Load())
+	}
+	if _, ok, _ := st.Get(wlSpec(1).Key()); !ok {
+		t.Fatal("final blob does not verify")
+	}
+}
+
+// wrapTransient mimics the chaos injector's ENOSPC: an error chain
+// that unwraps to ErrTransient.
+type wrapTransient struct{}
+
+func (w *wrapTransient) Error() string { return "chaos: injected ENOSPC" }
+func (w *wrapTransient) Unwrap() error { return ErrTransient }
+
+// An injected ENOSPC on the result write surfaces as a transient
+// failure and the retry succeeds once space "frees up".
+func TestRunnerRetriesInjectedENOSPC(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writes atomic.Int64
+	st.SetFault(faultFunc(func(key string, file []byte) ([]byte, error) {
+		if writes.Add(1) == 1 {
+			return nil, &wrapTransient{}
+		}
+		return file, nil
+	}))
+	r := NewRunner(st, RunnerConfig{
+		Workers:    1,
+		MaxRetries: 3,
+		RetryBase:  time.Millisecond,
+		RetryMax:   5 * time.Millisecond,
+		Exec: func(_ context.Context, spec Spec) (*Result, error) {
+			return &Result{Spec: spec, Cycles: []uint64{7}}, nil
+		},
+	})
+	defer shutdownRunner(t, r)
+
+	j, err := r.Submit(wlSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := waitDone(t, r, j.ID)
+	if job.State != JobDone {
+		t.Fatalf("job = %s (%s), want done after ENOSPC retry", job.State, job.Error)
+	}
+}
+
+func shutdownRunner(t *testing.T, r *Runner) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	r.Shutdown(ctx) //nolint:errcheck
+}
+
+func waitDone(t *testing.T, r *Runner, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if job, ok := r.Job(id); ok && job.Terminal() {
+			return job
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach a terminal state", id)
+	return Job{}
+}

@@ -650,16 +650,26 @@ attempts:
 			// requeues the job, and the rerun completes as a cache hit.
 			var payload []byte
 			if payload, err = r.store.Put(key, res); err == nil {
-				jb.update(func(j *Job) {
-					j.State = JobDone
-					j.FinishedAt = time.Now()
-				})
-				r.journal.Done(snap.ID)
-				r.met.finished(true, float64(time.Since(start))/float64(time.Millisecond))
-				if r.cfg.OnStored != nil {
-					r.cfg.OnStored(key, payload)
+				// Read back what landed on disk before declaring the job
+				// done. A torn or bit-flipped write (real media trouble or
+				// injected chaos) fails footer verification and reads as a
+				// miss — treat it as a transient failure so the next
+				// attempt rewrites the blob instead of the job finishing
+				// with a result no reader can ever serve.
+				if _, ok, verr := r.store.Get(key); verr != nil || !ok {
+					err = fmt.Errorf("sweep: stored result %s failed read-back verification: %w", key, ErrTransient)
+				} else {
+					jb.update(func(j *Job) {
+						j.State = JobDone
+						j.FinishedAt = time.Now()
+					})
+					r.journal.Done(snap.ID)
+					r.met.finished(true, float64(time.Since(start))/float64(time.Millisecond))
+					if r.cfg.OnStored != nil {
+						r.cfg.OnStored(key, payload)
+					}
+					return
 				}
-				return
 			}
 		}
 		lastErr = err
@@ -672,7 +682,12 @@ attempts:
 		j.Error = lastErr.Error()
 		j.FinishedAt = time.Now()
 	})
-	r.journal.Fail(snap.ID, lastErr.Error())
+	if r.baseCtx.Err() == nil {
+		r.journal.Fail(snap.ID, lastErr.Error())
+	}
+	// Else a forced shutdown aborted the attempt mid-flight: no terminal
+	// journal record, so the accept stays pending and restart recovery
+	// requeues the job — the crash analog of "the process died here".
 	r.met.finished(false, float64(time.Since(start))/float64(time.Millisecond))
 }
 

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Store is the on-disk content-addressed result cache: one JSON file
@@ -24,7 +25,33 @@ import (
 // foreign write — reads as a cache miss rather than serving garbage;
 // the next Put simply overwrites it.
 type Store struct {
-	dir string
+	dir   string
+	fault atomic.Pointer[faultCell]
+}
+
+// StoreFault injects write-path faults for chaos testing. OnWrite
+// receives the full file image about to hit disk (payload + integrity
+// footer) and may rewrite it — a truncated return models a torn write,
+// a mutated byte models bit rot — or fail outright, modeling ENOSPC.
+// The footer makes every mutation visible: a damaged file verifies as
+// a cache miss, never as a result.
+type StoreFault interface {
+	OnWrite(key string, file []byte) ([]byte, error)
+}
+
+// faultCell wraps the interface so it fits an atomic.Pointer.
+type faultCell struct{ f StoreFault }
+
+// SetFault installs a write-fault injector (nil clears it). Reads are
+// deliberately not hooked: the integrity footer already turns any
+// damaged write into a read-side miss, so injecting at the write seam
+// exercises the same recovery paths real corruption would.
+func (s *Store) SetFault(f StoreFault) {
+	if f == nil {
+		s.fault.Store(nil)
+		return
+	}
+	s.fault.Store(&faultCell{f: f})
 }
 
 // footerPrefix opens the integrity footer line appended after the JSON
@@ -131,24 +158,8 @@ func (s *Store) Put(key string, r *Result) ([]byte, error) {
 		return nil, fmt.Errorf("sweep: marshal result: %w", err)
 	}
 	data = append(data, '\n')
-	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
-	if err != nil {
-		return nil, fmt.Errorf("sweep: store result: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return nil, fmt.Errorf("sweep: store result: %w", err)
-	}
-	if _, err := tmp.Write(footerFor(data)); err != nil {
-		tmp.Close()
-		return nil, fmt.Errorf("sweep: store result: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return nil, fmt.Errorf("sweep: store result: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
-		return nil, fmt.Errorf("sweep: store result: %w", err)
+	if err := s.writeFile(key, data); err != nil {
+		return nil, err
 	}
 	return data, nil
 }
@@ -161,16 +172,27 @@ func (s *Store) PutRaw(key string, payload []byte) error {
 	if !validKey(key) {
 		return fmt.Errorf("sweep: malformed result key %q", key)
 	}
+	return s.writeFile(key, payload)
+}
+
+// writeFile atomically writes payload + integrity footer under key,
+// routing the full file image through the installed fault injector (if
+// any) first. The temp-file + rename dance means a reader never sees a
+// half-written file — a torn write can only come from the injector.
+func (s *Store) writeFile(key string, payload []byte) error {
+	file := append(append([]byte(nil), payload...), footerFor(payload)...)
+	if cell := s.fault.Load(); cell != nil && cell.f != nil {
+		var err error
+		if file, err = cell.f.OnWrite(key, file); err != nil {
+			return fmt.Errorf("sweep: store result: %w", err)
+		}
+	}
 	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
 	if err != nil {
 		return fmt.Errorf("sweep: store result: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after successful rename
-	if _, err := tmp.Write(payload); err != nil {
-		tmp.Close()
-		return fmt.Errorf("sweep: store result: %w", err)
-	}
-	if _, err := tmp.Write(footerFor(payload)); err != nil {
+	if _, err := tmp.Write(file); err != nil {
 		tmp.Close()
 		return fmt.Errorf("sweep: store result: %w", err)
 	}

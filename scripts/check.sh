@@ -47,6 +47,21 @@ go test ./...
 echo "== go test -race (short) =="
 go test -race -short ./...
 
+echo "== fleet race pass (full) =="
+# The fleet plane is all cross-goroutine state (membership gossip,
+# steal loops, replication pushes, hedges); run its full suite — not
+# just -short — under the race detector.
+go test -race -count=1 ./internal/fleet/...
+
+echo "== chaos soak gate =="
+# The permanent robustness gate: a 3-node fleet under seeded network
+# chaos (drops, delays, 503s, truncation, asymmetric partitions) plus
+# store corruption, a crash + journal-replaying restart, a mid-sweep
+# join and a graceful leave — tables must come out byte-identical to a
+# clean single-node run with zero lost jobs, and the same seed must
+# re-derive the same fault schedule (see internal/chaos).
+go test -count=1 -run 'TestChaosSoak|TestJournalReplayRacesReexecution' -timeout 180s ./internal/chaos
+
 echo "== determinism (workers 1 vs 4, skip vs no-skip vs wheel) =="
 go test -count=1 -run 'TestParallelDeterminism|TestSkipDeterminism|TestWheelDeterminism' ./internal/exp
 
