@@ -7,6 +7,7 @@
 //	emerald -workload 6 -frames 3 -w 256 -h 192
 //	emerald -workload 1 -wt 4 -dump frame.ppm
 //	emerald -stats gpu            # dump matching counters afterwards
+//	emerald -workload 3 -frames 120 -sampled -sample-k 4   # sampled simulation
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"emerald/internal/emtrace"
+	"emerald/internal/exp"
 	"emerald/internal/geom"
 	"emerald/internal/gl"
 	"emerald/internal/gpu"
@@ -41,6 +43,8 @@ type options struct {
 	noSkip                     bool
 	noWheel                    bool
 	progress                   bool
+	sampled                    bool
+	sampleK, sampleSpan        int
 }
 
 func main() {
@@ -62,6 +66,9 @@ func main() {
 	flag.BoolVar(&opt.noSkip, "no-skip", false, "disable event-driven idle cycle-skipping (results are identical; for perf comparison/debugging)")
 	flag.BoolVar(&opt.noWheel, "no-wheel", false, "disable per-shard event wheels (tick parked clusters/channels every cycle; results are identical; for perf comparison/debugging)")
 	flag.BoolVar(&opt.progress, "progress", false, "print a live progress line to stderr every second (cycle, frames, sim rate, skip ratio)")
+	flag.BoolVar(&opt.sampled, "sampled", false, "sampled simulation: functional pass + checkpoints, detail only K representative regions, reconstruct the whole-run estimate")
+	flag.IntVar(&opt.sampleK, "sample-k", 3, "sampled mode: number of representative regions to select")
+	flag.IntVar(&opt.sampleSpan, "sample-span", 1, "sampled mode: detailed frames measured per region")
 	disasm := flag.String("disasm", "", "disassemble a built-in shader by name (e.g. vs_transform) and exit")
 	flag.Parse()
 
@@ -80,10 +87,56 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(opt); err != nil {
+	var err error
+	if opt.sampled {
+		err = runSampled(opt)
+	} else {
+		err = run(opt)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "emerald:", err)
 		os.Exit(1)
 	}
+}
+
+// runSampled is the sampled-simulation path: one fast functional pass
+// over the scenario for per-frame signatures and checkpoints, detailed
+// timing only for the selected representative regions (in parallel
+// across -workers), and a weighted whole-run reconstruction.
+func runSampled(opt options) error {
+	eopt := exp.Quick()
+	eopt.CS2Width, eopt.CS2Height = opt.w, opt.h
+	eopt.Guard = opt.guard
+	eopt.NoSkip = opt.noSkip
+	eopt.NoWheel = opt.noWheel
+	eopt.WatchdogCycles = opt.watchdog
+	workers := opt.workers
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	res, err := exp.RunSampled(opt.workload, opt.frames, opt.sampleK, opt.sampleSpan, workers, eopt)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	scene, _ := geom.DFSLWorkload(opt.workload)
+	fmt.Printf("%s sampled on the Table 7 GPU (%dx%d): %d frames, %d region(s), span %d\n",
+		scene.Name, opt.w, opt.h, opt.frames, len(res.Regions), opt.sampleSpan)
+	detailed := 0
+	for i, r := range res.Regions {
+		re := res.Estimate.Regions[i]
+		detailed += re.Frames
+		fmt.Printf("  region @ frame %3d: weight %.3f (%d frames), mean %10.0f cycles/frame\n",
+			r.Frame, r.Weight, r.Count, re.MeanCycles)
+	}
+	fmt.Printf("estimate: %.0f cycles/frame, %d total cycles over %d frames\n",
+		res.Estimate.MeanFrameCycles, res.Estimate.TotalCycles, res.Estimate.FramesTotal)
+	fmt.Printf("detailed frames simulated: %d of %d (%.1fx reduction), wall clock %s\n",
+		detailed, opt.frames, float64(opt.frames)/float64(max(detailed, 1)),
+		elapsed.Round(time.Millisecond))
+	return nil
 }
 
 func run(opt options) error {

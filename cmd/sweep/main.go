@@ -13,6 +13,15 @@
 //	sweep -fig 9,11 -scale quick -models 1,3
 //	sweep -fig 19 -scale smoke -workloads 2,5
 //
+// Sampled mode (-sample) trades figure tables for sampled simulation:
+// the client records the workload's trace, functional-passes it for
+// per-frame signatures, clusters them into -sample-k regions, and
+// submits one detailed region job per representative — each an
+// independent, cacheable, fleet-placeable job — then reconstructs the
+// whole-run cycle estimate from the weighted region means.
+//
+//	sweep -sample -workloads 3 -sample-frames 120 -sample-k 4
+//
 // Fleet mode: give -addr a comma-separated list of every node in an
 // emeraldd fleet and the sweep fans out across them — jobs are placed
 // by consistent hashing on the spec key (matching where the fleet
@@ -66,6 +75,10 @@ func main() {
 	progress := flag.Bool("progress", false, "print live progress lines for running cells to stderr every second")
 	hedgeMin := flag.Duration("hedge-min", 0, "fleet mode: floor before a slow job is hedged to the next ring owner (0 = client default of 2s)")
 	noHedge := flag.Bool("no-hedge", false, "fleet mode: never hedge slow jobs to a second node")
+	sampled := flag.Bool("sample", false, "sampled-simulation mode: one detailed region job per representative frame instead of figure tables")
+	sampleFrames := flag.Int("sample-frames", 120, "sampled mode: scenario length in frames")
+	sampleK := flag.Int("sample-k", 3, "sampled mode: representative regions to select")
+	sampleSpan := flag.Int("sample-span", 1, "sampled mode: detailed frames measured per region")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -113,10 +126,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: fleet of %d node(s)\n", len(addrs))
 		c = fc
 	}
+	var notify func(sweep.Job)
 	if *progress {
 		// Stream each cell's completion as it lands (cache hits included),
 		// alongside the once-a-second running-cell status lines.
-		req.Notify = func(j sweep.Job) {
+		notify = func(j sweep.Job) {
 			how := "done"
 			if j.Cached {
 				how = "cached"
@@ -127,6 +141,17 @@ func main() {
 		defer stop()
 	}
 	start := time.Now()
+	if *sampled {
+		if err := runSampled(ctx, c, req.Workloads, sweep.SampleRequest{
+			Frames: *sampleFrames, K: *sampleK, Span: *sampleSpan,
+			Scale: *scale, Workers: *workers, Notify: notify,
+		}, *poll, start); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	req.Notify = notify
 	fs, err := sweep.RunFigures(ctx, c, req, *poll)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -142,6 +167,41 @@ func main() {
 		fs.CacheHits(), len(fs.Jobs),
 		100*float64(fs.CacheHits())/float64(max(len(fs.Jobs), 1)),
 		len(fs.Figures), time.Since(start).Round(time.Millisecond))
+}
+
+// runSampled runs the sampled-simulation pipeline for each requested
+// workload (default all six) and prints the region table and whole-run
+// estimate; the cache summary goes to stderr like figure mode's.
+func runSampled(ctx context.Context, c service, workloads []int, req sweep.SampleRequest,
+	poll time.Duration, start time.Time) error {
+	if len(workloads) == 0 {
+		workloads = []int{1, 2, 3, 4, 5, 6}
+	}
+	jobs, hits := 0, 0
+	for i, w := range workloads {
+		req.Workload = w
+		ss, err := sweep.RunSample(ctx, c, req, poll)
+		if err != nil {
+			return fmt.Errorf("W%d: %w", w, err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("W%d sampled: %d frames, %d region(s), span %d\n",
+			w, req.Frames, len(ss.Regions), req.Span)
+		for j, r := range ss.Regions {
+			fmt.Printf("  region @ frame %3d: weight %.3f (%d frames), mean %10.0f cycles/frame\n",
+				r.Frame, r.Weight, r.Count, ss.Estimate.Regions[j].MeanCycles)
+		}
+		fmt.Printf("  estimate: %.0f cycles/frame, %d total cycles\n",
+			ss.Estimate.MeanFrameCycles, ss.Estimate.TotalCycles)
+		jobs += len(ss.Jobs)
+		hits += ss.CacheHits()
+	}
+	fmt.Fprintf(os.Stderr, "sweep: cache %d/%d hits (%.1f%%), %d workload(s) in %s\n",
+		hits, jobs, 100*float64(hits)/float64(max(jobs, 1)),
+		len(workloads), time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // startProgress polls the daemon's job list and prints one live status

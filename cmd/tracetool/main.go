@@ -8,6 +8,9 @@
 //	tracetool -info trace.bin                           # op/draw counts
 //	tracetool -replay trace.bin                         # re-render, print cycles
 //	tracetool -replay trace.bin -first 2 -last 3        # region of interest
+//	tracetool -sample trace.bin -k 3                    # signatures + selected regions
+//	tracetool -checkpoint trace.bin -frame 2 -o cp.bin  # functional pass, save checkpoint
+//	tracetool -resume trace.bin -ckpt cp.bin -span 2    # detailed replay from checkpoint
 //	tracetool timeline events.json                      # text Gantt of a -trace-events file
 //	tracetool timeline -source dram -width 120 events.json
 package main
@@ -21,6 +24,7 @@ import (
 	"emerald/internal/geom"
 	"emerald/internal/gl"
 	"emerald/internal/gpu"
+	"emerald/internal/sample"
 	"emerald/internal/shader"
 	"emerald/internal/trace"
 )
@@ -39,6 +43,14 @@ func main() {
 	last := flag.Int("last", -1, "last draw to execute on replay (-1 = end)")
 	width := flag.Int("w", 192, "viewport width for -record")
 	height := flag.Int("h", 144, "viewport height for -record")
+	samp := flag.String("sample", "", "functional-pass a trace: print per-frame signatures and the -k selected regions")
+	k := flag.Int("k", 3, "regions to select for -sample")
+	checkpoint := flag.String("checkpoint", "", "functional-pass a trace and save the checkpoint at -frame to -o")
+	frameAt := flag.Int("frame", 0, "frame at whose start the -checkpoint is taken")
+	outFile := flag.String("o", "checkpoint.bin", "output file for -checkpoint")
+	resume := flag.String("resume", "", "restore -ckpt into a fresh detailed GPU and replay this trace from the checkpoint's frame")
+	ckptFile := flag.String("ckpt", "", "checkpoint file for -resume")
+	span := flag.Int("span", 1, "frames to run in detail for -resume")
 	flag.Parse()
 
 	switch {
@@ -48,6 +60,12 @@ func main() {
 		check(doInfo(*info))
 	case *replay != "":
 		check(doReplay(*replay, *first, *last))
+	case *samp != "":
+		check(doSample(*samp, *k))
+	case *checkpoint != "":
+		check(doCheckpoint(*checkpoint, *frameAt, *outFile))
+	case *resume != "":
+		check(doResume(*resume, *ckptFile, *span))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -81,6 +99,9 @@ func doRecord(path string, workload, frames, w, h int) error {
 		if _, err := s.RunUntilIdle(2_000_000_000); err != nil {
 			return err
 		}
+		// Frame boundaries anchor checkpoints and sampled regions
+		// (-sample / -checkpoint / -resume need them).
+		ctx.FrameEnd()
 	}
 	out, err := os.Create(path)
 	if err != nil {
@@ -168,6 +189,142 @@ func doReplay(path string, first, last int) error {
 	}
 	fmt.Printf("replayed draws %d..%d in %d GPU cycles (%d fragments shaded)\n",
 		first, last, cycles, s.GPU.FragsShaded())
+	return nil
+}
+
+// loadTrace reads a trace file.
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Load(f)
+}
+
+// doSample runs the functional pass over a recorded trace — timing off,
+// draws through the functional executor — and prints each frame's
+// workload signature plus the k regions SimPoint-style clustering
+// selects to represent the scenario.
+func doSample(path string, k int) error {
+	tr, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	pass, err := sample.Pass(tr, sample.PassConfig{})
+	if err != nil {
+		return err
+	}
+	regions, err := sample.SelectRegions(pass.Frames, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d frames\n", path, len(pass.Frames))
+	fmt.Println("frame    draws    verts    prims    tiles      frags   texreads       bytes")
+	for f, fi := range pass.Frames {
+		s := fi.Sig
+		fmt.Printf("%5d %8d %8d %8d %8d %10d %10d %11d\n",
+			f, s.Draws, s.Verts, s.Prims, s.Tiles, s.Frags, s.TexReads, s.Bytes)
+	}
+	fmt.Printf("selected %d region(s):\n", len(regions))
+	for _, r := range regions {
+		fmt.Printf("  frame %3d: weight %.3f (%d of %d frames)\n",
+			r.Frame, r.Weight, r.Count, len(pass.Frames))
+	}
+	return nil
+}
+
+// doCheckpoint functional-passes the trace up to the requested frame
+// and saves the checkpoint at that frame's start.
+func doCheckpoint(path string, frame int, out string) error {
+	tr, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	pass, err := sample.Pass(tr, sample.PassConfig{CheckpointAt: []int{frame}, StopAfterLast: true})
+	if err != nil {
+		return err
+	}
+	cp := pass.Checkpoints[frame]
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := cp.Save(f); err != nil {
+		return err
+	}
+	dg, err := cp.Digest()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: frame %d (op %d), %d pages, digest %s\n",
+		out, cp.Frame, cp.OpIndex, len(cp.Pages), dg)
+	return nil
+}
+
+// doResume restores a saved checkpoint into a fresh detailed GPU and
+// replays span frames from the checkpoint's frame in detail — the
+// frames before it replay state-only (draws gated out) to rebuild the
+// GL context, then memory is restored and the region runs live.
+func doResume(path, ckptPath string, span int) error {
+	if ckptPath == "" {
+		return fmt.Errorf("-resume needs -ckpt")
+	}
+	tr, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	cf, err := os.Open(ckptPath)
+	if err != nil {
+		return err
+	}
+	cp, err := trace.LoadCheckpoint(cf)
+	cf.Close()
+	if err != nil {
+		return err
+	}
+	s := gpu.DefaultStandalone(nil)
+	ctx := gl.NewContext(s.Mem(), 0x1000_0000, 256<<20)
+	// Unlike -replay's submit-only hook, resume drains after every draw
+	// so per-frame cycles are attributable.
+	ctx.Submit = func(call *gpu.DrawCall) error {
+		if err := s.GPU.SubmitDraw(call, nil); err != nil {
+			return err
+		}
+		_, err := s.RunUntilIdle(4_000_000_000)
+		return err
+	}
+	ctx.OnClearDepth = s.GPU.ClearHiZ
+	var mark uint64
+	rr := &sample.RegionRun{
+		Trace: tr, CP: cp, Start: cp.Frame, Span: span,
+		Ctx: ctx, Mem: s.Mem(),
+		OnRestore: func() {
+			s.GPU.ClearHiZ()
+			if err := s.ResumeAt(cp.Cycle); err != nil {
+				check(err)
+			}
+			mark = s.Cycle()
+		},
+		Drain: func(int) (uint64, error) {
+			c := s.Cycle()
+			d := c - mark
+			mark = c
+			return d, nil
+		},
+	}
+	cycles, err := rr.Run()
+	if err != nil {
+		return err
+	}
+	var total uint64
+	for i, c := range cycles {
+		fmt.Printf("frame %d: %8d cycles\n", cp.Frame+i, c)
+		total += c
+	}
+	fmt.Printf("resumed at frame %d, ran %d frame(s) in %d GPU cycles (%d fragments shaded)\n",
+		cp.Frame, len(cycles), total, s.GPU.FragsShaded())
 	return nil
 }
 

@@ -6,6 +6,9 @@
 package gfx
 
 import (
+	"encoding/binary"
+	"math"
+
 	"emerald/internal/mem"
 )
 
@@ -50,12 +53,17 @@ func (s Surface) ClearColor(m *mem.Memory, rgba uint32) {
 	}
 }
 
-// ClearDepth functionally fills a depth surface with a float32 value.
+// ClearDepth functionally fills a depth surface with a float32 value,
+// row-buffered like ClearColor so the fill runs at page-copy speed
+// instead of one page lookup per pixel.
 func (s Surface) ClearDepth(m *mem.Memory, z float32) {
+	row := make([]byte, s.Width*4)
+	bits := math.Float32bits(z)
+	for x := 0; x < s.Width; x++ {
+		binary.LittleEndian.PutUint32(row[x*4:], bits)
+	}
 	for y := 0; y < s.Height; y++ {
-		for x := 0; x < s.Width; x++ {
-			m.WriteF32(s.Addr(x, y), z)
-		}
+		m.Write(s.Addr(0, y), row)
 	}
 }
 

@@ -345,6 +345,13 @@ func (c *Context) Clear(color uint32, depth bool) {
 	c.record("Clear", []uint32{color, d}, nil)
 }
 
+// FrameEnd records a frame-boundary marker. It has no rendering
+// effect; replay hooks key off it — per-frame signatures, checkpoint
+// placement, and region gating in sampled simulation.
+func (c *Context) FrameEnd() {
+	c.record("FrameEnd", nil, nil)
+}
+
 // DrawElements submits an indexed draw with the current state.
 func (c *Context) DrawElements(mode raster.PrimMode, indices []uint32) error {
 	if c.vs == nil || c.fs == nil {

@@ -190,16 +190,33 @@ type vsEnv struct {
 }
 
 func (e *vsEnv) AttrIn(lane, slot int) ([4]float32, uint64) {
+	if lane >= len(e.b.positions) {
+		return [4]float32{}, 0
+	}
+	return vertexAttrIn(e.g.Mem, e.d.call, e.d.call.Indices[e.b.positions[lane]], slot)
+}
+
+// memReader is the read path a vertex or texture fetch needs —
+// satisfied by *mem.Memory (timed pipeline) and *mem.View (the
+// functional executor's page-caching accessor).
+type memReader interface {
+	ReadU32(addr uint64) uint32
+	ReadF32(addr uint64) float32
+}
+
+// vertexAttrIn fetches one vertex input attribute from the vertex
+// buffer — shared by the timed vsEnv and the functional draw executor
+// so both read identical bytes.
+func vertexAttrIn(m memReader, call *DrawCall, idx uint32, slot int) ([4]float32, uint64) {
 	var out [4]float32
-	if lane >= len(e.b.positions) || slot >= len(e.d.call.AttrOffsets) {
+	if slot >= len(call.AttrOffsets) {
 		return out, 0
 	}
-	idx := e.d.call.Indices[e.b.positions[lane]]
-	off := e.d.call.AttrOffsets[slot][0]
-	count := e.d.call.AttrOffsets[slot][1]
-	addr := e.d.call.VertexBase + uint64(idx)*uint64(e.d.call.VertexStride) + uint64(off)
+	off := call.AttrOffsets[slot][0]
+	count := call.AttrOffsets[slot][1]
+	addr := call.VertexBase + uint64(idx)*uint64(call.VertexStride) + uint64(off)
 	for i := 0; i < int(count) && i < 4; i++ {
-		out[i] = e.g.Mem.ReadF32(addr + uint64(i)*4)
+		out[i] = m.ReadF32(addr + uint64(i)*4)
 	}
 	if slot == 0 && count < 4 {
 		out[3] = 1 // homogeneous position
@@ -300,6 +317,13 @@ func (e *fsEnv) Retired(w *simt.Warp) {
 // sampleTexture performs nearest or bilinear filtering with repeat
 // wrapping, returning the filtered color and the texel addresses read.
 func (g *GPU) sampleTexture(call *DrawCall, unit int, u, v float32) ([4]float32, [4]uint64) {
+	return sampleTextureMem(g.Mem, call, unit, u, v)
+}
+
+// sampleTextureMem is the filtering model against an explicit memory —
+// shared by the timed pipeline (via GPU.sampleTexture) and the
+// functional draw executor, so both read identical texels.
+func sampleTextureMem(m memReader, call *DrawCall, unit int, u, v float32) ([4]float32, [4]uint64) {
 	var out [4]float32
 	var addrs [4]uint64
 	if unit >= len(call.Textures) {
@@ -319,7 +343,7 @@ func (g *GPU) sampleTexture(call *DrawCall, unit int, u, v float32) ([4]float32,
 			ty = t.Height - 1
 		}
 		addrs[0] = t.Addr(tx, ty)
-		r, gg, b, a := shader.UnpackRGBA8(g.Mem.ReadU32(addrs[0]))
+		r, gg, b, a := shader.UnpackRGBA8(m.ReadU32(addrs[0]))
 		return [4]float32{r, gg, b, a}, addrs
 	}
 
@@ -336,7 +360,7 @@ func (g *GPU) sampleTexture(call *DrawCall, unit int, u, v float32) ([4]float32,
 			addr := t.Addr(x0+dx, y0+dy)
 			addrs[n] = addr
 			n++
-			r, gg, b, a := shader.UnpackRGBA8(g.Mem.ReadU32(addr))
+			r, gg, b, a := shader.UnpackRGBA8(m.ReadU32(addr))
 			wgt := (1 - absf(wx-float32(dx))) * (1 - absf(wy-float32(dy)))
 			out[0] += r * wgt
 			out[1] += gg * wgt

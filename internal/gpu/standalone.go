@@ -157,6 +157,18 @@ func (s *Standalone) NextWake() uint64 {
 // Mem exposes the functional memory for asset upload.
 func (s *Standalone) Mem() *mem.Memory { return s.GPU.Mem }
 
+// ResumeAt adopts a checkpoint's cycle count, so a simulation resumed
+// from a snapshot reports cycles on the original run's timeline. Only
+// legal while idle — nothing in flight carries stamps from the old
+// clock.
+func (s *Standalone) ResumeAt(cycle uint64) error {
+	if s.Busy() {
+		return fmt.Errorf("gpu: cannot adopt checkpoint cycle %d while busy", cycle)
+	}
+	s.cycle = cycle
+	return nil
+}
+
 // Cycle returns the current simulation cycle.
 func (s *Standalone) Cycle() uint64 { return s.cycle }
 

@@ -87,6 +87,18 @@ func (m *Memory) pageFor(page uint64, create bool) *[PageSize]byte {
 	return p
 }
 
+// Reset drops every materialized page, returning the memory to its
+// freshly constructed all-zeroes state. Checkpoint restore uses it to
+// reconcile the page set: without it, pages the target has but the
+// snapshot lacks would survive the restore as stale state. Not safe
+// concurrently with a running simulation.
+func (m *Memory) Reset() {
+	m.mu.Lock()
+	empty := make(map[uint64]*[PageSize]byte)
+	m.pages.Store(&empty)
+	m.mu.Unlock()
+}
+
 // PageCount reports how many pages have been materialized (for
 // checkpoint sizing and tests).
 func (m *Memory) PageCount() int { return len(*m.pages.Load()) }
@@ -97,6 +109,25 @@ func (m *Memory) Pages() []uint64 {
 	out := make([]uint64, 0, len(pages))
 	for p := range pages {
 		out = append(out, p)
+	}
+	return out
+}
+
+// SnapshotPages returns a deep copy of every materialized page, all
+// backed by a single allocation — the checkpoint-per-frame sampled
+// pass takes one of these per frame boundary, so snapshot cost is a
+// single bulk alloc plus page copies rather than one allocation per
+// page.
+func (m *Memory) SnapshotPages() map[uint64][]byte {
+	pages := *m.pages.Load()
+	out := make(map[uint64][]byte, len(pages))
+	buf := make([]byte, len(pages)*PageSize)
+	i := 0
+	for p, data := range pages {
+		dst := buf[i*PageSize : (i+1)*PageSize : (i+1)*PageSize]
+		copy(dst, data[:])
+		out[p] = dst
+		i++
 	}
 	return out
 }

@@ -45,7 +45,23 @@ func CoarseRaster(t *SetupTri, tileSize int, visit func(tx, ty int)) {
 // against the triangle and returns the covered fragments, or nil if
 // empty (paper Figure 3, I). The viewport clamps pixel coordinates.
 func FineRaster(t *SetupTri, tileX, tileY int, vp Viewport) *RasterTile {
-	rt := &RasterTile{Tri: t, TileX: tileX, TileY: tileY}
+	frags := FineRasterInto(t, tileX, tileY, vp, nil)
+	if len(frags) == 0 {
+		return nil
+	}
+	rt := &RasterTile{Tri: t, TileX: tileX, TileY: tileY, Frags: frags}
+	for _, f := range frags {
+		rt.Coverage |= 1 << ((f.Y-tileY)*RasterTileSize + (f.X - tileX))
+	}
+	return rt
+}
+
+// FineRasterInto appends the covered fragments of the raster tile at
+// (tileX, tileY) to frags and returns the extended slice — the
+// allocation-free core of FineRaster, for callers that batch fragments
+// across tiles themselves (the functional draw executor). Fragment
+// order matches FineRaster exactly.
+func FineRasterInto(t *SetupTri, tileX, tileY int, vp Viewport, frags []Fragment) []Fragment {
 	for dy := 0; dy < RasterTileSize; dy++ {
 		py := tileY + dy
 		if py < 0 || py >= vp.Height {
@@ -60,18 +76,14 @@ func FineRaster(t *SetupTri, tileX, tileY int, vp Viewport) *RasterTile {
 			if !inside {
 				continue
 			}
-			rt.Frags = append(rt.Frags, Fragment{
+			frags = append(frags, Fragment{
 				Tri: t, X: px, Y: py,
 				Z:  t.DepthAt(l0, l1, l2),
 				L0: l0, L1: l1, L2: l2,
 			})
-			rt.Coverage |= 1 << (dy*RasterTileSize + dx)
 		}
 	}
-	if len(rt.Frags) == 0 {
-		return nil
-	}
-	return rt
+	return frags
 }
 
 // Rasterize runs coarse+fine rasterization over the whole triangle,

@@ -1,0 +1,212 @@
+package sample
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region is one selected representative: detailed timing runs frame
+// Frame and its measurement stands in for Count frames — Weight of the
+// whole scenario — in the reconstruction.
+type Region struct {
+	Frame  int     `json:"frame"`
+	Weight float64 `json:"weight"`
+	Count  int     `json:"count"`
+}
+
+// SelectRegions clusters the per-frame signatures into k groups
+// (SimPoint's k-means over basic-block vectors, with frames for
+// intervals and pipeline/traffic counters for basic blocks) and
+// returns one representative frame per non-empty cluster, weighted by
+// cluster population. Deterministic: a fixed-seed generator drives
+// seeding, so the same signatures always select the same regions —
+// required for region specs to be content-addressable sweep keys.
+func SelectRegions(frames []FrameInfo, k int) ([]Region, error) {
+	n := len(frames)
+	if n == 0 {
+		return nil, fmt.Errorf("sample: no frames to select from")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("sample: k must be >= 1, got %d", k)
+	}
+	if k >= n {
+		// Degenerate: every frame is its own region (a full detailed run).
+		out := make([]Region, n)
+		for i := range out {
+			out[i] = Region{Frame: i, Weight: 1 / float64(n), Count: 1}
+		}
+		return out, nil
+	}
+
+	pts := normalize(frames)
+	centers := seedCenters(pts, k)
+	assign := make([]int, n)
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for i, p := range pts {
+			c := nearest(centers, p)
+			if c != assign[i] {
+				assign[i] = c
+				changed = true
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		// Recompute centroids; reseed any empty cluster to the point
+		// farthest from its current center so k clusters survive.
+		counts := make([]int, k)
+		sums := make([][8]float64, k)
+		for i, p := range pts {
+			c := assign[i]
+			counts[c]++
+			for d := range p {
+				sums[c][d] += p[d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				far, farD := 0, -1.0
+				for i, p := range pts {
+					if d := dist2(p, centers[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centers[c] = pts[far]
+				continue
+			}
+			for d := range sums[c] {
+				centers[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+
+	// Representative = the member closest to its cluster centroid
+	// (lowest frame index on ties).
+	type cluster struct {
+		rep   int
+		repD  float64
+		count int
+	}
+	clusters := make([]cluster, k)
+	for c := range clusters {
+		clusters[c] = cluster{rep: -1}
+	}
+	for i, p := range pts {
+		c := assign[i]
+		d := dist2(p, centers[c])
+		if clusters[c].rep < 0 || d < clusters[c].repD {
+			clusters[c].rep, clusters[c].repD = i, d
+		}
+		clusters[c].count++
+	}
+	var out []Region
+	for _, cl := range clusters {
+		if cl.count == 0 {
+			continue
+		}
+		out = append(out, Region{
+			Frame:  cl.rep,
+			Weight: float64(cl.count) / float64(n),
+			Count:  cl.count,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Frame < out[j].Frame })
+	return out, nil
+}
+
+// normalize scales each signature dimension by its maximum so large
+// raw magnitudes (bytes vs draws) do not dominate the distance metric.
+func normalize(frames []FrameInfo) [][8]float64 {
+	var max [8]float64
+	pts := make([][8]float64, len(frames))
+	for i, f := range frames {
+		pts[i] = f.Sig.vector()
+		for d, v := range pts[i] {
+			if v > max[d] {
+				max[d] = v
+			}
+		}
+	}
+	for i := range pts {
+		for d := range pts[i] {
+			if max[d] > 0 {
+				pts[i][d] /= max[d]
+			}
+		}
+	}
+	return pts
+}
+
+// lcg is a fixed-seed linear congruential generator: deterministic
+// seeding with no dependence on global random state.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+
+// float returns a uniform value in [0, 1).
+func (r *lcg) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// seedCenters runs k-means++ seeding: the first center is pseudo-random
+// and each further center is drawn with probability proportional to
+// squared distance from the chosen set, spreading the seeds across the
+// signature space.
+func seedCenters(pts [][8]float64, k int) [][8]float64 {
+	r := lcg(0x9E3779B97F4A7C15)
+	centers := make([][8]float64, 0, k)
+	centers = append(centers, pts[r.next()%uint64(len(pts))])
+	d2 := make([]float64, len(pts))
+	for len(centers) < k {
+		var total float64
+		for i, p := range pts {
+			d2[i] = dist2(p, centers[0])
+			for _, c := range centers[1:] {
+				if d := dist2(p, c); d < d2[i] {
+					d2[i] = d
+				}
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with a center; duplicate one.
+			centers = append(centers, pts[0])
+			continue
+		}
+		target := r.float() * total
+		pick := 0
+		for i, d := range d2 {
+			target -= d
+			if target <= 0 {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, pts[pick])
+	}
+	return centers
+}
+
+// nearest returns the index of the closest center (lowest index wins
+// ties, keeping assignment deterministic).
+func nearest(centers [][8]float64, p [8]float64) int {
+	best, bestD := 0, dist2(p, centers[0])
+	for c := 1; c < len(centers); c++ {
+		if d := dist2(p, centers[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// dist2 is squared Euclidean distance.
+func dist2(a, b [8]float64) float64 {
+	var s float64
+	for d := range a {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}

@@ -97,6 +97,13 @@ func execute(ctx context.Context, spec Spec, cfg ExecConfig) (*Result, error) {
 		}
 		res.AvgCycles = avg
 
+	case KindRegion:
+		r, err := exp.RunRegionJob(spec.Workload, spec.Frames, spec.Region, spec.Span, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Region = r
+
 	default:
 		return nil, fmt.Errorf("sweep: unknown job kind %q", spec.Kind)
 	}
@@ -139,6 +146,16 @@ func SyntheticExec(d time.Duration) Exec {
 			}
 		case KindCS2Policy:
 			res.AvgCycles = float64(1000*c.Workload + len(c.Policy))
+		case KindRegion:
+			cycles := make([]uint64, c.Span)
+			for i := range cycles {
+				cycles[i] = uint64(1000*c.Workload + 10*c.Region + i)
+			}
+			res.Region = &exp.RegionResult{
+				Workload: c.Workload, Frames: c.Frames, Start: c.Region,
+				Span: c.Span, FrameCycles: cycles,
+				Digest: fmt.Sprintf("synthetic-%s", c.Key()),
+			}
 		}
 		return res, nil
 	}

@@ -38,6 +38,12 @@ const (
 	// KindCS2Policy runs one workload under one Figure 19 policy and
 	// yields the average frame cycles.
 	KindCS2Policy Kind = "cs2policy"
+	// KindRegion runs one sampled-simulation region: re-record the
+	// workload's trace, functional-pass to the region's checkpoint,
+	// then run Span frames from Region in detailed timing. Everything
+	// derives deterministically from the spec, so region results are
+	// content-addressable and fleet-schedulable like any other job.
+	KindRegion Kind = "region"
 )
 
 // Spec is the canonical description of one simulation job. Its
@@ -52,10 +58,15 @@ type Spec struct {
 	Config string `json:"config,omitempty"` // BAS|DCB|DTB|HMC (Table 6)
 	Mbps   int    `json:"mbps,omitempty"`   // DRAM data rate (Mb/s/pin)
 
-	// Case Study II (kind=cs2sweep, cs2policy).
+	// Case Study II (kind=cs2sweep, cs2policy, region).
 	Workload int    `json:"workload,omitempty"` // 1..6 (Table 8 workloads)
 	Policy   string `json:"policy,omitempty"`   // MLB|MLC|SOPT|DFSL (cs2policy)
 	SOPT     int    `json:"sopt,omitempty"`     // static WT when Policy=SOPT
+
+	// Sampled simulation (kind=region).
+	Frames int `json:"frames,omitempty"` // scenario length in frames
+	Region int `json:"region,omitempty"` // first detailed frame (0-based)
+	Span   int `json:"span,omitempty"`   // detailed frames from Region
 
 	// Workers sets the simulation's tick-engine worker count. It is
 	// deliberately excluded from the result key: the parallel engine is
@@ -100,8 +111,21 @@ func (s Spec) Validate() error {
 		if p == exp.SOPT && s.SOPT < 1 {
 			return fmt.Errorf("sweep: cs2policy job: SOPT policy needs sopt >= 1, got %d", s.SOPT)
 		}
+	case KindRegion:
+		if _, err := geom.DFSLWorkload(s.Workload); err != nil {
+			return fmt.Errorf("sweep: region job: %w", err)
+		}
+		if s.Frames < 1 {
+			return fmt.Errorf("sweep: region job: frames must be >= 1, got %d", s.Frames)
+		}
+		if s.Region < 0 || s.Region >= s.Frames {
+			return fmt.Errorf("sweep: region job: region %d out of range [0,%d)", s.Region, s.Frames)
+		}
+		if s.Span < 1 {
+			return fmt.Errorf("sweep: region job: span must be >= 1, got %d", s.Span)
+		}
 	default:
-		return fmt.Errorf("sweep: unknown job kind %q (want cs1|cs2sweep|cs2policy)", s.Kind)
+		return fmt.Errorf("sweep: unknown job kind %q (want cs1|cs2sweep|cs2policy|region)", s.Kind)
 	}
 	if s.Workers < 0 {
 		return fmt.Errorf("sweep: workers must be >= 0, got %d", s.Workers)
@@ -124,6 +148,8 @@ func (s Spec) Canonical() Spec {
 		if s.Policy == exp.SOPT.String() {
 			c.SOPT = s.SOPT
 		}
+	case KindRegion:
+		c.Workload, c.Frames, c.Region, c.Span = s.Workload, s.Frames, s.Region, s.Span
 	}
 	return c
 }
@@ -153,6 +179,8 @@ func (s Spec) String() string {
 			return fmt.Sprintf("cs2policy/W%d/%s(WT%d)/%s", s.Workload, s.Policy, s.SOPT, s.Scale)
 		}
 		return fmt.Sprintf("cs2policy/W%d/%s/%s", s.Workload, s.Policy, s.Scale)
+	case KindRegion:
+		return fmt.Sprintf("region/W%d/%df/%d+%d/%s", s.Workload, s.Frames, s.Region, s.Span, s.Scale)
 	}
 	return fmt.Sprintf("%s/%s", s.Kind, s.Scale)
 }
@@ -168,4 +196,6 @@ type Result struct {
 	Cycles []uint64 `json:"cycles,omitempty"`
 	// AvgCycles holds the average frame cycles (kind=cs2policy).
 	AvgCycles float64 `json:"avg_cycles,omitempty"`
+	// Region holds a sampled-simulation region measurement (kind=region).
+	Region *exp.RegionResult `json:"region,omitempty"`
 }

@@ -8,8 +8,8 @@
 package trace
 
 import (
-	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -18,7 +18,6 @@ import (
 	"emerald/internal/gfx"
 	"emerald/internal/gl"
 	"emerald/internal/mathx"
-	"emerald/internal/mem"
 	"emerald/internal/raster"
 	"emerald/internal/shader"
 )
@@ -77,7 +76,18 @@ type ReplayOptions struct {
 	// inclusive); LastDraw < 0 means "to the end". State-building ops are
 	// always applied so skipped draws leave correct state behind.
 	FirstDraw, LastDraw int
+	// OnFrameEnd, when non-nil, is invoked at every FrameEnd op with
+	// the 0-indexed frame just finished — the hook where callers drain
+	// the simulated GPU, snapshot signatures, take checkpoints, or
+	// restore one. Returning ErrStop ends the replay cleanly; any other
+	// error aborts it.
+	OnFrameEnd func(frame int) error
 }
+
+// ErrStop, returned from an OnFrameEnd hook, stops the replay without
+// error — region executors use it to avoid walking ops past their last
+// frame of interest.
+var ErrStop = errors.New("trace: stop replay")
 
 // ReplayAll replays every op.
 func ReplayAll() ReplayOptions { return ReplayOptions{FirstDraw: 0, LastDraw: -1} }
@@ -87,16 +97,64 @@ func ReplayAll() ReplayOptions { return ReplayOptions{FirstDraw: 0, LastDraw: -1
 func Replay(t *Trace, ctx *gl.Context, opt ReplayOptions) error {
 	bufMap := map[uint32]uint32{}
 	texMap := map[uint32]uint32{}
-	draw := 0
+	draw, frame := 0, 0
 	for i, op := range t.Ops {
-		if err := replayOp(op, ctx, bufMap, texMap, &draw, opt); err != nil {
+		err := replayOp(op, ctx, bufMap, texMap, &draw, &frame, opt)
+		if errors.Is(err, ErrStop) {
+			return nil
+		}
+		if err != nil {
 			return fmt.Errorf("trace: op %d (%s): %w", i, op.Name, err)
 		}
 	}
 	return nil
 }
 
-func replayOp(op Op, ctx *gl.Context, bufMap, texMap map[uint32]uint32, draw *int, opt ReplayOptions) error {
+// FrameCount returns the number of FrameEnd markers in the trace.
+func (t *Trace) FrameCount() int {
+	n := 0
+	for _, op := range t.Ops {
+		if op.Name == "FrameEnd" {
+			n++
+		}
+	}
+	return n
+}
+
+// FrameOpEnds returns, per frame, the op index just past its FrameEnd
+// marker — frame f's state-building prefix is Ops[:FrameOpEnds()[f]],
+// which is where a checkpoint taken at the following frame boundary
+// anchors (Checkpoint.OpIndex).
+func (t *Trace) FrameOpEnds() []int {
+	var ends []int
+	for i, op := range t.Ops {
+		if op.Name == "FrameEnd" {
+			ends = append(ends, i+1)
+		}
+	}
+	return ends
+}
+
+// FrameDraws returns, per frame, the half-open range [first, next) of
+// global draw indices recorded inside it — the draw gate a region
+// replay needs to run only selected frames in detail. Draws after the
+// last FrameEnd marker are not attributed to any frame.
+func (t *Trace) FrameDraws() [][2]int {
+	var out [][2]int
+	draw, first := 0, 0
+	for _, op := range t.Ops {
+		switch op.Name {
+		case "DrawElements":
+			draw++
+		case "FrameEnd":
+			out = append(out, [2]int{first, draw})
+			first = draw
+		}
+	}
+	return out
+}
+
+func replayOp(op Op, ctx *gl.Context, bufMap, texMap map[uint32]uint32, draw, frame *int, opt ReplayOptions) error {
 	argAt := func(i int) uint32 {
 		if i < len(op.Args) {
 			return op.Args[i]
@@ -179,6 +237,12 @@ func replayOp(op Op, ctx *gl.Context, bufMap, texMap map[uint32]uint32, draw *in
 		ctx.SetAlpha(math.Float32frombits(argAt(0)))
 	case "Clear":
 		ctx.Clear(argAt(0), argAt(1) != 0)
+	case "FrameEnd":
+		f := *frame
+		*frame++
+		if opt.OnFrameEnd != nil {
+			return opt.OnFrameEnd(f)
+		}
 	case "DrawElements":
 		idx := *draw
 		*draw++
@@ -195,52 +259,4 @@ func replayOp(op Op, ctx *gl.Context, bufMap, texMap map[uint32]uint32, draw *in
 		return fmt.Errorf("unknown op %q", op.Name)
 	}
 	return nil
-}
-
-// Checkpoint captures resumable state: the API stream so far plus a full
-// snapshot of simulated memory.
-type Checkpoint struct {
-	Trace *Trace
-	Pages map[uint64][]byte
-	Cycle uint64
-	Frame int
-}
-
-// NewCheckpoint snapshots memory and the trace.
-func NewCheckpoint(t *Trace, m *mem.Memory, cycle uint64, frame int) *Checkpoint {
-	cp := &Checkpoint{Trace: t, Pages: map[uint64][]byte{}, Cycle: cycle, Frame: frame}
-	for _, p := range m.Pages() {
-		cp.Pages[p] = append([]byte(nil), m.PageData(p)...)
-	}
-	return cp
-}
-
-// Save serializes the checkpoint.
-func (c *Checkpoint) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(c)
-}
-
-// LoadCheckpoint deserializes a checkpoint.
-func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	var c Checkpoint
-	if err := gob.NewDecoder(r).Decode(&c); err != nil {
-		return nil, fmt.Errorf("trace: checkpoint: %w", err)
-	}
-	return &c, nil
-}
-
-// RestoreMemory writes the snapshot's pages back into a memory.
-func (c *Checkpoint) RestoreMemory(m *mem.Memory) {
-	for page, data := range c.Pages {
-		m.Write(page*mem.PageSize, data)
-	}
-}
-
-// Bytes is a convenience round trip used by tests and tools.
-func (c *Checkpoint) Bytes() ([]byte, error) {
-	var b bytes.Buffer
-	if err := c.Save(&b); err != nil {
-		return nil, err
-	}
-	return b.Bytes(), nil
 }

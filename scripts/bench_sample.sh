@@ -1,0 +1,49 @@
+#!/bin/sh
+# Benchmark recorder for checkpoint-parallel sampled simulation: runs
+# the full 480-frame detailed W3 scenario against the sampled pipeline
+# (functional pass + 3 detailed regions + weighted reconstruction, one
+# worker so the speedup is pure sampling) and records wall clock,
+# speedup and estimate error as JSON in BENCH_sample.json so they show
+# up in review diffs. Gates the speedup at 5x and the estimate error
+# at 25%. Run from the repository root:
+#
+#	scripts/bench_sample.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_sample.json
+raw=$(go test -run '^$' -bench 'BenchmarkFullW3Long$|BenchmarkSampledW3Long$' \
+	-benchtime=1x -count=3 -timeout 30m .)
+echo "$raw"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
+	BEGIN {
+		printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"frames\": 480,\n  \"regions\": 3,\n  \"benchmarks\": [", date, gover
+		n = 0
+	}
+	$1 ~ /^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		if (n++) printf ","
+		printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
+		for (i = 5; i < NF; i += 2) {
+			if ($(i+1) == "true_cycles") { printf ", \"true_cycles\": %s", $i; truec = $i }
+			if ($(i+1) == "est_cycles") { printf ", \"est_cycles\": %s", $i; estc = $i }
+		}
+		printf "}"
+		# Min of the paired -count=3 runs absorbs scheduler noise.
+		if (name == "BenchmarkFullW3Long" && (full == 0 || $3 < full)) full = $3
+		if (name == "BenchmarkSampledW3Long" && (sampled == 0 || $3 < sampled)) sampled = $3
+	}
+	END {
+		if (full == 0 || sampled == 0) { print "FAIL: benchmark output missing" > "/dev/stderr"; exit 1 }
+		speedup = full / sampled
+		err = 100 * (estc > truec ? estc / truec - 1 : 1 - estc / truec)
+		printf "\n  ],\n  \"sampled_speedup\": %.2f,\n  \"estimate_error_pct\": %.2f\n}\n", speedup, err
+		printf "sampled speedup: %.2fx, estimate error: %.2f%%\n", speedup, err > "/dev/stderr"
+		if (speedup < 5) { print "FAIL: sampled speedup below 5x" > "/dev/stderr"; exit 1 }
+		if (err > 25) { print "FAIL: sampled estimate error above 25%" > "/dev/stderr"; exit 1 }
+	}
+' >"$out"
+echo "wrote $out"

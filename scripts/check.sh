@@ -65,6 +65,31 @@ go test -count=1 -run 'TestChaosSoak|TestJournalReplayRacesReexecution' -timeout
 echo "== determinism (workers 1 vs 4, skip vs no-skip vs wheel) =="
 go test -count=1 -run 'TestParallelDeterminism|TestSkipDeterminism|TestWheelDeterminism' ./internal/exp
 
+echo "== checkpoint-resume digest gate =="
+# The sampled-simulation contract: the functional executor's memory is
+# bit-identical to the detailed pipeline's, a region resumed from a
+# checkpoint digests identically across file round trips, worker
+# counts and skip modes, and a sweep region job is a pure function of
+# its canonical spec.
+go test -count=1 -run 'TestFunctionalMatchesDetailed|TestCheckpointResumeFidelity|TestRunRegionJobDeterministic' ./internal/exp
+
+echo "== sampled-vs-full smoke (emerald -sampled) =="
+# The sampled pipeline end to end through the CLI: a 12-frame scenario
+# detailed at 2 representative regions must report a frame reduction
+# and a nonzero whole-run estimate. (The accuracy tolerance itself is
+# gated by TestRunSampledPipeline in the full `go test` above.)
+sampled_out=$(go run ./cmd/emerald -workload 3 -frames 12 -w 96 -h 72 -sampled -sample-k 2)
+echo "$sampled_out"
+if ! echo "$sampled_out" | grep -q "x reduction"; then
+	echo "FAIL: emerald -sampled reported no detailed-frame reduction" >&2
+	exit 1
+fi
+if echo "$sampled_out" | grep -q "estimate: 0 cycles/frame"; then
+	echo "FAIL: emerald -sampled estimated zero cycles" >&2
+	exit 1
+fi
+echo "ok"
+
 echo "== wake-contract sweep =="
 # Every NextWake implementor, driven through a crafted busy period:
 # reporting a wake later than the first self-driven state change is
@@ -163,6 +188,23 @@ if ! cmp -s "$tmp/cold.out" "$tmp/warm.out"; then
 	exit 1
 fi
 cat "$tmp/warm.err"
+# Sampled mode through the same daemon: region jobs are content-
+# addressed by their canonical spec, so the warm rerun must be 100%
+# cache hits with byte-identical stdout.
+sample_args="-addr http://$addr -sample -workloads 3 -scale smoke -sample-frames 8 -sample-k 2"
+"$tmp/sweep" $sample_args >"$tmp/scold.out" 2>"$tmp/scold.err"
+"$tmp/sweep" $sample_args >"$tmp/swarm.out" 2>"$tmp/swarm.err"
+if ! grep -q "cache 2/2 hits (100.0%)" "$tmp/swarm.err"; then
+	echo "FAIL: warm sampled sweep was not 100% cache hits:" >&2
+	cat "$tmp/swarm.err" >&2
+	exit 1
+fi
+if ! cmp -s "$tmp/scold.out" "$tmp/swarm.out"; then
+	echo "FAIL: warm sampled sweep output differs from cold:" >&2
+	diff "$tmp/scold.out" "$tmp/swarm.out" >&2 || true
+	exit 1
+fi
+cat "$tmp/swarm.err"
 # Stop the first daemon before the crash-recovery scenario below.
 kill "$daemon_pid" 2>/dev/null || true
 wait "$daemon_pid" 2>/dev/null || true
